@@ -1,0 +1,34 @@
+//! Regenerates Figure 16: coverage and mispredictions at reduced scale and benchmarks its unit of work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dspatch_bench::{bench_scale, experiments, measured_scale, runner, PrefetcherKind};
+use dspatch_harness::runner::run_workload;
+use dspatch_sim::SystemConfig;
+use dspatch_trace::workloads::suite;
+
+#[allow(unused_variables)]
+fn regenerate_figure() {
+    let scale = bench_scale();
+    let table = experiments::fig16_coverage(&scale).to_table();
+    println!("\n{table}");
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the figure data once.
+    regenerate_figure();
+    // Criterion-measured unit of work: one workload simulated with the
+    // paper's headline prefetcher at a tiny scale.
+    let scale = measured_scale();
+    let workloads = scale.select_workloads(suite());
+    let config = SystemConfig::single_thread();
+    let _ = &runner::geomean(&[1.0]);
+    let mut group = c.benchmark_group("fig16_coverage_accuracy");
+    group.sample_size(10);
+    group.bench_function("dspatch_plus_spp_single_workload", |b| {
+        b.iter(|| run_workload(&workloads[0], PrefetcherKind::DspatchPlusSpp, &config, &scale))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

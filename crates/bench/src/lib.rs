@@ -1,0 +1,31 @@
+//! Shared helpers for the per-figure Criterion benchmark targets.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper at a reduced [`RunScale`] (printing the resulting table to stdout)
+//! and then registers a Criterion measurement of the experiment's core unit
+//! of work, so `cargo bench` both reproduces the evaluation data and tracks
+//! the simulator's performance over time.
+
+pub use dspatch_harness::{experiments, runner, Table};
+pub use dspatch_harness::runner::{PrefetcherKind, RunScale};
+
+/// The scale used by the benchmark targets: one workload per category and
+/// short traces, so the full set of figures regenerates in minutes.
+pub fn bench_scale() -> RunScale {
+    RunScale {
+        accesses_per_workload: 4_000,
+        workloads_per_category: 1,
+        mixes: 2,
+        threads: 8,
+    }
+}
+
+/// A smaller scale used for the Criterion-measured unit of work.
+pub fn measured_scale() -> RunScale {
+    RunScale {
+        accesses_per_workload: 1_500,
+        workloads_per_category: 1,
+        mixes: 1,
+        threads: 1,
+    }
+}

@@ -1,0 +1,842 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Every function takes a [`RunScale`] and returns a structured result with
+//! a `to_table()` (or `render()`) method producing the same rows or series
+//! the paper plots. The absolute numbers come from the synthetic-workload
+//! substitution documented in `DESIGN.md`; `EXPERIMENTS.md` records the
+//! measured values next to the paper's.
+
+use crate::report::{percent, Table};
+use crate::runner::{
+    geomean, perf_delta, run_mix, run_workload, speedups_over_baseline, PrefetcherKind, RunScale,
+};
+use dspatch::{CompressedPattern, DsPatch, DsPatchConfig, SpatialPattern, StorageBreakdown};
+use dspatch_sim::{DramConfig, DramSpeedGrade, SystemConfig};
+use dspatch_trace::workloads::{category_suite, memory_intensive_suite, suite, WorkloadCategory};
+use dspatch_trace::{heterogeneous_mixes, homogeneous_mixes};
+use dspatch_types::{Prefetcher, LINES_PER_PAGE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Performance of several prefetchers per workload category plus the
+/// geometric mean (the shape of Figures 4, 12, 14 and 17).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryPerformance {
+    /// Figure name used as the table caption.
+    pub figure: String,
+    /// Prefetchers compared, in column order.
+    pub kinds: Vec<PrefetcherKind>,
+    /// Per-category performance delta over baseline (fraction), one row per
+    /// category, plus a final "GEOMEAN" row.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl CategoryPerformance {
+    /// Renders the figure as a table.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["Category".to_owned()];
+        headers.extend(self.kinds.iter().map(|k| k.label().to_owned()));
+        let mut table = Table::new(self.figure.clone(), headers);
+        for (label, deltas) in &self.rows {
+            let mut row = vec![label.clone()];
+            row.extend(deltas.iter().map(|d| percent(*d)));
+            table.add_row(row);
+        }
+        table
+    }
+
+    /// Returns the geometric-mean delta of one prefetcher kind.
+    pub fn geomean_delta(&self, kind: PrefetcherKind) -> Option<f64> {
+        let column = self.kinds.iter().position(|k| *k == kind)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == "GEOMEAN")
+            .map(|(_, deltas)| deltas[column])
+    }
+}
+
+fn category_performance(
+    figure: &str,
+    kinds: &[PrefetcherKind],
+    config: &SystemConfig,
+    scale: &RunScale,
+) -> CategoryPerformance {
+    let mut rows = Vec::new();
+    let mut per_kind_all: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for category in WorkloadCategory::ALL {
+        let workloads = scale.select_workloads(category_suite(category));
+        if workloads.is_empty() {
+            continue;
+        }
+        let mut deltas = Vec::with_capacity(kinds.len());
+        for (k, kind) in kinds.iter().enumerate() {
+            let speedups = speedups_over_baseline(&workloads, *kind, config, scale);
+            per_kind_all[k].extend(speedups.iter().copied());
+            deltas.push(geomean(&speedups) - 1.0);
+        }
+        rows.push((category.label().to_owned(), deltas));
+    }
+    let geomean_row: Vec<f64> = per_kind_all.iter().map(|s| geomean(s) - 1.0).collect();
+    rows.push(("GEOMEAN".to_owned(), geomean_row));
+    CategoryPerformance {
+        figure: figure.to_owned(),
+        kinds: kinds.to_vec(),
+        rows,
+    }
+}
+
+/// Figure 4: BOP, SMS and SPP per category over the baseline (1-channel
+/// DDR4-2133).
+pub fn fig4_baseline_prefetchers(scale: &RunScale) -> CategoryPerformance {
+    category_performance(
+        "Figure 4: BOP / SMS / SPP performance delta over baseline",
+        &[PrefetcherKind::Bop, PrefetcherKind::Sms, PrefetcherKind::Spp],
+        &SystemConfig::single_thread(),
+        scale,
+    )
+}
+
+/// Figure 12: the full single-thread line-up including DSPatch and
+/// DSPatch+SPP.
+pub fn fig12_single_thread(scale: &RunScale) -> CategoryPerformance {
+    category_performance(
+        "Figure 12: single-thread performance delta over baseline",
+        &PrefetcherKind::standalone_lineup(),
+        &SystemConfig::single_thread(),
+        scale,
+    )
+}
+
+/// Figure 14: adjunct prefetchers on top of SPP.
+pub fn fig14_adjuncts(scale: &RunScale) -> CategoryPerformance {
+    category_performance(
+        "Figure 14: adjunct prefetchers to SPP",
+        &PrefetcherKind::adjunct_lineup(),
+        &SystemConfig::single_thread(),
+        scale,
+    )
+}
+
+/// One point of a bandwidth-scaling sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthPoint {
+    /// DRAM configuration label ("1ch-2133").
+    pub dram: String,
+    /// Peak bandwidth in GB/s (the x axis of Figures 1, 6 and 15).
+    pub peak_gbps: f64,
+    /// Per-prefetcher performance delta over the baseline at this point.
+    pub deltas: Vec<(PrefetcherKind, f64)>,
+}
+
+/// A bandwidth-scaling sweep (Figures 1, 6 and 15).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthScaling {
+    /// Figure name.
+    pub figure: String,
+    /// One entry per DRAM configuration, in increasing peak bandwidth.
+    pub points: Vec<BandwidthPoint>,
+}
+
+impl BandwidthScaling {
+    /// Renders the sweep as a table (rows = DRAM configs, columns =
+    /// prefetchers).
+    pub fn to_table(&self) -> Table {
+        let kinds: Vec<PrefetcherKind> = self
+            .points
+            .first()
+            .map(|p| p.deltas.iter().map(|(k, _)| *k).collect())
+            .unwrap_or_default();
+        let mut headers = vec!["DRAM".to_owned(), "Peak GB/s".to_owned()];
+        headers.extend(kinds.iter().map(|k| k.label().to_owned()));
+        let mut table = Table::new(self.figure.clone(), headers);
+        for point in &self.points {
+            let mut row = vec![point.dram.clone(), format!("{:.1}", point.peak_gbps)];
+            row.extend(point.deltas.iter().map(|(_, d)| percent(*d)));
+            table.add_row(row);
+        }
+        table
+    }
+
+    /// Delta of `kind` at the lowest- and highest-bandwidth points, used to
+    /// check scaling trends.
+    pub fn scaling_of(&self, kind: PrefetcherKind) -> Option<(f64, f64)> {
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        let pick = |p: &BandwidthPoint| p.deltas.iter().find(|(k, _)| *k == kind).map(|(_, d)| *d);
+        Some((pick(first)?, pick(last)?))
+    }
+}
+
+fn bandwidth_scaling(
+    figure: &str,
+    kinds: &[PrefetcherKind],
+    scale: &RunScale,
+) -> BandwidthScaling {
+    let workloads = scale.select_workloads(memory_intensive_suite());
+    let mut points = Vec::new();
+    for (channels, speed) in SystemConfig::bandwidth_sweep() {
+        let config = SystemConfig::single_thread().with_dram(channels, speed);
+        let dram = DramConfig::with_speed(channels, speed);
+        let deltas = kinds
+            .iter()
+            .map(|kind| (*kind, perf_delta(&workloads, *kind, &config, scale)))
+            .collect();
+        points.push(BandwidthPoint {
+            dram: dram.label(),
+            peak_gbps: dram.peak_bandwidth_gbps(),
+            deltas,
+        });
+    }
+    points.sort_by(|a, b| a.peak_gbps.partial_cmp(&b.peak_gbps).expect("finite bandwidth"));
+    BandwidthScaling {
+        figure: figure.to_owned(),
+        points,
+    }
+}
+
+/// Figure 1: BOP / SMS / SPP performance as peak DRAM bandwidth scales.
+pub fn fig1_bandwidth_scaling_baselines(scale: &RunScale) -> BandwidthScaling {
+    bandwidth_scaling(
+        "Figure 1: prefetcher performance scaling with DRAM bandwidth",
+        &[PrefetcherKind::Bop, PrefetcherKind::Sms, PrefetcherKind::Spp],
+        scale,
+    )
+}
+
+/// Figure 6: adds the bandwidth-enhanced eSPP and eBOP variants.
+pub fn fig6_bandwidth_scaling_enhanced(scale: &RunScale) -> BandwidthScaling {
+    bandwidth_scaling(
+        "Figure 6: bandwidth scaling including eSPP and eBOP",
+        &[
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Espp,
+            PrefetcherKind::Ebop,
+        ],
+        scale,
+    )
+}
+
+/// Figure 15: adds eBOP+SPP and DSPatch+SPP.
+pub fn fig15_bandwidth_scaling_dspatch(scale: &RunScale) -> BandwidthScaling {
+    bandwidth_scaling(
+        "Figure 15: performance scaling with DRAM bandwidth (DSPatch+SPP)",
+        &[
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Spp,
+            PrefetcherKind::EbopPlusSpp,
+            PrefetcherKind::DspatchPlusSpp,
+        ],
+        scale,
+    )
+}
+
+/// Figure 5: SMS performance as its pattern-history table shrinks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmsStorageSweep {
+    /// `(PHT entries, storage KB, performance delta over baseline)` rows.
+    pub rows: Vec<(usize, f64, f64)>,
+}
+
+impl SmsStorageSweep {
+    /// Renders the sweep.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 5: SMS performance vs pattern-history-table size",
+            vec!["PHT entries".into(), "Storage (KB)".into(), "Perf delta".into()],
+        );
+        for (entries, kb, delta) in &self.rows {
+            table.add_row(vec![entries.to_string(), format!("{kb:.1}"), percent(*delta)]);
+        }
+        table
+    }
+}
+
+/// Figure 5: sweep the SMS PHT from 16 K entries down to 256.
+pub fn fig5_sms_storage_sweep(scale: &RunScale) -> SmsStorageSweep {
+    use dspatch_prefetchers::{SmsConfig, SmsPrefetcher};
+    let workloads = scale.select_workloads(suite());
+    let config = SystemConfig::single_thread();
+    let rows = [16 * 1024, 4 * 1024, 1024, 256]
+        .into_iter()
+        .map(|entries| {
+            let storage_kb = SmsPrefetcher::new(SmsConfig::with_pht_entries(entries)).storage_bits()
+                as f64
+                / 8.0
+                / 1024.0;
+            // Run SMS with this PHT size on every selected workload.
+            let speedups: Vec<f64> = workloads
+                .iter()
+                .map(|w| {
+                    let baseline = run_workload(w, PrefetcherKind::Baseline, &config, scale);
+                    let trace = w.generate(scale.accesses_per_workload);
+                    let result = dspatch_sim::SimulationBuilder::new(config.clone())
+                        .with_core(
+                            trace,
+                            Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(entries))),
+                        )
+                        .run();
+                    result.speedup_over(&baseline)
+                })
+                .collect();
+            (entries, storage_kb, geomean(&speedups) - 1.0)
+        })
+        .collect();
+    SmsStorageSweep { rows }
+}
+
+/// Figure 11: delta-occurrence distribution and the misprediction rate
+/// induced by 128 B-granularity pattern compression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaCompressionStudy {
+    /// Fraction of consecutive-access deltas equal to +1 or -1.
+    pub plus_minus_one_fraction: f64,
+    /// Fraction of deltas equal to +2 or +3.
+    pub small_delta_fraction: f64,
+    /// Histogram of per-page compression misprediction rates, bucketed as in
+    /// Figure 11(b): exactly 0 %, (0, 12.5 %], (12.5, 25 %], (25, 37 %],
+    /// (37, 50 %), exactly 50 %.
+    pub misprediction_buckets: [f64; 6],
+}
+
+impl DeltaCompressionStudy {
+    /// Renders both panels as one table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 11: delta distribution and 128B-compression mispredictions",
+            vec!["Metric".into(), "Value".into()],
+        );
+        table.add_row(vec!["+1/-1 delta share".into(), percent(self.plus_minus_one_fraction)]);
+        table.add_row(vec!["+2/+3 delta share".into(), percent(self.small_delta_fraction)]);
+        let labels = ["0%", "0-12.5%", "12.5-25%", "25-37%", "37-50%", "50%"];
+        for (label, value) in labels.iter().zip(self.misprediction_buckets.iter()) {
+            table.add_row(vec![format!("compression misprediction {label}"), percent(*value)]);
+        }
+        table
+    }
+}
+
+/// Figure 11: pure trace analysis, no simulation.
+pub fn fig11_delta_and_compression(scale: &RunScale) -> DeltaCompressionStudy {
+    let workloads = scale.select_workloads(suite());
+    let mut delta_total = 0u64;
+    let mut delta_unit = 0u64;
+    let mut delta_small = 0u64;
+    let mut buckets = [0u64; 6];
+    let mut pages_total = 0u64;
+    for workload in &workloads {
+        let trace = workload.generate(scale.accesses_per_workload);
+        // Per-page delta statistics and access patterns.
+        let mut last_offset: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut patterns: BTreeMap<u64, SpatialPattern> = BTreeMap::new();
+        for record in &trace {
+            let page = record.addr.page().as_u64();
+            let offset = record.addr.page_line_offset();
+            if let Some(previous) = last_offset.insert(page, offset) {
+                let delta = offset as i64 - previous as i64;
+                if delta != 0 {
+                    delta_total += 1;
+                    if delta.abs() == 1 {
+                        delta_unit += 1;
+                    } else if delta == 2 || delta == 3 {
+                        delta_small += 1;
+                    }
+                }
+            }
+            patterns.entry(page).or_default().set(offset);
+        }
+        for pattern in patterns.values() {
+            let real = pattern.popcount();
+            if real == 0 {
+                continue;
+            }
+            let mispredicted = CompressedPattern::compression_mispredictions(*pattern);
+            let predicted = pattern.compress().decompress().popcount();
+            let rate = mispredicted as f64 / predicted.max(1) as f64;
+            pages_total += 1;
+            let bucket = if mispredicted == 0 {
+                0
+            } else if rate <= 0.125 {
+                1
+            } else if rate <= 0.25 {
+                2
+            } else if rate <= 0.37 {
+                3
+            } else if rate < 0.5 {
+                4
+            } else {
+                5
+            };
+            buckets[bucket] += 1;
+        }
+    }
+    let fraction = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    DeltaCompressionStudy {
+        plus_minus_one_fraction: fraction(delta_unit, delta_total),
+        small_delta_fraction: fraction(delta_small, delta_total),
+        misprediction_buckets: std::array::from_fn(|i| fraction(buckets[i], pages_total)),
+    }
+}
+
+/// Figure 13: per-workload speedups on the 42 memory-intensive workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryIntensiveLine {
+    /// Prefetchers plotted.
+    pub kinds: Vec<PrefetcherKind>,
+    /// `(workload, per-kind delta)` rows sorted by the last kind's delta.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl MemoryIntensiveLine {
+    /// Renders the line graph data as a table.
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec!["Workload".to_owned()];
+        headers.extend(self.kinds.iter().map(|k| k.label().to_owned()));
+        let mut table = Table::new("Figure 13: memory-intensive workloads", headers);
+        for (name, deltas) in &self.rows {
+            let mut row = vec![name.clone()];
+            row.extend(deltas.iter().map(|d| percent(*d)));
+            table.add_row(row);
+        }
+        table
+    }
+}
+
+/// Figure 13: SMS, SPP and DSPatch+SPP on the memory-intensive subset.
+pub fn fig13_memory_intensive(scale: &RunScale) -> MemoryIntensiveLine {
+    let kinds = vec![PrefetcherKind::Sms, PrefetcherKind::Spp, PrefetcherKind::DspatchPlusSpp];
+    let workloads = scale.select_workloads(memory_intensive_suite());
+    let config = SystemConfig::single_thread();
+    let per_kind: Vec<Vec<f64>> = kinds
+        .iter()
+        .map(|kind| speedups_over_baseline(&workloads, *kind, &config, scale))
+        .collect();
+    let mut rows: Vec<(String, Vec<f64>)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            (
+                w.name.clone(),
+                per_kind.iter().map(|speedups| speedups[i] - 1.0).collect(),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        let last_a = a.1.last().copied().unwrap_or(0.0);
+        let last_b = b.1.last().copied().unwrap_or(0.0);
+        last_a.partial_cmp(&last_b).expect("finite deltas")
+    });
+    MemoryIntensiveLine { kinds, rows }
+}
+
+/// Figure 16: covered / uncovered / mispredicted fractions of L2 accesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// `(category, prefetcher, covered, uncovered, mispredicted)` rows.
+    pub rows: Vec<(String, PrefetcherKind, f64, f64, f64)>,
+}
+
+impl CoverageReport {
+    /// Renders the coverage report.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 16: coverage and mispredictions (fractions of L2 accesses)",
+            vec![
+                "Category".into(),
+                "Prefetcher".into(),
+                "Covered".into(),
+                "Uncovered".into(),
+                "Mispredicted".into(),
+            ],
+        );
+        for (category, kind, covered, uncovered, mispredicted) in &self.rows {
+            table.add_row(vec![
+                category.clone(),
+                kind.label().to_owned(),
+                percent(*covered),
+                percent(*uncovered),
+                percent(*mispredicted),
+            ]);
+        }
+        table
+    }
+
+    /// Average (coverage, misprediction) fractions of one prefetcher kind.
+    pub fn average_of(&self, kind: PrefetcherKind) -> Option<(f64, f64)> {
+        let rows: Vec<_> = self.rows.iter().filter(|(_, k, ..)| *k == kind).collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let coverage = rows.iter().map(|(_, _, c, ..)| *c).sum::<f64>() / rows.len() as f64;
+        let mispredictions =
+            rows.iter().map(|(.., m)| *m).sum::<f64>() / rows.len() as f64;
+        Some((coverage, mispredictions))
+    }
+}
+
+/// Figure 16: coverage and misprediction fractions per category for the
+/// standalone line-up plus DSPatch+SPP.
+pub fn fig16_coverage(scale: &RunScale) -> CoverageReport {
+    let kinds = [
+        PrefetcherKind::Bop,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Spp,
+        PrefetcherKind::DspatchPlusSpp,
+    ];
+    let config = SystemConfig::single_thread();
+    let mut rows = Vec::new();
+    for category in WorkloadCategory::ALL {
+        let workloads = scale.select_workloads(category_suite(category));
+        for kind in kinds {
+            let mut acc = dspatch_sim::PrefetchAccounting::default();
+            for workload in &workloads {
+                let result = run_workload(workload, kind, &config, scale);
+                acc.merge(&result.total_accounting());
+            }
+            rows.push((
+                category.label().to_owned(),
+                kind,
+                acc.coverage(),
+                acc.uncovered_fraction(),
+                acc.misprediction_fraction(),
+            ));
+        }
+    }
+    CoverageReport { rows }
+}
+
+/// Figures 17 and 18: multi-programmed performance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiProgrammedReport {
+    /// `(configuration label, prefetcher, delta over baseline)` rows.
+    pub rows: Vec<(String, PrefetcherKind, f64)>,
+}
+
+impl MultiProgrammedReport {
+    /// Renders the report.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Multi-programmed performance delta over baseline",
+            vec!["Configuration".into(), "Prefetcher".into(), "Perf delta".into()],
+        );
+        for (label, kind, delta) in &self.rows {
+            table.add_row(vec![label.clone(), kind.label().to_owned(), percent(*delta)]);
+        }
+        table
+    }
+
+    /// The delta of `kind` under `label`.
+    pub fn delta_of(&self, label: &str, kind: PrefetcherKind) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(l, k, _)| l == label && *k == kind)
+            .map(|(_, _, d)| *d)
+    }
+}
+
+fn multi_programmed(
+    label: &str,
+    mixes: &[dspatch_trace::WorkloadMix],
+    kinds: &[PrefetcherKind],
+    config: &SystemConfig,
+    scale: &RunScale,
+) -> Vec<(String, PrefetcherKind, f64)> {
+    kinds
+        .iter()
+        .map(|kind| {
+            let speedups: Vec<f64> = mixes
+                .iter()
+                .map(|mix| {
+                    let baseline = run_mix(mix, PrefetcherKind::Baseline, config, scale);
+                    run_mix(mix, *kind, config, scale).speedup_over(&baseline)
+                })
+                .collect();
+            (label.to_owned(), *kind, geomean(&speedups) - 1.0)
+        })
+        .collect()
+}
+
+/// Figure 17: homogeneous 4-core mixes on the dual-channel DDR4-2133 system.
+pub fn fig17_homogeneous(scale: &RunScale) -> MultiProgrammedReport {
+    let kinds = [
+        PrefetcherKind::Bop,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Spp,
+        PrefetcherKind::DspatchPlusSpp,
+    ];
+    let mixes = scale.select_mixes(homogeneous_mixes(4));
+    let config = SystemConfig::multi_programmed();
+    MultiProgrammedReport {
+        rows: multi_programmed("homogeneous DDR4-2133", &mixes, &kinds, &config, scale),
+    }
+}
+
+/// Figure 18: homogeneous and heterogeneous mixes at DDR4-2133 and DDR4-2400.
+pub fn fig18_mixes_and_bandwidth(scale: &RunScale) -> MultiProgrammedReport {
+    let kinds = [
+        PrefetcherKind::Bop,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Spp,
+        PrefetcherKind::DspatchPlusSpp,
+    ];
+    let homogeneous = scale.select_mixes(homogeneous_mixes(4));
+    let heterogeneous = scale.select_mixes(heterogeneous_mixes(75, 4, 0xD5));
+    let mut rows = Vec::new();
+    for speed in [DramSpeedGrade::Ddr4_2133, DramSpeedGrade::Ddr4_2400] {
+        let config = SystemConfig::multi_programmed().with_dram(2, speed);
+        rows.extend(multi_programmed(
+            &format!("homogeneous DDR4-{}", speed.label()),
+            &homogeneous,
+            &kinds,
+            &config,
+            scale,
+        ));
+        rows.extend(multi_programmed(
+            &format!("heterogeneous DDR4-{}", speed.label()),
+            &heterogeneous,
+            &kinds,
+            &config,
+            scale,
+        ));
+    }
+    MultiProgrammedReport { rows }
+}
+
+/// Figure 19: the accuracy-biased-pattern ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationReport {
+    /// `(variant, delta over baseline)` rows.
+    pub rows: Vec<(PrefetcherKind, f64)>,
+}
+
+impl AblationReport {
+    /// Renders the report.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 19: contribution of the accuracy-biased pattern",
+            vec!["Variant".into(), "Perf delta".into()],
+        );
+        for (kind, delta) in &self.rows {
+            table.add_row(vec![kind.label().to_owned(), percent(*delta)]);
+        }
+        table
+    }
+
+    /// The delta of one variant.
+    pub fn delta_of(&self, kind: PrefetcherKind) -> Option<f64> {
+        self.rows.iter().find(|(k, _)| *k == kind).map(|(_, d)| *d)
+    }
+}
+
+/// Figure 19: full DSPatch vs AlwaysCovP vs ModCovP (as adjuncts to SPP), on
+/// the memory-intensive subset with half the DRAM bandwidth per core so the
+/// bandwidth-driven selection matters.
+pub fn fig19_ablation(scale: &RunScale) -> AblationReport {
+    let kinds = [
+        PrefetcherKind::DspatchPlusSpp,
+        PrefetcherKind::AlwaysCovpPlusSpp,
+        PrefetcherKind::ModCovpPlusSpp,
+    ];
+    let workloads = scale.select_workloads(memory_intensive_suite());
+    let config = SystemConfig::single_thread().with_dram(1, DramSpeedGrade::Ddr4_1600);
+    let rows = kinds
+        .iter()
+        .map(|kind| (*kind, perf_delta(&workloads, *kind, &config, scale)))
+        .collect();
+    AblationReport { rows }
+}
+
+/// Figure 20: pollution caused by an aggressive, inaccurate streamer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PollutionReport {
+    /// `(LLC size label, NoReuse, PrefetchedBeforeUse, BadPollution)` rows,
+    /// fractions of all classified victims.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl PollutionReport {
+    /// Renders the report.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            "Figure 20: breakdown of LLC victims evicted by prefetches",
+            vec![
+                "LLC size".into(),
+                "NoReuse".into(),
+                "PrefetchedBeforeUse".into(),
+                "BadPollution".into(),
+            ],
+        );
+        for (label, a, b, c) in &self.rows {
+            table.add_row(vec![label.clone(), percent(*a), percent(*b), percent(*c)]);
+        }
+        table
+    }
+}
+
+/// Figure 20: run the streamer on the workload suite with 8, 4 and 2 MB LLCs
+/// and classify the victims of its prefetch fills.
+pub fn fig20_pollution(scale: &RunScale) -> PollutionReport {
+    let workloads = scale.select_workloads(memory_intensive_suite());
+    let mut rows = Vec::new();
+    for (label, bytes) in [("8MB", 8 << 20), ("4MB", 4 << 20), ("2MB", 2 << 20)] {
+        let config = SystemConfig::single_thread().with_llc_capacity(bytes);
+        let mut totals = dspatch_sim::PollutionBreakdown::default();
+        for workload in &workloads {
+            let result = run_workload(workload, PrefetcherKind::Streamer, &config, scale);
+            totals.no_reuse += result.pollution.no_reuse;
+            totals.prefetched_before_use += result.pollution.prefetched_before_use;
+            totals.bad_pollution += result.pollution.bad_pollution;
+        }
+        let (a, b, c) = totals.fractions();
+        rows.push((label.to_owned(), a, b, c));
+    }
+    PollutionReport { rows }
+}
+
+/// Table 1: DSPatch storage budget.
+pub fn table1_storage() -> Table {
+    let breakdown = StorageBreakdown::for_config(&DsPatchConfig::default());
+    let mut table = Table::new(
+        "Table 1: DSPatch storage overhead",
+        vec!["Structure".into(), "Entries".into(), "Bits/entry".into(), "Total bits".into()],
+    );
+    table.add_row(vec![
+        "PB".into(),
+        breakdown.pb_entries.to_string(),
+        breakdown.pb_entry_bits.to_string(),
+        breakdown.pb_bits().to_string(),
+    ]);
+    table.add_row(vec![
+        "SPT".into(),
+        breakdown.spt_entries.to_string(),
+        breakdown.spt_entry_bits.to_string(),
+        breakdown.spt_bits().to_string(),
+    ]);
+    table.add_row(vec![
+        "Total".into(),
+        String::new(),
+        String::new(),
+        format!("{} ({:.1} KB)", breakdown.total_bits(), breakdown.total_kib()),
+    ]);
+    table
+}
+
+/// Table 3: storage of every evaluated prefetcher.
+pub fn table3_prefetcher_storage() -> Table {
+    let mut table = Table::new(
+        "Table 3: evaluated prefetcher configurations",
+        vec!["Prefetcher".into(), "Storage (KB)".into()],
+    );
+    for kind in [
+        PrefetcherKind::Bop,
+        PrefetcherKind::Dspatch,
+        PrefetcherKind::Spp,
+        PrefetcherKind::SmsIso,
+        PrefetcherKind::Sms,
+    ] {
+        let kb = kind.build().storage_bits() as f64 / 8.0 / 1024.0;
+        table.add_row(vec![kind.label().to_owned(), format!("{kb:.1}")]);
+    }
+    table
+}
+
+/// Standalone DSPatch model statistics useful for debugging experiments
+/// (selection decisions, SPT occupancy) on one workload.
+pub fn dspatch_introspection(scale: &RunScale) -> Table {
+    let workloads = scale.select_workloads(category_suite(WorkloadCategory::Cloud));
+    let workload = &workloads[0];
+    let trace = workload.generate(scale.accesses_per_workload);
+    let mut prefetcher = DsPatch::new(DsPatchConfig::default());
+    let ctx = dspatch_types::PrefetchContext::default();
+    for record in &trace {
+        let _ = prefetcher.on_access(&record.to_access(), &ctx);
+    }
+    let stats = *prefetcher.stats();
+    let mut table = Table::new(
+        format!("DSPatch decision statistics on {}", workload.name),
+        vec!["Metric".into(), "Value".into()],
+    );
+    table.add_row(vec!["accesses".into(), stats.accesses.to_string()]);
+    table.add_row(vec!["triggers".into(), stats.triggers.to_string()]);
+    table.add_row(vec!["CovP predictions".into(), stats.covp_predictions.to_string()]);
+    table.add_row(vec!["AccP predictions".into(), stats.accp_predictions.to_string()]);
+    table.add_row(vec!["throttled".into(), stats.throttled_predictions.to_string()]);
+    table.add_row(vec!["prefetches issued".into(), stats.prefetches_issued.to_string()]);
+    table.add_row(vec![
+        "SPT occupancy".into(),
+        format!("{:.1}%", prefetcher.spt().occupancy() * 100.0),
+    ]);
+    let _ = LINES_PER_PAGE; // referenced for documentation purposes
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunScale {
+        RunScale {
+            accesses_per_workload: 800,
+            workloads_per_category: 1,
+            mixes: 1,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn table1_reproduces_the_paper_budget() {
+        let text = table1_storage().render();
+        assert!(text.contains("10112"));
+        assert!(text.contains("19456"));
+        assert!(text.contains("3.6 KB"));
+    }
+
+    #[test]
+    fn table3_orders_prefetchers_by_storage() {
+        let text = table3_prefetcher_storage().render();
+        assert!(text.contains("BOP"));
+        assert!(text.contains("SMS"));
+        assert!(text.contains("DSPatch"));
+    }
+
+    #[test]
+    fn fig11_finds_unit_strides_dominant() {
+        let study = fig11_delta_and_compression(&tiny());
+        assert!(study.plus_minus_one_fraction > 0.2);
+        let sum: f64 = study.misprediction_buckets.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "bucket fractions must sum to 1, got {sum}");
+    }
+
+    #[test]
+    fn fig4_produces_a_row_per_category_plus_geomean() {
+        let fig = fig4_baseline_prefetchers(&tiny());
+        assert_eq!(fig.rows.len(), 10);
+        assert!(fig.geomean_delta(PrefetcherKind::Spp).is_some());
+        assert!(fig.to_table().render().contains("GEOMEAN"));
+    }
+
+    #[test]
+    fn fig19_reports_all_three_variants() {
+        let ablation = fig19_ablation(&tiny());
+        assert_eq!(ablation.rows.len(), 3);
+        assert!(ablation.delta_of(PrefetcherKind::DspatchPlusSpp).is_some());
+    }
+
+    #[test]
+    fn fig20_fractions_are_valid() {
+        let report = fig20_pollution(&tiny());
+        assert_eq!(report.rows.len(), 3);
+        for (_, a, b, c) in &report.rows {
+            let sum = a + b + c;
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn introspection_reports_decisions() {
+        let table = dspatch_introspection(&tiny()).render();
+        assert!(table.contains("CovP predictions"));
+    }
+}

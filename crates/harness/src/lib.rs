@@ -1,0 +1,31 @@
+//! Experiment harness reproducing every table and figure of the DSPatch
+//! paper's evaluation.
+//!
+//! Each `figNN_*` / `tableN_*` function in [`experiments`] regenerates the
+//! data behind one figure or table: it builds the workload suite
+//! (`dspatch-trace`), runs the simulator (`dspatch-sim`) with the relevant
+//! prefetcher line-up (`dspatch-prefetchers`, `dspatch`), and returns a
+//! structured result that renders to an ASCII table via
+//! [`report::Table`]. The [`runner::RunScale`] parameter controls how many
+//! workloads and how many accesses per workload are simulated, so the same
+//! code scales from a seconds-long smoke run (`RunScale::quick()`) to a
+//! laptop-scale full sweep (`RunScale::full()`).
+//!
+//! # Example
+//!
+//! ```
+//! use dspatch_harness::{experiments, runner::RunScale};
+//!
+//! let scale = RunScale::smoke();
+//! let table1 = experiments::table1_storage();
+//! assert!(table1.render().contains("SPT"));
+//! let fig11 = experiments::fig11_delta_and_compression(&scale);
+//! assert!(fig11.plus_minus_one_fraction > 0.0);
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::Table;
+pub use runner::{PrefetcherKind, RunScale};

@@ -1,0 +1,131 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use dspatch_harness::Table;
+/// let mut table = Table::new("Fig. X", vec!["workload".into(), "speedup".into()]);
+/// table.add_row(vec!["mcf".into(), "1.26".into()]);
+/// let text = table.render();
+/// assert!(text.contains("mcf") && text.contains("1.26"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fractional delta (e.g. `0.063`) as a percentage string ("6.3%").
+pub fn percent(delta: f64) -> String {
+    format!("{:.1}%", delta * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_headers_and_rows() {
+        let mut t = Table::new("Demo", vec!["a".into(), "bbbb".into()]);
+        t.add_row(vec!["xxxxx".into(), "1".into()]);
+        t.add_row(vec!["y".into(), "22".into()]);
+        let text = t.render();
+        assert!(text.starts_with("Demo\n"));
+        assert!(text.contains("xxxxx"));
+        assert_eq!(text.lines().count(), 5);
+        // Columns are aligned: the second column starts at the same offset.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let col = lines[0].find("bbbb").unwrap();
+        assert_eq!(lines[2].find('1'), Some(col));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_is_rejected() {
+        let mut t = Table::new("Demo", vec!["a".into()]);
+        t.add_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.063), "6.3%");
+        assert_eq!(percent(-0.02), "-2.0%");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let t = Table::new("T", vec!["h".into()]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+}

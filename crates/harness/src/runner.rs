@@ -1,0 +1,343 @@
+//! Shared infrastructure for running experiments: the prefetcher line-up,
+//! run scales, and the baseline-normalized performance metric.
+
+use dspatch::{DsPatch, DsPatchConfig};
+use dspatch_prefetchers::{
+    lineup, AdjunctPrefetcher, BopConfig, BopPrefetcher, SmsConfig, SmsPrefetcher, SppConfig,
+    SppPrefetcher, StreamConfig, StreamPrefetcher,
+};
+use dspatch_sim::{SimResult, SimulationBuilder, SystemConfig};
+use dspatch_trace::{WorkloadMix, WorkloadSpec};
+use dspatch_types::Prefetcher;
+use serde::{Deserialize, Serialize};
+
+/// The prefetchers the paper's figures compare. Each variant builds a fresh
+/// prefetcher instance for one simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No L2 prefetcher (the baseline keeps only the L1 PC-stride prefetcher).
+    Baseline,
+    /// Best Offset Prefetcher.
+    Bop,
+    /// Bandwidth-enhanced BOP (Section 2.2).
+    Ebop,
+    /// Spatial Memory Streaming with a 16 K-entry PHT.
+    Sms,
+    /// SMS limited to 256 PHT entries (iso-storage with DSPatch).
+    SmsIso,
+    /// Signature Pattern Prefetcher.
+    Spp,
+    /// Bandwidth-enhanced SPP (Section 2.1).
+    Espp,
+    /// Standalone DSPatch.
+    Dspatch,
+    /// DSPatch as an adjunct to SPP — the paper's headline configuration.
+    DspatchPlusSpp,
+    /// BOP as an adjunct to SPP.
+    BopPlusSpp,
+    /// eBOP as an adjunct to SPP.
+    EbopPlusSpp,
+    /// 256-entry SMS as an adjunct to SPP.
+    SmsIsoPlusSpp,
+    /// Figure 19 ablation: DSPatch that always predicts with `CovP`.
+    AlwaysCovpPlusSpp,
+    /// Figure 19 ablation: DSPatch that only throttles `CovP`.
+    ModCovpPlusSpp,
+    /// Aggressive streaming prefetcher (appendix pollution study).
+    Streamer,
+}
+
+impl PrefetcherKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherKind::Baseline => "Baseline",
+            PrefetcherKind::Bop => "BOP",
+            PrefetcherKind::Ebop => "eBOP",
+            PrefetcherKind::Sms => "SMS",
+            PrefetcherKind::SmsIso => "SMS(iso)",
+            PrefetcherKind::Spp => "SPP",
+            PrefetcherKind::Espp => "eSPP",
+            PrefetcherKind::Dspatch => "DSPatch",
+            PrefetcherKind::DspatchPlusSpp => "DSPatch+SPP",
+            PrefetcherKind::BopPlusSpp => "BOP+SPP",
+            PrefetcherKind::EbopPlusSpp => "eBOP+SPP",
+            PrefetcherKind::SmsIsoPlusSpp => "SMS(iso)+SPP",
+            PrefetcherKind::AlwaysCovpPlusSpp => "AlwaysCovP+SPP",
+            PrefetcherKind::ModCovpPlusSpp => "ModCovP+SPP",
+            PrefetcherKind::Streamer => "Streamer",
+        }
+    }
+
+    /// Builds a fresh prefetcher instance of this kind.
+    pub fn build(self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::Baseline => Box::new(dspatch_types::NullPrefetcher::new()),
+            PrefetcherKind::Bop => Box::new(BopPrefetcher::new(BopConfig::default())),
+            PrefetcherKind::Ebop => Box::new(BopPrefetcher::new(BopConfig::enhanced())),
+            PrefetcherKind::Sms => Box::new(SmsPrefetcher::new(SmsConfig::default())),
+            PrefetcherKind::SmsIso => Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(256))),
+            PrefetcherKind::Spp => Box::new(SppPrefetcher::new(SppConfig::default())),
+            PrefetcherKind::Espp => Box::new(SppPrefetcher::new(SppConfig::enhanced())),
+            PrefetcherKind::Dspatch => Box::new(DsPatch::new(DsPatchConfig::default())),
+            PrefetcherKind::DspatchPlusSpp => lineup::dspatch_plus_spp(),
+            PrefetcherKind::BopPlusSpp => lineup::bop_plus_spp(),
+            PrefetcherKind::EbopPlusSpp => lineup::ebop_plus_spp(),
+            PrefetcherKind::SmsIsoPlusSpp => lineup::sms_iso_plus_spp(),
+            PrefetcherKind::AlwaysCovpPlusSpp => Box::new(AdjunctPrefetcher::new(
+                SppPrefetcher::new(SppConfig::default()),
+                DsPatch::new(DsPatchConfig::default().always_covp()),
+            )),
+            PrefetcherKind::ModCovpPlusSpp => Box::new(AdjunctPrefetcher::new(
+                SppPrefetcher::new(SppConfig::default()),
+                DsPatch::new(DsPatchConfig::default().mod_covp()),
+            )),
+            PrefetcherKind::Streamer => Box::new(StreamPrefetcher::new(StreamConfig::default())),
+        }
+    }
+
+    /// The standalone line-up of Figure 12.
+    pub fn standalone_lineup() -> Vec<PrefetcherKind> {
+        vec![
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Dspatch,
+            PrefetcherKind::DspatchPlusSpp,
+        ]
+    }
+
+    /// The adjunct line-up of Figure 14.
+    pub fn adjunct_lineup() -> Vec<PrefetcherKind> {
+        vec![
+            PrefetcherKind::Spp,
+            PrefetcherKind::BopPlusSpp,
+            PrefetcherKind::SmsIsoPlusSpp,
+            PrefetcherKind::DspatchPlusSpp,
+        ]
+    }
+}
+
+/// How much work an experiment does. Every figure function takes a scale so
+/// the same code serves smoke tests, `cargo bench` and full reproductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunScale {
+    /// Memory accesses simulated per workload.
+    pub accesses_per_workload: usize,
+    /// Maximum workloads taken from each category (0 = all).
+    pub workloads_per_category: usize,
+    /// Number of multi-programmed mixes simulated (0 = all defined mixes).
+    pub mixes: usize,
+    /// Number of worker threads used to run workloads in parallel.
+    pub threads: usize,
+}
+
+impl RunScale {
+    /// Tiny scale for unit tests and doctests (seconds).
+    pub fn smoke() -> Self {
+        Self {
+            accesses_per_workload: 1_200,
+            workloads_per_category: 1,
+            mixes: 2,
+            threads: 4,
+        }
+    }
+
+    /// The scale used by `cargo bench`: small enough to run every figure in
+    /// minutes, large enough for stable trends.
+    pub fn quick() -> Self {
+        Self {
+            accesses_per_workload: 6_000,
+            workloads_per_category: 2,
+            mixes: 4,
+            threads: 8,
+        }
+    }
+
+    /// Laptop-scale full reproduction: every workload, longer traces.
+    pub fn full() -> Self {
+        Self {
+            accesses_per_workload: 40_000,
+            workloads_per_category: 0,
+            mixes: 0,
+            threads: 8,
+        }
+    }
+
+    /// Applies the per-category workload cap to a workload list.
+    pub fn select_workloads(&self, all: Vec<WorkloadSpec>) -> Vec<WorkloadSpec> {
+        if self.workloads_per_category == 0 {
+            return all;
+        }
+        let mut taken: std::collections::BTreeMap<_, usize> = std::collections::BTreeMap::new();
+        all.into_iter()
+            .filter(|w| {
+                let count = taken.entry(w.category).or_insert(0);
+                *count += 1;
+                *count <= self.workloads_per_category
+            })
+            .collect()
+    }
+
+    /// Applies the mix cap to a mix list.
+    pub fn select_mixes(&self, all: Vec<WorkloadMix>) -> Vec<WorkloadMix> {
+        if self.mixes == 0 {
+            return all;
+        }
+        all.into_iter().take(self.mixes).collect()
+    }
+}
+
+/// Runs one single-thread workload with the given prefetcher kind.
+pub fn run_workload(
+    workload: &WorkloadSpec,
+    kind: PrefetcherKind,
+    config: &SystemConfig,
+    scale: &RunScale,
+) -> SimResult {
+    let trace = workload.generate(scale.accesses_per_workload);
+    SimulationBuilder::new(config.clone())
+        .with_core(trace, kind.build())
+        .run()
+}
+
+/// Runs one 4-core multi-programmed mix with the same prefetcher kind on
+/// every core.
+pub fn run_mix(
+    mix: &WorkloadMix,
+    kind: PrefetcherKind,
+    config: &SystemConfig,
+    scale: &RunScale,
+) -> SimResult {
+    let mut builder = SimulationBuilder::new(config.clone());
+    for workload in &mix.workloads {
+        builder = builder.with_core(workload.generate(scale.accesses_per_workload), kind.build());
+    }
+    builder.run()
+}
+
+/// Per-workload speedups of `kind` over the no-L2-prefetcher baseline, in
+/// workload order. Workloads are distributed across `scale.threads` threads.
+pub fn speedups_over_baseline(
+    workloads: &[WorkloadSpec],
+    kind: PrefetcherKind,
+    config: &SystemConfig,
+    scale: &RunScale,
+) -> Vec<f64> {
+    let threads = scale.threads.max(1);
+    let chunk_size = workloads.len().div_ceil(threads).max(1);
+    let results: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_index, chunk) in workloads.chunks(chunk_size).enumerate() {
+            let config = config.clone();
+            let scale = *scale;
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, workload)| {
+                        let baseline =
+                            run_workload(workload, PrefetcherKind::Baseline, &config, &scale);
+                        let candidate = run_workload(workload, kind, &config, &scale);
+                        (chunk_index * chunk_size + i, candidate.speedup_over(&baseline))
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all = Vec::new();
+        for handle in handles {
+            all.extend(handle.join().expect("worker thread panicked"));
+        }
+        all
+    });
+    let mut ordered = results;
+    ordered.sort_by_key(|(i, _)| *i);
+    ordered.into_iter().map(|(_, s)| s).collect()
+}
+
+/// Geometric mean of a slice of speedups.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric-mean performance delta of `kind` over the baseline across
+/// `workloads`, as a fraction (0.06 = +6 %).
+pub fn perf_delta(
+    workloads: &[WorkloadSpec],
+    kind: PrefetcherKind,
+    config: &SystemConfig,
+    scale: &RunScale,
+) -> f64 {
+    geomean(&speedups_over_baseline(workloads, kind, config, scale)) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspatch_trace::workloads::suite;
+
+    #[test]
+    fn every_kind_builds_a_prefetcher() {
+        for kind in [
+            PrefetcherKind::Baseline,
+            PrefetcherKind::Bop,
+            PrefetcherKind::Ebop,
+            PrefetcherKind::Sms,
+            PrefetcherKind::SmsIso,
+            PrefetcherKind::Spp,
+            PrefetcherKind::Espp,
+            PrefetcherKind::Dspatch,
+            PrefetcherKind::DspatchPlusSpp,
+            PrefetcherKind::BopPlusSpp,
+            PrefetcherKind::EbopPlusSpp,
+            PrefetcherKind::SmsIsoPlusSpp,
+            PrefetcherKind::AlwaysCovpPlusSpp,
+            PrefetcherKind::ModCovpPlusSpp,
+            PrefetcherKind::Streamer,
+        ] {
+            let prefetcher = kind.build();
+            assert!(!kind.label().is_empty());
+            assert!(!prefetcher.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn scale_caps_workloads_per_category() {
+        let scale = RunScale::smoke();
+        let selected = scale.select_workloads(suite());
+        assert_eq!(selected.len(), 9, "one workload per category at smoke scale");
+        let full = RunScale::full().select_workloads(suite());
+        assert_eq!(full.len(), 75);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn run_workload_produces_a_result() {
+        let scale = RunScale::smoke();
+        let workloads = scale.select_workloads(suite());
+        let config = SystemConfig::single_thread();
+        let result = run_workload(&workloads[0], PrefetcherKind::Baseline, &config, &scale);
+        assert_eq!(result.cores.len(), 1);
+        assert!(result.cores[0].instructions > 0);
+    }
+
+    #[test]
+    fn speedups_align_with_workload_order() {
+        let scale = RunScale::smoke();
+        let workloads: Vec<_> = scale.select_workloads(suite()).into_iter().take(3).collect();
+        let config = SystemConfig::single_thread();
+        let speedups =
+            speedups_over_baseline(&workloads, PrefetcherKind::Spp, &config, &scale);
+        assert_eq!(speedups.len(), workloads.len());
+        assert!(speedups.iter().all(|s| *s > 0.0));
+    }
+}

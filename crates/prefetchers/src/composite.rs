@@ -1,0 +1,205 @@
+//! Adjunct (composite) prefetching.
+//!
+//! The paper's headline configuration runs DSPatch as a *lightweight adjunct*
+//! to SPP (Section 5.1): both prefetchers observe every L2 training access
+//! and their prefetch candidates are merged, de-duplicated and issued
+//! together. The same mechanism evaluates BOP+SPP and SMS+SPP (Figure 14).
+
+use dspatch_types::{LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, Prefetcher};
+
+/// Runs a primary prefetcher and an adjunct side by side, merging requests.
+///
+/// Duplicate lines are issued once; the primary prefetcher's request wins on
+/// a conflict (e.g. differing fill levels), matching the paper's framing of
+/// the adjunct as a coverage supplement to SPP.
+///
+/// # Example
+///
+/// ```
+/// use dspatch_prefetchers::lineup;
+/// use dspatch_types::{AccessKind, Addr, MemoryAccess, Pc, PrefetchContext, Prefetcher};
+///
+/// let mut combined = lineup::dspatch_plus_spp();
+/// let a = MemoryAccess::new(Pc::new(1), Addr::new(0x1000), AccessKind::Load);
+/// let _ = combined.on_access(&a, &PrefetchContext::default());
+/// assert_eq!(combined.name(), "DSPatch+SPP");
+/// ```
+#[derive(Debug)]
+pub struct AdjunctPrefetcher<P, A> {
+    primary: P,
+    adjunct: A,
+    name: String,
+    /// Optional cap on merged requests per access (0 = unlimited).
+    max_requests_per_access: usize,
+}
+
+impl<P: Prefetcher, A: Prefetcher> AdjunctPrefetcher<P, A> {
+    /// Combines `primary` with `adjunct`. The display name becomes
+    /// `"<adjunct>+<primary>"`, matching the paper's naming (DSPatch+SPP).
+    pub fn new(primary: P, adjunct: A) -> Self {
+        let name = format!("{}+{}", adjunct.name(), primary.name());
+        Self {
+            primary,
+            adjunct,
+            name,
+            max_requests_per_access: 0,
+        }
+    }
+
+    /// Caps the number of merged prefetch requests returned per access.
+    pub fn with_request_cap(mut self, cap: usize) -> Self {
+        self.max_requests_per_access = cap;
+        self
+    }
+
+    /// The primary prefetcher.
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+
+    /// The adjunct prefetcher.
+    pub fn adjunct(&self) -> &A {
+        &self.adjunct
+    }
+}
+
+impl<P: Prefetcher, A: Prefetcher> Prefetcher for AdjunctPrefetcher<P, A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+        let mut merged = self.primary.on_access(access, ctx);
+        let adjunct_requests = self.adjunct.on_access(access, ctx);
+        let mut seen: Vec<LineAddr> = merged.iter().map(|r| r.line).collect();
+        for request in adjunct_requests {
+            if !seen.contains(&request.line) {
+                seen.push(request.line);
+                merged.push(request);
+            }
+        }
+        if self.max_requests_per_access > 0 {
+            merged.truncate(self.max_requests_per_access);
+        }
+        merged
+    }
+
+    fn on_fill(&mut self, line: LineAddr, was_prefetch: bool) {
+        self.primary.on_fill(line, was_prefetch);
+        self.adjunct.on_fill(line, was_prefetch);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.primary.storage_bits() + self.adjunct.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineup;
+    use crate::{SppConfig, SppPrefetcher, StreamConfig, StreamPrefetcher};
+    use dspatch_types::{AccessKind, Addr, FillLevel, NullPrefetcher, Pc};
+
+    fn access(byte: u64) -> MemoryAccess {
+        MemoryAccess::new(Pc::new(5), Addr::new(byte), AccessKind::Load)
+    }
+
+    #[test]
+    fn merges_and_deduplicates_requests() {
+        // Two identical streamers produce identical requests; the composite
+        // must not double-issue them.
+        let mut combined = AdjunctPrefetcher::new(
+            StreamPrefetcher::new(StreamConfig::default()),
+            StreamPrefetcher::new(StreamConfig::default()),
+        );
+        let reqs = combined.on_access(&access(0x4000), &PrefetchContext::default());
+        let mut lines: Vec<u64> = reqs.iter().map(|r| r.line.as_u64()).collect();
+        let before = lines.len();
+        lines.sort_unstable();
+        lines.dedup();
+        assert_eq!(before, lines.len());
+        assert_eq!(before, 4, "dedup keeps exactly one copy of each line");
+    }
+
+    #[test]
+    fn primary_request_wins_on_conflict() {
+        let mut primary_only = StreamPrefetcher::new(StreamConfig {
+            fill_level: FillLevel::L2,
+            ..StreamConfig::default()
+        });
+        let expected = primary_only.on_access(&access(0x8000), &PrefetchContext::default());
+        let mut combined = AdjunctPrefetcher::new(
+            StreamPrefetcher::new(StreamConfig {
+                fill_level: FillLevel::L2,
+                ..StreamConfig::default()
+            }),
+            StreamPrefetcher::new(StreamConfig {
+                fill_level: FillLevel::Llc,
+                ..StreamConfig::default()
+            }),
+        );
+        let merged = combined.on_access(&access(0x8000), &PrefetchContext::default());
+        for (m, e) in merged.iter().zip(expected.iter()) {
+            assert_eq!(m.fill_level, e.fill_level, "primary's fill level is kept");
+        }
+    }
+
+    #[test]
+    fn adjunct_adds_coverage_beyond_primary() {
+        // A null primary contributes nothing; all coverage comes from the adjunct.
+        let mut combined = AdjunctPrefetcher::new(
+            NullPrefetcher::new(),
+            StreamPrefetcher::new(StreamConfig::default()),
+        );
+        let reqs = combined.on_access(&access(0), &PrefetchContext::default());
+        assert_eq!(reqs.len(), 4);
+    }
+
+    #[test]
+    fn request_cap_is_enforced() {
+        let mut combined = AdjunctPrefetcher::new(
+            StreamPrefetcher::new(StreamConfig::default()),
+            StreamPrefetcher::new(StreamConfig { degree: 8, ..StreamConfig::default() }),
+        )
+        .with_request_cap(3);
+        let reqs = combined.on_access(&access(0), &PrefetchContext::default());
+        assert!(reqs.len() <= 3);
+    }
+
+    #[test]
+    fn storage_is_the_sum_of_both_parts() {
+        let spp = SppPrefetcher::new(SppConfig::default());
+        let spp_bits = spp.storage_bits();
+        let stream = StreamPrefetcher::new(StreamConfig::default());
+        let stream_bits = stream.storage_bits();
+        let combined = AdjunctPrefetcher::new(spp, stream);
+        assert_eq!(combined.storage_bits(), spp_bits + stream_bits);
+    }
+
+    #[test]
+    fn lineup_names_match_the_paper() {
+        assert_eq!(lineup::spp().name(), "SPP");
+        assert_eq!(lineup::espp().name(), "eSPP");
+        assert_eq!(lineup::bop().name(), "BOP");
+        assert_eq!(lineup::ebop().name(), "eBOP");
+        assert_eq!(lineup::sms().name(), "SMS");
+        assert_eq!(lineup::dspatch().name(), "DSPatch");
+        assert_eq!(lineup::dspatch_plus_spp().name(), "DSPatch+SPP");
+        assert_eq!(lineup::bop_plus_spp().name(), "BOP+SPP");
+        assert_eq!(lineup::ebop_plus_spp().name(), "eBOP+SPP");
+        assert_eq!(lineup::sms_iso_plus_spp().name(), "SMS+SPP");
+    }
+
+    #[test]
+    fn lineup_storage_ordering_matches_table3() {
+        // BOP < DSPatch < SPP < SMS(16K) in storage.
+        let bop = lineup::bop().storage_bits();
+        let dspatch = lineup::dspatch().storage_bits();
+        let spp = lineup::spp().storage_bits();
+        let sms = lineup::sms().storage_bits();
+        assert!(bop < dspatch, "BOP ({bop}) should be smaller than DSPatch ({dspatch})");
+        assert!(dspatch < spp, "DSPatch ({dspatch}) should be smaller than SPP ({spp})");
+        assert!(spp < sms, "SPP ({spp}) should be smaller than SMS ({sms})");
+    }
+}

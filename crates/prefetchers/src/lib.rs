@@ -1,0 +1,134 @@
+//! Baseline hardware prefetchers and composite (adjunct) prefetchers used to
+//! evaluate DSPatch.
+//!
+//! The DSPatch paper compares against the state of the art circa 2019:
+//!
+//! * [`StridePrefetcher`] — the PC-based stride prefetcher at the L1 of the
+//!   baseline configuration (Table 2).
+//! * [`SppPrefetcher`] — the Signature Pattern Prefetcher (Kim et al., MICRO
+//!   2016), the state-of-the-art delta prefetcher, plus its
+//!   bandwidth-enhanced variant eSPP (Section 2.1).
+//! * [`BopPrefetcher`] — the Best Offset Prefetcher (Michaud, HPCA 2016) and
+//!   its bandwidth-enhanced eBOP variant (Section 2.2).
+//! * [`SmsPrefetcher`] — Spatial Memory Streaming (Somogyi et al., ISCA
+//!   2006) with a configurable pattern-history-table size (Figure 5).
+//! * [`AmpmPrefetcher`] — Access Map Pattern Matching (Ishii et al., 2009),
+//!   evaluated but not plotted by the paper.
+//! * [`StreamPrefetcher`] — an aggressive, fairly inaccurate streaming
+//!   prefetcher used for the appendix cache-pollution study (Figure 20).
+//! * [`AdjunctPrefetcher`] — runs a primary prefetcher and a lightweight
+//!   adjunct side by side and merges their requests (DSPatch+SPP, BOP+SPP,
+//!   SMS+SPP; Sections 5.1 and 5.2).
+//!
+//! Every prefetcher implements [`dspatch_types::Prefetcher`] and reports its
+//! hardware budget through `storage_bits`, reproducing Table 3.
+
+pub mod ampm;
+pub mod bop;
+pub mod composite;
+pub mod sms;
+pub mod spp;
+pub mod stream;
+pub mod stride;
+
+pub use ampm::{AmpmConfig, AmpmPrefetcher};
+pub use bop::{BopConfig, BopPrefetcher};
+pub use composite::AdjunctPrefetcher;
+pub use sms::{SmsConfig, SmsPrefetcher};
+pub use spp::{SppConfig, SppPrefetcher};
+pub use stream::{StreamConfig, StreamPrefetcher};
+pub use stride::{StrideConfig, StridePrefetcher};
+
+use dspatch::{DsPatch, DsPatchConfig};
+use dspatch_types::Prefetcher;
+
+/// Convenience constructors for the exact prefetcher line-up the paper
+/// evaluates (Figures 12, 14, 15, 17, 18).
+pub mod lineup {
+    use super::*;
+
+    /// Standalone SPP with the paper's Table 3 configuration.
+    pub fn spp() -> Box<dyn Prefetcher> {
+        Box::new(SppPrefetcher::new(SppConfig::default()))
+    }
+
+    /// Bandwidth-enhanced SPP (eSPP, Section 2.1).
+    pub fn espp() -> Box<dyn Prefetcher> {
+        Box::new(SppPrefetcher::new(SppConfig::enhanced()))
+    }
+
+    /// Standalone BOP with the paper's Table 3 configuration.
+    pub fn bop() -> Box<dyn Prefetcher> {
+        Box::new(BopPrefetcher::new(BopConfig::default()))
+    }
+
+    /// Bandwidth-enhanced BOP (eBOP, Section 2.2).
+    pub fn ebop() -> Box<dyn Prefetcher> {
+        Box::new(BopPrefetcher::new(BopConfig::enhanced()))
+    }
+
+    /// Standalone SMS with a 16K-entry pattern history table (88 KB).
+    pub fn sms() -> Box<dyn Prefetcher> {
+        Box::new(SmsPrefetcher::new(SmsConfig::default()))
+    }
+
+    /// SMS constrained to 256 PHT entries — iso-storage with DSPatch
+    /// (Figures 5 and 14).
+    pub fn sms_iso_storage() -> Box<dyn Prefetcher> {
+        Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(256)))
+    }
+
+    /// Standalone DSPatch with the paper's default configuration.
+    pub fn dspatch() -> Box<dyn Prefetcher> {
+        Box::new(DsPatch::new(DsPatchConfig::default()))
+    }
+
+    /// DSPatch as a lightweight adjunct to SPP (the paper's headline
+    /// configuration).
+    pub fn dspatch_plus_spp() -> Box<dyn Prefetcher> {
+        Box::new(AdjunctPrefetcher::new(
+            SppPrefetcher::new(SppConfig::default()),
+            DsPatch::new(DsPatchConfig::default()),
+        ))
+    }
+
+    /// BOP as an adjunct to SPP (Figure 14).
+    pub fn bop_plus_spp() -> Box<dyn Prefetcher> {
+        Box::new(AdjunctPrefetcher::new(
+            SppPrefetcher::new(SppConfig::default()),
+            BopPrefetcher::new(BopConfig::default()),
+        ))
+    }
+
+    /// eBOP as an adjunct to SPP (Figure 15).
+    pub fn ebop_plus_spp() -> Box<dyn Prefetcher> {
+        Box::new(AdjunctPrefetcher::new(
+            SppPrefetcher::new(SppConfig::default()),
+            BopPrefetcher::new(BopConfig::enhanced()),
+        ))
+    }
+
+    /// 256-entry SMS as an adjunct to SPP (Figure 14).
+    pub fn sms_iso_plus_spp() -> Box<dyn Prefetcher> {
+        Box::new(AdjunctPrefetcher::new(
+            SppPrefetcher::new(SppConfig::default()),
+            SmsPrefetcher::new(SmsConfig::with_pht_entries(256)),
+        ))
+    }
+
+    /// The DSPatch ablation variants of Figure 19.
+    pub fn dspatch_always_covp_plus_spp() -> Box<dyn Prefetcher> {
+        Box::new(AdjunctPrefetcher::new(
+            SppPrefetcher::new(SppConfig::default()),
+            DsPatch::new(DsPatchConfig::default().always_covp()),
+        ))
+    }
+
+    /// The ModCovP ablation variant of Figure 19, as an adjunct to SPP.
+    pub fn dspatch_mod_covp_plus_spp() -> Box<dyn Prefetcher> {
+        Box::new(AdjunctPrefetcher::new(
+            SppPrefetcher::new(SppConfig::default()),
+            DsPatch::new(DsPatchConfig::default().mod_covp()),
+        ))
+    }
+}

@@ -1,0 +1,413 @@
+//! Set-associative caches with prefetch metadata.
+//!
+//! Every level of the hierarchy uses the same structure: physically-indexed
+//! sets of ways with true-LRU replacement. Each resident line carries the
+//! metadata the coverage/accuracy/pollution accounting needs: whether it was
+//! brought in by a prefetch, whether a demand access has used it since, and
+//! whether it was inserted at low priority (DSPatch's pollution-bounding
+//! hint, paper Section 3.6). Low-priority fills are inserted near the LRU
+//! position, standing in for the prefetch-aware dead-block-oriented LLC
+//! policy of Table 2.
+
+use dspatch_types::{LineAddr, CACHE_LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Level name ("L1D", "L2", "LLC") used in reports.
+    pub name: String,
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Round-trip hit latency in core cycles.
+    pub latency: u64,
+    /// Miss-status-holding registers (bounds outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    pub fn new(name: &str, size_bytes: usize, ways: usize, latency: u64, mshrs: usize) -> Self {
+        Self {
+            name: name.to_owned(),
+            size_bytes,
+            ways,
+            latency,
+            mshrs,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / CACHE_LINE_BYTES / self.ways).max(1)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size_bytes < CACHE_LINE_BYTES {
+            return Err(format!("{}: capacity smaller than one line", self.name));
+        }
+        if self.ways == 0 {
+            return Err(format!("{}: associativity must be positive", self.name));
+        }
+        if self.size_bytes % (CACHE_LINE_BYTES * self.ways) != 0 {
+            return Err(format!(
+                "{}: capacity must be a multiple of ways x line size",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Metadata attached to a resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineMeta {
+    /// The line was filled by a prefetch (and not yet replaced by a demand
+    /// fill).
+    pub prefetched: bool,
+    /// A demand access touched the line after it was filled.
+    pub used: bool,
+    /// The line was filled at low replacement priority.
+    pub low_priority: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Way {
+    line: LineAddr,
+    meta: LineMeta,
+    lru: u64,
+}
+
+/// An eviction produced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Eviction {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Its metadata at eviction time.
+    pub meta: LineMeta,
+}
+
+/// Hit/miss and prefetch-usefulness counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand lookups that hit.
+    pub demand_hits: u64,
+    /// Demand lookups that missed.
+    pub demand_misses: u64,
+    /// Lines filled by demand misses.
+    pub demand_fills: u64,
+    /// Lines filled by prefetches.
+    pub prefetch_fills: u64,
+    /// Demand hits on lines that were prefetched and not yet used.
+    pub prefetch_first_uses: u64,
+    /// Prefetched lines evicted without ever being used.
+    pub prefetch_unused_evictions: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.demand_hits + self.demand_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, true-LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use dspatch_sim::{Cache, CacheConfig};
+/// use dspatch_types::LineAddr;
+///
+/// let mut cache = Cache::new(CacheConfig::new("L1D", 4096, 4, 5, 8));
+/// assert!(!cache.demand_lookup(LineAddr::new(1)));
+/// cache.fill(LineAddr::new(1), false, false);
+/// assert!(cache.demand_lookup(LineAddr::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        Self {
+            sets: vec![Vec::with_capacity(config.ways); config.sets()],
+            clock: 0,
+            stats: CacheStats::default(),
+            config,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.as_u64() as usize) % self.sets.len()
+    }
+
+    /// Returns whether `line` is resident, without touching LRU state or
+    /// statistics.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].iter().any(|w| w.line == line)
+    }
+
+    /// Performs a demand lookup: updates LRU, marks prefetched lines as
+    /// used, and records hit/miss statistics. Returns whether it hit.
+    pub fn demand_lookup(&mut self, line: LineAddr) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.lru = clock;
+            if way.meta.prefetched && !way.meta.used {
+                self.stats.prefetch_first_uses += 1;
+            }
+            way.meta.used = true;
+            self.stats.demand_hits += 1;
+            true
+        } else {
+            self.stats.demand_misses += 1;
+            false
+        }
+    }
+
+    /// Performs a prefetch lookup: returns whether the line is already
+    /// resident, updating only the LRU position (prefetch probes do not
+    /// count as demand traffic and do not mark lines used).
+    pub fn prefetch_lookup(&mut self, line: LineAddr) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.lru = clock;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fills `line` into the cache. `is_prefetch` marks prefetch fills;
+    /// `low_priority` inserts near the LRU position instead of at MRU.
+    /// Returns the eviction this fill caused, if any.
+    pub fn fill(&mut self, line: LineAddr, is_prefetch: bool, low_priority: bool) -> Option<Eviction> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_index = self.set_index(line);
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_index];
+
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            // Already resident: a demand fill upgrades a prefetched line to a
+            // demand line; a prefetch fill never downgrades.
+            if !is_prefetch {
+                way.meta.used = true;
+            }
+            way.lru = clock;
+            return None;
+        }
+
+        if is_prefetch {
+            self.stats.prefetch_fills += 1;
+        } else {
+            self.stats.demand_fills += 1;
+        }
+
+        // Low-priority fills are inserted with an old LRU stamp so they are
+        // the next victims unless promoted by a demand hit.
+        let lru_stamp = if low_priority { clock.saturating_sub(1 << 20) } else { clock };
+        let new_way = Way {
+            line,
+            meta: LineMeta {
+                prefetched: is_prefetch,
+                used: false,
+                low_priority,
+            },
+            lru: lru_stamp,
+        };
+
+        if set.len() < ways {
+            set.push(new_way);
+            return None;
+        }
+        let victim_index = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.lru)
+            .map(|(i, _)| i)
+            .expect("set is non-empty at capacity");
+        let victim = set[victim_index];
+        if victim.meta.prefetched && !victim.meta.used {
+            self.stats.prefetch_unused_evictions += 1;
+        }
+        set[victim_index] = new_way;
+        Some(Eviction {
+            line: victim.line,
+            meta: victim.meta,
+        })
+    }
+
+    /// Number of resident lines (for occupancy checks in tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways.
+        Cache::new(CacheConfig::new("test", 8 * CACHE_LINE_BYTES, 2, 1, 4))
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut c = small_cache();
+        assert!(!c.demand_lookup(line(1)));
+        c.fill(line(1), false, false);
+        assert!(c.demand_lookup(line(1)));
+        assert_eq!(c.stats().demand_hits, 1);
+        assert_eq!(c.stats().demand_misses, 1);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 map to the same set (4 sets).
+        c.fill(line(0), false, false);
+        c.fill(line(4), false, false);
+        // Touch line 0 so line 4 becomes LRU.
+        c.demand_lookup(line(0));
+        let evicted = c.fill(line(8), false, false).expect("eviction expected");
+        assert_eq!(evicted.line, line(4));
+        assert!(c.contains(line(0)) && c.contains(line(8)));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut c = small_cache();
+        for n in 0..100u64 {
+            c.fill(line(n), false, false);
+        }
+        assert_eq!(c.resident_lines(), 8);
+    }
+
+    #[test]
+    fn prefetch_use_tracking() {
+        let mut c = small_cache();
+        c.fill(line(3), true, false);
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert!(c.demand_lookup(line(3)));
+        assert_eq!(c.stats().prefetch_first_uses, 1);
+        // Second hit is not another "first use".
+        assert!(c.demand_lookup(line(3)));
+        assert_eq!(c.stats().prefetch_first_uses, 1);
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_is_counted() {
+        let mut c = small_cache();
+        c.fill(line(0), true, false);
+        c.fill(line(4), false, false);
+        c.fill(line(8), false, false); // evicts the unused prefetch (line 0)
+        assert_eq!(c.stats().prefetch_unused_evictions, 1);
+    }
+
+    #[test]
+    fn low_priority_fill_is_evicted_first() {
+        let mut c = small_cache();
+        c.fill(line(0), false, false);
+        c.fill(line(4), true, true); // low-priority prefetch
+        let evicted = c.fill(line(8), false, false).expect("eviction expected");
+        assert_eq!(evicted.line, line(4), "low-priority line must be the victim");
+    }
+
+    #[test]
+    fn low_priority_line_promoted_by_demand_hit() {
+        let mut c = small_cache();
+        c.fill(line(0), false, false);
+        c.fill(line(4), true, true);
+        assert!(c.demand_lookup(line(4))); // promotes to MRU
+        let evicted = c.fill(line(8), false, false).expect("eviction expected");
+        assert_eq!(evicted.line, line(0));
+    }
+
+    #[test]
+    fn demand_fill_over_prefetch_marks_used() {
+        let mut c = small_cache();
+        c.fill(line(0), true, false);
+        c.fill(line(0), false, false);
+        // Evicting it later must not count as an unused prefetch eviction.
+        c.fill(line(4), false, false);
+        c.fill(line(8), false, false);
+        assert_eq!(c.stats().prefetch_unused_evictions, 0);
+    }
+
+    #[test]
+    fn prefetch_lookup_does_not_change_demand_stats() {
+        let mut c = small_cache();
+        c.fill(line(1), false, false);
+        assert!(c.prefetch_lookup(line(1)));
+        assert!(!c.prefetch_lookup(line(2)));
+        assert_eq!(c.stats().demand_hits, 0);
+        assert_eq!(c.stats().demand_misses, 0);
+    }
+
+    #[test]
+    fn miss_ratio_is_computed() {
+        let mut c = small_cache();
+        c.fill(line(1), false, false);
+        c.demand_lookup(line(1));
+        c.demand_lookup(line(2));
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn config_sets_and_validation() {
+        assert_eq!(CacheConfig::new("L1D", 32 * 1024, 8, 5, 16).sets(), 64);
+        assert!(CacheConfig::new("bad", 100, 3, 1, 1).validate().is_err());
+        assert!(CacheConfig::new("bad", 0, 1, 1, 1).validate().is_err());
+        assert!(CacheConfig::new("ok", 4096, 4, 1, 1).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache configuration")]
+    fn invalid_config_panics_on_construction() {
+        let _ = Cache::new(CacheConfig::new("bad", 100, 3, 1, 1));
+    }
+}

@@ -1,0 +1,417 @@
+//! DDR4 timing model and bandwidth-utilization tracking.
+//!
+//! The model captures the effects prefetching interacts with: per-channel
+//! data-bus occupancy (the bandwidth ceiling), per-bank row-buffer hits and
+//! misses (latency variation), and the CAS-per-window counter that feeds the
+//! 2-bit utilization quartile DSPatch's selection logic consumes (paper,
+//! Section 3.2).
+
+use crate::config::DramConfig;
+use dspatch_types::{BandwidthQuartile, LineAddr};
+use serde::{Deserialize, Serialize};
+
+/// Statistics accumulated by the DRAM model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Total column accesses (one per 64 B transfer).
+    pub cas_commands: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Accesses that required opening a row (empty or conflicting).
+    pub row_misses: u64,
+    /// Accesses issued on behalf of prefetches.
+    pub prefetch_accesses: u64,
+    /// Sum of utilization fractions sampled at each window boundary
+    /// (divide by `windows` for the average).
+    pub utilization_sum: f64,
+    /// Number of completed tracking windows.
+    pub windows: u64,
+}
+
+impl DramStats {
+    /// Average bandwidth utilization over the run, in `[0, 1]`.
+    pub fn average_utilization(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.utilization_sum / self.windows as f64
+        }
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The CAS-counting bandwidth tracker (paper, Section 3.2): counts column
+/// accesses in windows of 4×tRC cycles, halves the counter at each window
+/// boundary for hysteresis, and quantizes the result into quartiles of the
+/// peak CAS rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTracker {
+    window_cycles: u64,
+    peak_cas_per_window: f64,
+    window_end: u64,
+    counter: f64,
+    current_window_cas: u64,
+    quartile: BandwidthQuartile,
+}
+
+impl BandwidthTracker {
+    /// Creates a tracker for the given DRAM configuration and core clock.
+    pub fn new(config: &DramConfig, core_clock_mhz: u64) -> Self {
+        let cycles_per_ns = core_clock_mhz as f64 / 1000.0;
+        let window_cycles = (4.0 * config.t_rc_ns() * cycles_per_ns).round().max(1.0) as u64;
+        let transfer_cycles = config.transfer_time_ns() * cycles_per_ns;
+        let peak_cas_per_window =
+            (window_cycles as f64 / transfer_cycles) * config.channels as f64;
+        Self {
+            window_cycles,
+            peak_cas_per_window,
+            window_end: window_cycles,
+            counter: 0.0,
+            current_window_cas: 0,
+            quartile: BandwidthQuartile::Q0,
+        }
+    }
+
+    /// Records one CAS command at `cycle`.
+    pub fn record_cas(&mut self, cycle: u64, stats: &mut DramStats) {
+        self.advance(cycle, stats);
+        self.current_window_cas += 1;
+    }
+
+    /// Advances the window state to `cycle`, closing any windows that have
+    /// elapsed, and returns the current quartile.
+    pub fn advance(&mut self, cycle: u64, stats: &mut DramStats) -> BandwidthQuartile {
+        while cycle >= self.window_end {
+            // Close the window: fold the count into the hysteresis counter,
+            // sample utilization, then halve (paper: "the counter is halved
+            // after every window").
+            self.counter = self.counter / 2.0 + self.current_window_cas as f64;
+            let utilization = (self.counter / (2.0 * self.peak_cas_per_window)).min(1.0);
+            self.quartile = BandwidthQuartile::from_fraction(utilization);
+            stats.utilization_sum += utilization;
+            stats.windows += 1;
+            self.current_window_cas = 0;
+            self.window_end += self.window_cycles;
+        }
+        self.quartile
+    }
+
+    /// The most recently broadcast quartile.
+    pub fn quartile(&self) -> BandwidthQuartile {
+        self.quartile
+    }
+
+    /// The tracking window length in core cycles (4×tRC).
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Channel {
+    banks: Vec<Bank>,
+    /// Cycle at which the data bus is free considering all traffic.
+    data_bus_free: u64,
+    /// Cycle at which the data bus is free considering demand traffic only.
+    /// Demands are prioritized over prefetches (FR-FCFS with demand-first
+    /// arbitration), so they queue only behind other demands; prefetches use
+    /// leftover bandwidth and queue behind everything.
+    demand_bus_free: u64,
+}
+
+/// The DRAM subsystem: address-interleaved channels of banks with row
+/// buffers, plus the bandwidth tracker.
+///
+/// # Example
+///
+/// ```
+/// use dspatch_sim::{Dram, DramStats};
+/// use dspatch_sim::config::DramConfig;
+/// use dspatch_types::LineAddr;
+///
+/// let mut dram = Dram::new(DramConfig::default(), 4000);
+/// let first = dram.access(LineAddr::new(0), 0, false);
+/// let second = dram.access(LineAddr::new(1), 0, false);
+/// // The shared channel data bus serializes the two transfers.
+/// assert!(second > first);
+/// assert_eq!(dram.stats().cas_commands, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dram {
+    config: DramConfig,
+    channels: Vec<Channel>,
+    tracker: BandwidthTracker,
+    stats: DramStats,
+    cycles_per_ns: f64,
+}
+
+impl Dram {
+    /// Creates the DRAM model for a core clocked at `core_clock_mhz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no channels or banks.
+    pub fn new(config: DramConfig, core_clock_mhz: u64) -> Self {
+        assert!(config.channels > 0, "DRAM needs at least one channel");
+        assert!(config.banks_per_channel() > 0, "DRAM needs at least one bank");
+        let tracker = BandwidthTracker::new(&config, core_clock_mhz);
+        let channel = Channel {
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: 0,
+                };
+                config.banks_per_channel()
+            ],
+            data_bus_free: 0,
+            demand_bus_free: 0,
+        };
+        Self {
+            channels: vec![channel; config.channels],
+            tracker,
+            stats: DramStats::default(),
+            cycles_per_ns: core_clock_mhz as f64 / 1000.0,
+            config,
+        }
+    }
+
+    /// The DRAM configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Current bandwidth-utilization quartile as of the last `advance` or
+    /// access.
+    pub fn bandwidth_quartile(&self) -> BandwidthQuartile {
+        self.tracker.quartile()
+    }
+
+    /// Advances the bandwidth tracker to `cycle` (called by the system every
+    /// so often even when no accesses are issued, so the quartile decays).
+    pub fn advance(&mut self, cycle: u64) -> BandwidthQuartile {
+        self.tracker.advance(cycle, &mut self.stats)
+    }
+
+    fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.cycles_per_ns).round() as u64
+    }
+
+    /// Issues one 64 B access at `cycle` and returns its completion cycle.
+    /// `is_prefetch` only affects statistics.
+    pub fn access(&mut self, line: LineAddr, cycle: u64, is_prefetch: bool) -> u64 {
+        let raw = line.as_u64();
+        let channel_index = (raw % self.config.channels as u64) as usize;
+        let banks = self.config.banks_per_channel() as u64;
+        let bank_index = ((raw / self.config.channels as u64) % banks) as usize;
+        let lines_per_row = (self.config.row_buffer_bytes / 64).max(1) as u64;
+        let row = raw / (self.config.channels as u64 * banks * lines_per_row);
+
+        let t_cl = self.ns_to_cycles(self.config.t_cl_ns);
+        let t_rcd = self.ns_to_cycles(self.config.t_rcd_ns);
+        let t_rp = self.ns_to_cycles(self.config.t_rp_ns);
+        let transfer = self.ns_to_cycles(self.config.transfer_time_ns()).max(1);
+
+        let channel = &mut self.channels[channel_index];
+        let bank = &mut channel.banks[bank_index];
+
+        let access_latency = match bank.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                t_cl
+            }
+            Some(_) => {
+                self.stats.row_misses += 1;
+                t_rp + t_rcd + t_cl
+            }
+            None => {
+                self.stats.row_misses += 1;
+                t_rcd + t_cl
+            }
+        };
+        bank.open_row = Some(row);
+
+        let start = cycle.max(bank.busy_until);
+        // Demand-first arbitration: demands wait only for earlier demands on
+        // the data bus, prefetches wait for all earlier traffic.
+        let bus_free = if is_prefetch {
+            channel.data_bus_free
+        } else {
+            channel.demand_bus_free
+        };
+        let data_ready = (start + access_latency).max(bus_free);
+        let completion = data_ready + transfer;
+        channel.data_bus_free = channel.data_bus_free.max(completion);
+        if !is_prefetch {
+            channel.demand_bus_free = completion;
+            // Prefetch commands are scheduled into idle bank slots and never
+            // delay later demand activations (demand-first arbitration), so
+            // only demand accesses reserve the bank.
+            bank.busy_until = start + access_latency;
+        }
+
+        self.stats.cas_commands += 1;
+        if is_prefetch {
+            self.stats.prefetch_accesses += 1;
+        }
+        // Count the CAS when the column access actually occupies the data
+        // bus, so the utilization tracker never exceeds the physical peak.
+        self.tracker.record_cas(data_ready, &mut self.stats);
+        completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramSpeedGrade;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::with_speed(1, DramSpeedGrade::Ddr4_2133), 4000)
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_row_misses() {
+        let mut d = dram();
+        let cold = d.access(LineAddr::new(0), 0, false);
+        // With bank interleaving (16 banks/channel), line 16 maps back to
+        // bank 0 and the same 2 KB row; issue it long after the bus is free.
+        let hit = d.access(LineAddr::new(16), 10_000, false) - 10_000;
+        // Line 512 is bank 0 but a different row: row conflict.
+        let miss = d.access(LineAddr::new(512), 20_000, false) - 20_000;
+        assert!(hit < miss, "row hit ({hit}) must be faster than row conflict ({miss})");
+        assert!(cold >= hit);
+        assert!(d.stats().row_hits >= 1);
+        assert!(d.stats().row_misses >= 2);
+    }
+
+    #[test]
+    fn channel_bus_serializes_back_to_back_accesses() {
+        let mut d = dram();
+        // Two accesses to different banks at the same cycle still share the
+        // channel data bus, so the second completes later.
+        let a = d.access(LineAddr::new(0), 0, false);
+        let b = d.access(LineAddr::new(1), 0, false); // different bank, same channel
+        assert!(b > a);
+    }
+
+    #[test]
+    fn more_channels_increase_parallelism() {
+        let mut one = Dram::new(DramConfig::with_speed(1, DramSpeedGrade::Ddr4_2133), 4000);
+        let mut two = Dram::new(DramConfig::with_speed(2, DramSpeedGrade::Ddr4_2133), 4000);
+        let mut one_last = 0;
+        let mut two_last = 0;
+        for i in 0..64u64 {
+            one_last = one_last.max(one.access(LineAddr::new(i), 0, false));
+            two_last = two_last.max(two.access(LineAddr::new(i), 0, false));
+        }
+        assert!(
+            two_last < one_last,
+            "two channels ({two_last}) must drain a burst faster than one ({one_last})"
+        );
+    }
+
+    #[test]
+    fn faster_grade_has_higher_peak() {
+        let slow = DramConfig::with_speed(1, DramSpeedGrade::Ddr4_1600);
+        let fast = DramConfig::with_speed(1, DramSpeedGrade::Ddr4_2400);
+        assert!(fast.peak_bandwidth_gbps() > slow.peak_bandwidth_gbps());
+        assert!(fast.transfer_time_ns() < slow.transfer_time_ns());
+    }
+
+    #[test]
+    fn tracker_reports_low_utilization_when_idle() {
+        let config = DramConfig::default();
+        let mut tracker = BandwidthTracker::new(&config, 4000);
+        let mut stats = DramStats::default();
+        let q = tracker.advance(10 * tracker.window_cycles(), &mut stats);
+        assert_eq!(q, BandwidthQuartile::Q0);
+        assert_eq!(stats.windows, 10);
+        assert!(stats.average_utilization() < 0.01);
+    }
+
+    #[test]
+    fn tracker_reports_high_utilization_under_saturation() {
+        let config = DramConfig::default();
+        let mut tracker = BandwidthTracker::new(&config, 4000);
+        let mut stats = DramStats::default();
+        let window = tracker.window_cycles();
+        // Issue CAS commands at the peak rate for many windows.
+        let transfer_cycles = (config.transfer_time_ns() * 4.0).round() as u64;
+        let mut cycle = 0;
+        for _ in 0..(window * 20 / transfer_cycles) {
+            tracker.record_cas(cycle, &mut stats);
+            cycle += transfer_cycles;
+        }
+        let q = tracker.advance(cycle, &mut stats);
+        assert!(q >= BandwidthQuartile::Q2, "saturating traffic should report high utilization, got {q}");
+    }
+
+    #[test]
+    fn tracker_decays_after_a_burst() {
+        let config = DramConfig::default();
+        let mut tracker = BandwidthTracker::new(&config, 4000);
+        let mut stats = DramStats::default();
+        for i in 0..2000u64 {
+            tracker.record_cas(i * 2, &mut stats);
+        }
+        let busy = tracker.advance(4100, &mut stats);
+        let after_idle = tracker.advance(4100 + 20 * tracker.window_cycles(), &mut stats);
+        assert!(after_idle < busy, "utilization must decay when traffic stops");
+        assert_eq!(after_idle, BandwidthQuartile::Q0);
+    }
+
+    #[test]
+    fn quartile_visible_through_dram_facade() {
+        let mut d = dram();
+        assert_eq!(d.bandwidth_quartile(), BandwidthQuartile::Q0);
+        for i in 0..5000u64 {
+            d.access(LineAddr::new(i * 7), i * 4, false);
+        }
+        d.advance(5000 * 4);
+        // Back-to-back misses should push utilization above the bottom quartile.
+        assert!(d.bandwidth_quartile() > BandwidthQuartile::Q0);
+    }
+
+    #[test]
+    fn prefetch_accesses_are_counted_separately() {
+        let mut d = dram();
+        d.access(LineAddr::new(0), 0, true);
+        d.access(LineAddr::new(99), 0, false);
+        assert_eq!(d.stats().prefetch_accesses, 1);
+        assert_eq!(d.stats().cas_commands, 2);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let stats = DramStats {
+            row_hits: 3,
+            row_misses: 1,
+            utilization_sum: 2.0,
+            windows: 4,
+            ..DramStats::default()
+        };
+        assert!((stats.row_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((stats.average_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,881 @@
+//! The simulated machine: approximate out-of-order cores, the three-level
+//! cache hierarchy, prefetcher hook points and shared DRAM.
+//!
+//! ## Core model
+//!
+//! Each core is a cycle-stepped approximation of the paper's Skylake-class
+//! configuration: a 224-entry ROB filled and retired 4-wide, an 80-entry
+//! load buffer bounding outstanding memory operations, non-memory
+//! instructions completing in one cycle, and memory instructions completing
+//! when the hierarchy returns their data. This captures the two first-order
+//! effects prefetching changes — exposed memory latency at the ROB head and
+//! memory-level parallelism — without modelling the full pipeline.
+//!
+//! ## Hierarchy and prefetcher hook points
+//!
+//! Demand accesses probe L1 → L2 → LLC → DRAM. The optional PC-stride
+//! prefetcher observes L1 accesses and fills into the L1 (Table 2). The
+//! configurable L2 prefetcher is trained on every L1 miss — demand or
+//! prefetch — exactly as in the paper's methodology (Section 4.1), and its
+//! requests fill the L2 and the LLC. DRAM-bound fills are tracked in flight,
+//! so a demand that arrives while its line is still being fetched by a
+//! prefetch observes the remaining latency (prefetch timeliness).
+
+use crate::cache::Cache;
+use crate::config::SystemConfig;
+use crate::dram::Dram;
+use crate::stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult};
+use dspatch_prefetchers::{StrideConfig, StridePrefetcher};
+use dspatch_trace::{Trace, TraceRecord};
+use dspatch_types::{
+    CoreId, FillLevel, LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, Prefetcher,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Extra cycles charged for traversing the on-die interconnect to DRAM on
+/// top of the cache probe latencies.
+const DRAM_REQUEST_OVERHEAD: u64 = 10;
+/// Upper bound on tracked pollution victims (memory guard).
+const POLLUTION_TRACK_CAP: usize = 1 << 20;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    ready: u64,
+    core: usize,
+    is_prefetch: bool,
+    fill_l1: bool,
+    fill_l2: bool,
+    low_priority: bool,
+    used_by_demand: bool,
+}
+
+struct CoreState {
+    id: usize,
+    workload: String,
+    records: Vec<TraceRecord>,
+    next_record: usize,
+    gap_remaining: u32,
+    rob: std::collections::VecDeque<u64>,
+    load_completions: BinaryHeap<Reverse<u64>>,
+    l1: Cache,
+    l2: Cache,
+    l1_prefetcher: Option<StridePrefetcher>,
+    l2_prefetcher: Box<dyn Prefetcher>,
+    accounting: PrefetchAccounting,
+    instructions: u64,
+    finish_cycle: u64,
+    finished: bool,
+    last_memory_completion: u64,
+}
+
+impl std::fmt::Debug for CoreState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreState")
+            .field("id", &self.id)
+            .field("workload", &self.workload)
+            .field("prefetcher", &self.l2_prefetcher.name())
+            .field("next_record", &self.next_record)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct PollutionTracker {
+    victims: HashMap<u64, ()>,
+    counts: PollutionBreakdown,
+}
+
+impl PollutionTracker {
+    fn record_prefetch_victim(&mut self, line: LineAddr) {
+        if self.victims.len() < POLLUTION_TRACK_CAP {
+            self.victims.insert(line.as_u64(), ());
+        }
+    }
+
+    fn observe_demand(&mut self, line: LineAddr, went_to_dram: bool) {
+        if self.victims.remove(&line.as_u64()).is_some() {
+            if went_to_dram {
+                self.counts.bad_pollution += 1;
+            } else {
+                self.counts.prefetched_before_use += 1;
+            }
+        }
+    }
+
+    fn finish(mut self) -> PollutionBreakdown {
+        self.counts.no_reuse += self.victims.len() as u64;
+        self.counts
+    }
+}
+
+/// Builds and runs a simulation.
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub struct SimulationBuilder {
+    config: SystemConfig,
+    cores: Vec<(Trace, Box<dyn Prefetcher>)>,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder for the given system configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        Self {
+            config,
+            cores: Vec::new(),
+        }
+    }
+
+    /// Adds a core running `trace` with `l2_prefetcher` attached to its L2.
+    #[must_use]
+    pub fn with_core(mut self, trace: Trace, l2_prefetcher: Box<dyn Prefetcher>) -> Self {
+        self.cores.push((trace, l2_prefetcher));
+        self
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cores were added, more cores were added than the
+    /// configuration allows, or the configuration is invalid.
+    pub fn run(self) -> SimResult {
+        let mut machine = Machine::new(self.config, self.cores);
+        machine.run()
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    config: SystemConfig,
+    cycle: u64,
+    cores: Vec<CoreState>,
+    llc: Cache,
+    dram: Dram,
+    pending: HashMap<u64, PendingFill>,
+    ready_queue: BinaryHeap<Reverse<(u64, u64)>>,
+    pollution: PollutionTracker,
+}
+
+impl Machine {
+    fn new(config: SystemConfig, core_setup: Vec<(Trace, Box<dyn Prefetcher>)>) -> Self {
+        config.validate().expect("invalid system configuration");
+        assert!(!core_setup.is_empty(), "simulation needs at least one core");
+        assert!(
+            core_setup.len() <= config.cores,
+            "more cores supplied ({}) than the configuration allows ({})",
+            core_setup.len(),
+            config.cores
+        );
+        let cores = core_setup
+            .into_iter()
+            .enumerate()
+            .map(|(id, (trace, l2_prefetcher))| {
+                let gap = trace.records.first().map_or(0, |r| r.gap);
+                CoreState {
+                    id,
+                    workload: trace.name.clone(),
+                    records: trace.records,
+                    next_record: 0,
+                    gap_remaining: gap,
+                    rob: std::collections::VecDeque::with_capacity(config.core.rob_entries),
+                    load_completions: BinaryHeap::new(),
+                    l1: Cache::new(config.l1.clone()),
+                    l2: Cache::new(config.l2.clone()),
+                    l1_prefetcher: config
+                        .l1_stride_prefetcher
+                        .then(|| StridePrefetcher::new(StrideConfig::default())),
+                    l2_prefetcher,
+                    accounting: PrefetchAccounting::default(),
+                    instructions: 0,
+                    finish_cycle: 0,
+                    finished: false,
+                    last_memory_completion: 0,
+                }
+            })
+            .collect();
+        Self {
+            cycle: 0,
+            cores,
+            llc: Cache::new(config.llc.clone()),
+            dram: Dram::new(config.dram, config.core.clock_mhz),
+            pending: HashMap::new(),
+            ready_queue: BinaryHeap::new(),
+            pollution: PollutionTracker::default(),
+            config,
+        }
+    }
+
+    fn run(&mut self) -> SimResult {
+        while !self.cores.iter().all(|c| c.finished) {
+            self.step();
+            if self.config.max_cycles > 0 && self.cycle > self.config.max_cycles {
+                // Safety valve: mark all cores finished so the run terminates.
+                for core in &mut self.cores {
+                    if !core.finished {
+                        core.finished = true;
+                        core.finish_cycle = self.cycle;
+                    }
+                }
+            }
+        }
+        let cycles = self.cycle;
+        let cores = self
+            .cores
+            .iter_mut()
+            .map(|core| {
+                core.accounting.finalize();
+                CoreResult {
+                    workload: core.workload.clone(),
+                    prefetcher: core.l2_prefetcher.name().to_owned(),
+                    instructions: core.instructions,
+                    finish_cycle: core.finish_cycle.max(1),
+                    l1: *core.l1.stats(),
+                    l2: *core.l2.stats(),
+                    accounting: core.accounting,
+                }
+            })
+            .collect();
+        SimResult {
+            cores,
+            llc: *self.llc.stats(),
+            dram: *self.dram.stats(),
+            pollution: std::mem::take(&mut self.pollution).finish(),
+            cycles,
+        }
+    }
+
+    fn step(&mut self) {
+        self.cycle += 1;
+        let cycle = self.cycle;
+        self.drain_ready_fills(cycle);
+        self.dram.advance(cycle);
+        for index in 0..self.cores.len() {
+            self.step_core(index, cycle);
+        }
+    }
+
+    /// Materializes DRAM fills whose data has arrived.
+    fn drain_ready_fills(&mut self, cycle: u64) {
+        while let Some(&Reverse((ready, line))) = self.ready_queue.peek() {
+            if ready > cycle {
+                break;
+            }
+            self.ready_queue.pop();
+            let Some(fill) = self.pending.remove(&line) else { continue };
+            if fill.ready > cycle {
+                // A duplicate queue entry from a superseded request; requeue.
+                self.pending.insert(line, fill);
+                self.ready_queue.push(Reverse((fill.ready, line)));
+                continue;
+            }
+            let line_addr = LineAddr::new(line);
+            let is_prefetch = fill.is_prefetch && !fill.used_by_demand;
+            let core = &mut self.cores[fill.core];
+            if fill.fill_l2 {
+                core.l2.fill(line_addr, is_prefetch, fill.low_priority);
+            }
+            if fill.fill_l1 {
+                core.l1.fill(line_addr, is_prefetch, fill.low_priority);
+            }
+            if let Some(eviction) = self.llc.fill(line_addr, is_prefetch, fill.low_priority) {
+                if is_prefetch {
+                    self.pollution.record_prefetch_victim(eviction.line);
+                }
+            }
+        }
+    }
+
+    fn step_core(&mut self, index: usize, cycle: u64) {
+        let width = self.config.core.width;
+        let rob_entries = self.config.core.rob_entries;
+        let load_buffer = self.config.core.load_buffer_entries;
+
+        // Retire completed instructions from the ROB head.
+        {
+            let core = &mut self.cores[index];
+            if core.finished {
+                return;
+            }
+            let mut retired = 0;
+            while retired < width {
+                match core.rob.front() {
+                    Some(&completion) if completion <= cycle => {
+                        core.rob.pop_front();
+                        retired += 1;
+                    }
+                    _ => break,
+                }
+            }
+            while let Some(&Reverse(completion)) = core.load_completions.peek() {
+                if completion <= cycle {
+                    core.load_completions.pop();
+                } else {
+                    break;
+                }
+            }
+            if core.next_record >= core.records.len() && core.rob.is_empty() {
+                core.finished = true;
+                core.finish_cycle = cycle;
+                return;
+            }
+        }
+
+        // Allocate new instructions.
+        let mut allocated = 0;
+        while allocated < width {
+            let core = &self.cores[index];
+            if core.rob.len() >= rob_entries || core.next_record >= core.records.len() {
+                break;
+            }
+            if core.gap_remaining > 0 {
+                let core = &mut self.cores[index];
+                core.gap_remaining -= 1;
+                core.rob.push_back(cycle + 1);
+                core.instructions += 1;
+                allocated += 1;
+                continue;
+            }
+            if core.load_completions.len() >= load_buffer {
+                break;
+            }
+            let record = core.records[core.next_record];
+            // A dependent (pointer-chasing) access cannot start before the
+            // previous memory access has produced its value.
+            let issue_cycle = if record.dependent {
+                cycle.max(core.last_memory_completion)
+            } else {
+                cycle
+            };
+            let completion = self.demand_access(index, &record, issue_cycle);
+            let core = &mut self.cores[index];
+            core.last_memory_completion = completion;
+            core.rob.push_back(completion);
+            core.load_completions.push(Reverse(completion));
+            core.instructions += 1;
+            core.next_record += 1;
+            core.gap_remaining = core
+                .records
+                .get(core.next_record)
+                .map_or(0, |r| r.gap);
+            allocated += 1;
+        }
+    }
+
+    /// Performs one demand access through the hierarchy and returns its
+    /// completion cycle.
+    fn demand_access(&mut self, index: usize, record: &TraceRecord, cycle: u64) -> u64 {
+        let line = record.addr.line();
+        let l1_latency = self.config.l1.latency;
+        let l2_latency = self.config.l2.latency;
+        let llc_latency = self.config.llc.latency;
+        let bandwidth = self.dram.bandwidth_quartile();
+        let access = MemoryAccess::new(record.pc, record.addr, record.kind).with_core(CoreId(index));
+
+        // L1 prefetcher observes every demand access at the L1.
+        let l1_requests = {
+            let core = &mut self.cores[index];
+            match core.l1_prefetcher.as_mut() {
+                Some(prefetcher) => {
+                    let ctx = PrefetchContext::at_cycle(cycle).with_bandwidth(bandwidth);
+                    prefetcher.on_access(&access, &ctx)
+                }
+                None => Vec::new(),
+            }
+        };
+
+        // L1 probe.
+        let l1_hit = self.cores[index].l1.demand_lookup(line);
+        let completion = if l1_hit {
+            cycle + l1_latency
+        } else {
+            self.cores[index].accounting.l2_demand_accesses += 1;
+            let (latency, l2_hit) = self.access_beyond_l1(index, line, cycle, true);
+            // Train the L2 prefetcher on this L1 miss and issue its requests.
+            let requests = {
+                let core = &mut self.cores[index];
+                let ctx = PrefetchContext::at_cycle(cycle)
+                    .with_cache_hit(l2_hit)
+                    .with_bandwidth(bandwidth);
+                core.l2_prefetcher.on_access(&access, &ctx)
+            };
+            for request in requests {
+                self.issue_l2_prefetch(index, &request, cycle);
+            }
+            cycle + l1_latency + latency
+        };
+
+        // L1 prefetcher requests are handled after the demand so they never
+        // shorten the triggering access itself.
+        for request in l1_requests {
+            self.issue_l1_prefetch(index, &request, cycle, l2_latency, llc_latency);
+        }
+        completion
+    }
+
+    /// Probes L2, LLC, the in-flight fills and DRAM for a demand access that
+    /// already missed the L1. Returns `(latency beyond the L1 probe, l2_hit)`
+    /// and performs the fills/accounting.
+    fn access_beyond_l1(
+        &mut self,
+        index: usize,
+        line: LineAddr,
+        cycle: u64,
+        count_coverage: bool,
+    ) -> (u64, bool) {
+        let l2_latency = self.config.l2.latency;
+        let llc_latency = self.config.llc.latency;
+
+        // L2 probe.
+        let (l2_hit, l2_was_unused_prefetch) = {
+            let core = &mut self.cores[index];
+            let before_first_uses = core.l2.stats().prefetch_first_uses;
+            let hit = core.l2.demand_lookup(line);
+            let first_use = core.l2.stats().prefetch_first_uses > before_first_uses;
+            (hit, first_use)
+        };
+        if l2_hit {
+            if count_coverage && l2_was_unused_prefetch {
+                let core = &mut self.cores[index];
+                core.accounting.covered += 1;
+                core.accounting.prefetches_used += 1;
+            }
+            return (l2_latency, true);
+        }
+
+        // LLC probe.
+        let before_llc_first_uses = self.llc.stats().prefetch_first_uses;
+        let llc_hit = self.llc.demand_lookup(line);
+        let llc_first_use = self.llc.stats().prefetch_first_uses > before_llc_first_uses;
+        if llc_hit {
+            if count_coverage && llc_first_use {
+                let core = &mut self.cores[index];
+                core.accounting.covered += 1;
+                core.accounting.prefetches_used += 1;
+            }
+            // Fill the inner levels (demand fill).
+            let core = &mut self.cores[index];
+            core.l2.fill(line, false, false);
+            core.l1.fill(line, false, false);
+            self.pollution.observe_demand(line, false);
+            return (l2_latency + llc_latency, false);
+        }
+
+        // In-flight fill (an earlier prefetch or demand to the same line).
+        if self.pending.contains_key(&line.as_u64()) {
+            // A demand hitting an in-flight prefetch promotes it to demand
+            // priority (as an MSHR hit would): re-issue the request with
+            // demand priority and take whichever data return is earlier.
+            let issue_cycle = cycle + l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD;
+            let fill = self.pending.get_mut(&line.as_u64()).expect("checked above");
+            let was_prefetch = fill.is_prefetch && !fill.used_by_demand;
+            fill.used_by_demand = true;
+            fill.fill_l1 = true;
+            fill.fill_l2 = true;
+            fill.core = index;
+            let old_ready = fill.ready;
+            let promoted_ready = if was_prefetch && old_ready > issue_cycle {
+                let reissued = self.dram.access(line, issue_cycle, false);
+                let fill = self.pending.get_mut(&line.as_u64()).expect("still pending");
+                fill.ready = fill.ready.min(reissued);
+                self.ready_queue.push(Reverse((fill.ready, line.as_u64())));
+                fill.ready
+            } else {
+                old_ready
+            };
+            if count_coverage && was_prefetch {
+                let core = &mut self.cores[index];
+                core.accounting.covered += 1;
+                core.accounting.prefetches_used += 1;
+            }
+            self.pollution.observe_demand(line, false);
+            let wait = promoted_ready.saturating_sub(cycle).max(1);
+            return (l2_latency + llc_latency + wait, false);
+        }
+
+        // DRAM access.
+        if count_coverage {
+            self.cores[index].accounting.uncovered += 1;
+        }
+        self.pollution.observe_demand(line, true);
+        let issue_cycle = cycle + l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD;
+        let ready = self.dram.access(line, issue_cycle, false);
+        self.pending.insert(
+            line.as_u64(),
+            PendingFill {
+                ready,
+                core: index,
+                is_prefetch: false,
+                fill_l1: true,
+                fill_l2: true,
+                low_priority: false,
+                used_by_demand: true,
+            },
+        );
+        self.ready_queue.push(Reverse((ready, line.as_u64())));
+        (
+            l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD + ready.saturating_sub(issue_cycle),
+            false,
+        )
+    }
+
+    /// Issues one request from the L2 prefetcher.
+    fn issue_l2_prefetch(&mut self, index: usize, request: &PrefetchRequest, cycle: u64) {
+        let line = request.line;
+        let key = line.as_u64();
+        let fill_l2 = request.fill_level != FillLevel::Llc;
+        {
+            let core = &mut self.cores[index];
+            if core.l2.prefetch_lookup(line) {
+                return; // already resident where it would be filled
+            }
+        }
+        if self.pending.contains_key(&key) {
+            return;
+        }
+        self.cores[index].accounting.prefetches_issued += 1;
+        if self.llc.prefetch_lookup(line) {
+            // The line is on-die already: pull it into the L2 without DRAM
+            // traffic; model it as arriving after an LLC round trip.
+            let ready = cycle + self.config.llc.latency;
+            self.pending.insert(
+                key,
+                PendingFill {
+                    ready,
+                    core: index,
+                    is_prefetch: true,
+                    fill_l1: false,
+                    fill_l2,
+                    low_priority: request.low_priority,
+                    used_by_demand: false,
+                },
+            );
+            self.ready_queue.push(Reverse((ready, key)));
+            return;
+        }
+        let ready = self.dram.access(line, cycle + DRAM_REQUEST_OVERHEAD, true);
+        self.pending.insert(
+            key,
+            PendingFill {
+                ready,
+                core: index,
+                is_prefetch: true,
+                fill_l1: false,
+                fill_l2,
+                low_priority: request.low_priority,
+                used_by_demand: false,
+            },
+        );
+        self.ready_queue.push(Reverse((ready, key)));
+    }
+
+    /// Issues one request from the L1 stride prefetcher. L1 prefetch misses
+    /// also train the L2 prefetcher, matching the paper's methodology.
+    fn issue_l1_prefetch(
+        &mut self,
+        index: usize,
+        request: &PrefetchRequest,
+        cycle: u64,
+        _l2_latency: u64,
+        _llc_latency: u64,
+    ) {
+        let line = request.line;
+        {
+            let core = &mut self.cores[index];
+            if core.l1.prefetch_lookup(line) {
+                return;
+            }
+        }
+        // The L1 prefetch misses the L1: it becomes an L2 access that also
+        // trains the L2 prefetcher (as a prefetch-miss training event).
+        let bandwidth = self.dram.bandwidth_quartile();
+        let pc = dspatch_types::Pc::new(0);
+        let access = MemoryAccess::new(pc, line.to_addr(), dspatch_types::AccessKind::Load)
+            .with_core(CoreId(index));
+        let (_, l2_hit) = self.access_beyond_l1(index, line, cycle, false);
+        let requests = {
+            let core = &mut self.cores[index];
+            let ctx = PrefetchContext::at_cycle(cycle)
+                .with_cache_hit(l2_hit)
+                .with_bandwidth(bandwidth);
+            core.l2_prefetcher.on_access(&access, &ctx)
+        };
+        for request in requests {
+            self.issue_l2_prefetch(index, &request, cycle);
+        }
+        // Fill the line into the L1 as a prefetch.
+        self.cores[index].l1.fill(line, true, false);
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("cores", &self.cores.len())
+            .field("pending_fills", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramSpeedGrade;
+    use dspatch_prefetchers::{StreamConfig, StreamPrefetcher};
+    use dspatch_trace::{PatternGenerator, SpatialPatternGen, StreamGen};
+    use dspatch_types::NullPrefetcher;
+
+    fn stream_trace(len: usize, seed: u64) -> Trace {
+        // A gap of ~50 non-memory instructions per access keeps the demand
+        // stream below the DRAM bandwidth ceiling, so latency (and therefore
+        // prefetching) is what limits performance.
+        Trace::new(
+            format!("stream-{seed}"),
+            StreamGen {
+                streams: 2,
+                gap: 50,
+                store_percent: 10,
+            }
+            .generate_records(seed, len),
+        )
+    }
+
+    fn run_single(trace: Trace, prefetcher: Box<dyn Prefetcher>) -> SimResult {
+        SimulationBuilder::new(SystemConfig::single_thread())
+            .with_core(trace, prefetcher)
+            .run()
+    }
+
+    #[test]
+    fn simulation_terminates_and_counts_instructions() {
+        let trace = stream_trace(2_000, 1);
+        let expected_instructions = trace.instruction_count();
+        let result = run_single(trace, Box::new(NullPrefetcher::new()));
+        assert_eq!(result.cores.len(), 1);
+        assert_eq!(result.cores[0].instructions, expected_instructions);
+        assert!(result.cores[0].ipc() > 0.0);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn prefetching_a_stream_improves_ipc() {
+        // Disable the L1 stride prefetcher so the L2 prefetcher's effect is
+        // isolated (a pure unit-stride stream is otherwise fully covered at
+        // the L1 already).
+        let mut config = SystemConfig::single_thread();
+        config.l1_stride_prefetcher = false;
+        let run = |prefetcher: Box<dyn Prefetcher>| {
+            SimulationBuilder::new(config.clone())
+                .with_core(stream_trace(4_000, 2), prefetcher)
+                .run()
+        };
+        let baseline = run(Box::new(NullPrefetcher::new()));
+        let prefetched = run(Box::new(StreamPrefetcher::new(StreamConfig::default())));
+        let speedup = prefetched.speedup_over(&baseline);
+        assert!(
+            speedup > 1.10,
+            "an aggressive streamer must speed up a streaming trace, got {speedup:.3}"
+        );
+    }
+
+    #[test]
+    fn dependent_chains_are_slower_than_independent_streams() {
+        use dspatch_trace::PointerChaseGen;
+        let chase = Trace::new(
+            "chase",
+            PointerChaseGen { nodes: 1 << 15, node_bytes: 192, gap: 10 }.generate_records(9, 2_000),
+        );
+        let stream = Trace::new(
+            "stream",
+            StreamGen { streams: 1, gap: 10, store_percent: 0 }.generate_records(9, 2_000),
+        );
+        let chase_result = run_single(chase, Box::new(NullPrefetcher::new()));
+        let stream_result = run_single(stream, Box::new(NullPrefetcher::new()));
+        assert!(
+            chase_result.cores[0].ipc() < stream_result.cores[0].ipc() * 0.6,
+            "serialized pointer chasing must be much slower (chase {:.3} vs stream {:.3})",
+            chase_result.cores[0].ipc(),
+            stream_result.cores[0].ipc()
+        );
+    }
+
+    #[test]
+    fn coverage_accounting_reflects_prefetch_hits() {
+        let result = run_single(
+            stream_trace(4_000, 3),
+            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+        );
+        let acc = result.total_accounting();
+        assert!(acc.prefetches_issued > 0);
+        assert!(acc.covered > 0, "stream prefetching must cover some L2 accesses");
+        assert!(acc.coverage() > 0.1);
+        assert!(acc.covered + acc.uncovered <= acc.l2_demand_accesses);
+    }
+
+    #[test]
+    fn null_prefetcher_has_zero_prefetch_traffic() {
+        let result = run_single(stream_trace(2_000, 4), Box::new(NullPrefetcher::new()));
+        let acc = result.total_accounting();
+        assert_eq!(acc.prefetches_issued, 0);
+        assert_eq!(acc.covered, 0);
+        assert_eq!(result.dram.prefetch_accesses, 0);
+    }
+
+    #[test]
+    fn dram_traffic_increases_with_prefetching() {
+        let baseline = run_single(stream_trace(3_000, 5), Box::new(NullPrefetcher::new()));
+        let prefetched = run_single(
+            stream_trace(3_000, 5),
+            Box::new(StreamPrefetcher::new(StreamConfig { degree: 8, ..StreamConfig::default() })),
+        );
+        assert!(prefetched.dram.cas_commands >= baseline.dram.cas_commands);
+        assert!(prefetched.dram.prefetch_accesses > 0);
+    }
+
+    #[test]
+    fn multi_core_simulation_shares_llc_and_dram() {
+        let config = SystemConfig::multi_programmed();
+        let mut builder = SimulationBuilder::new(config);
+        for seed in 0..4u64 {
+            builder = builder.with_core(stream_trace(1_500, 10 + seed), Box::new(NullPrefetcher::new()));
+        }
+        let result = builder.run();
+        assert_eq!(result.cores.len(), 4);
+        for core in &result.cores {
+            assert!(core.instructions > 0);
+            assert!(core.ipc() > 0.0);
+        }
+        assert!(result.dram.cas_commands > 0);
+    }
+
+    #[test]
+    fn sharing_dram_slows_cores_down() {
+        // The same workload on a 4-core system with shared channels should
+        // achieve lower per-core IPC than alone on the single-thread system
+        // with a whole channel to itself... unless it is cache-resident, so
+        // use a spatially sparse trace that misses a lot.
+        let sparse = |seed| {
+            Trace::new(
+                "sparse",
+                SpatialPatternGen {
+                    layouts: 8,
+                    density: 12,
+                    reorder_window: 4,
+                    working_set_pages: 1 << 18,
+                    gap: 2,
+                }
+                .generate_records(seed, 3_000),
+            )
+        };
+        let alone = SimulationBuilder::new(SystemConfig::single_thread())
+            .with_core(sparse(1), Box::new(NullPrefetcher::new()))
+            .run();
+        let mut builder = SimulationBuilder::new(SystemConfig::multi_programmed());
+        for seed in 1..5u64 {
+            builder = builder.with_core(sparse(seed), Box::new(NullPrefetcher::new()));
+        }
+        let shared = builder.run();
+        assert!(
+            shared.cores[0].ipc() <= alone.cores[0].ipc() * 1.05,
+            "sharing memory bandwidth should not speed a core up (shared {:.3} vs alone {:.3})",
+            shared.cores[0].ipc(),
+            alone.cores[0].ipc()
+        );
+    }
+
+    #[test]
+    fn bandwidth_utilization_responds_to_memory_intensity() {
+        let light = run_single(
+            Trace::new(
+                "light",
+                StreamGen { streams: 1, gap: 60, store_percent: 0 }.generate_records(7, 1_000),
+            ),
+            Box::new(NullPrefetcher::new()),
+        );
+        let heavy = run_single(
+            Trace::new(
+                "heavy",
+                StreamGen { streams: 4, gap: 0, store_percent: 0 }.generate_records(7, 6_000),
+            ),
+            Box::new(StreamPrefetcher::new(StreamConfig { degree: 8, ..StreamConfig::default() })),
+        );
+        assert!(heavy.dram.average_utilization() > light.dram.average_utilization());
+    }
+
+    #[test]
+    fn pollution_tracking_classifies_streamer_victims() {
+        // A small LLC plus an aggressive streamer on a sparse trace causes
+        // prefetch fills to evict lines; most victims should be dead.
+        let config = SystemConfig::single_thread().with_llc_capacity(256 * 1024);
+        let trace = Trace::new(
+            "sparse",
+            SpatialPatternGen {
+                layouts: 6,
+                density: 10,
+                reorder_window: 3,
+                working_set_pages: 1 << 18,
+                gap: 4,
+            }
+            .generate_records(11, 8_000),
+        );
+        let result = SimulationBuilder::new(config)
+            .with_core(trace, Box::new(StreamPrefetcher::new(StreamConfig { degree: 6, ..StreamConfig::default() })))
+            .run();
+        assert!(result.pollution.total() > 0, "prefetch fills must evict something");
+        let (no_reuse, _, bad) = result.pollution.fractions();
+        assert!(no_reuse > bad, "dead victims should dominate true pollution");
+    }
+
+    #[test]
+    fn l1_stride_prefetcher_reduces_l1_misses_on_strided_code() {
+        let trace = || stream_trace(3_000, 21);
+        let mut with_cfg = SystemConfig::single_thread();
+        with_cfg.l1_stride_prefetcher = true;
+        let mut without_cfg = SystemConfig::single_thread();
+        without_cfg.l1_stride_prefetcher = false;
+        let with_stride = SimulationBuilder::new(with_cfg)
+            .with_core(trace(), Box::new(NullPrefetcher::new()))
+            .run();
+        let without_stride = SimulationBuilder::new(without_cfg)
+            .with_core(trace(), Box::new(NullPrefetcher::new()))
+            .run();
+        assert!(
+            with_stride.cores[0].l1.miss_ratio() < without_stride.cores[0].l1.miss_ratio(),
+            "the L1 stride prefetcher must reduce L1 demand misses"
+        );
+    }
+
+    #[test]
+    fn faster_dram_does_not_hurt() {
+        let slow = SimulationBuilder::new(
+            SystemConfig::single_thread().with_dram(1, DramSpeedGrade::Ddr4_1600),
+        )
+        .with_core(stream_trace(3_000, 31), Box::new(NullPrefetcher::new()))
+        .run();
+        let fast = SimulationBuilder::new(
+            SystemConfig::single_thread().with_dram(2, DramSpeedGrade::Ddr4_2400),
+        )
+        .with_core(stream_trace(3_000, 31), Box::new(NullPrefetcher::new()))
+        .run();
+        assert!(fast.cores[0].ipc() >= slow.cores[0].ipc() * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_simulation_is_rejected() {
+        let _ = SimulationBuilder::new(SystemConfig::single_thread()).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "more cores supplied")]
+    fn too_many_cores_are_rejected() {
+        let _ = SimulationBuilder::new(SystemConfig::single_thread())
+            .with_core(stream_trace(10, 1), Box::new(NullPrefetcher::new()))
+            .with_core(stream_trace(10, 2), Box::new(NullPrefetcher::new()))
+            .run();
+    }
+}

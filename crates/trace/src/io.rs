@@ -1,0 +1,185 @@
+//! A small binary on-disk trace format.
+//!
+//! Traces can be expensive to generate for long runs; this module lets the
+//! harness cache them. The format is deliberately simple and versioned:
+//!
+//! ```text
+//! magic "DSPT"  | u32 version | u32 name_len | name bytes
+//! u64 record_count | records: { u64 pc | u64 addr | u8 flags | u32 gap } ...
+//!
+//! `flags` bit 0 is the store bit, bit 1 the dependent-load bit.
+//! ```
+//!
+//! All integers are little-endian.
+
+use crate::record::{Trace, TraceRecord};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DSPT";
+const VERSION: u32 = 1;
+
+/// Writes a trace to `writer` in the binary format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name.as_bytes();
+    writer.write_all(&(name.len() as u32).to_le_bytes())?;
+    writer.write_all(name)?;
+    writer.write_all(&(trace.records.len() as u64).to_le_bytes())?;
+    for record in &trace.records {
+        writer.write_all(&record.pc.as_u64().to_le_bytes())?;
+        writer.write_all(&record.addr.as_u64().to_le_bytes())?;
+        let flags = u8::from(!record.kind.is_load()) | (u8::from(record.dependent) << 1);
+        writer.write_all(&[flags])?;
+        writer.write_all(&record.gap.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns an error if the stream is truncated, the magic number or version
+/// does not match, or the embedded name is not valid UTF-8.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DSPT trace file"));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let name_len = read_u32(&mut reader)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    reader.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let count = read_u64(&mut reader)? as usize;
+    let mut records = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        let pc = read_u64(&mut reader)?;
+        let addr = read_u64(&mut reader)?;
+        let mut flags = [0u8; 1];
+        reader.read_exact(&mut flags)?;
+        let gap = read_u32(&mut reader)?;
+        let record = if flags[0] & 1 == 0 {
+            TraceRecord::load(pc, addr)
+        } else {
+            TraceRecord::store(pc, addr)
+        }
+        .with_gap(gap)
+        .with_dependent(flags[0] & 2 != 0);
+        records.push(record);
+    }
+    Ok(Trace::new(name, records))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Convenience wrapper writing a trace to a file path.
+///
+/// # Errors
+///
+/// Returns any error from creating or writing the file.
+pub fn save_trace(trace: &Trace, path: &std::path::Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_trace(trace, io::BufWriter::new(file))
+}
+
+/// Convenience wrapper reading a trace from a file path.
+///
+/// # Errors
+///
+/// Returns any error from opening or parsing the file.
+pub fn load_trace(path: &std::path::Path) -> io::Result<Trace> {
+    let file = std::fs::File::open(path)?;
+    read_trace(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            "sample",
+            vec![
+                TraceRecord::load(0x400100, 0x7000_0000).with_gap(5),
+                TraceRecord::store(0x400104, 0x7000_0040),
+                TraceRecord::load(0x400108, 0x7000_1000).with_gap(100).with_dependent(true),
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        write_trace(&trace, &mut buffer).expect("write to memory");
+        let read = read_trace(buffer.as_slice()).expect("read back");
+        assert_eq!(read, trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new("empty", Vec::new());
+        let mut buffer = Vec::new();
+        write_trace(&trace, &mut buffer).expect("write");
+        assert_eq!(read_trace(buffer.as_slice()).expect("read"), trace);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE0000"[..]).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        write_trace(&trace, &mut buffer).expect("write");
+        buffer.truncate(buffer.len() - 3);
+        assert!(read_trace(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let trace = sample_trace();
+        let mut buffer = Vec::new();
+        write_trace(&trace, &mut buffer).expect("write");
+        buffer[4] = 99; // clobber the version field
+        assert!(read_trace(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dspatch_trace_io_test_{}.dspt", std::process::id()));
+        let trace = sample_trace();
+        save_trace(&trace, &path).expect("save");
+        let loaded = load_trace(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory-access traces and synthetic workload generation.
+//!
+//! The DSPatch paper evaluates 75 workloads drawn from SPEC CPU2006/2017,
+//! server, cloud and SYSmark suites — traces we do not have. This crate
+//! substitutes **deterministic synthetic trace generators** that reproduce
+//! the *access-pattern structure* the paper attributes to each workload
+//! category (streaming, strided, spatially-clustered with out-of-order
+//! reordering, sparse-irregular, pointer-chasing, code-heavy), so that the
+//! relative behaviour of the prefetchers — the quantity every figure reports
+//! — is preserved. See `DESIGN.md` for the substitution rationale.
+//!
+//! * [`TraceRecord`] / [`Trace`] — the trace representation consumed by the
+//!   simulator (`dspatch-sim`).
+//! * [`synth`] — the pattern generators.
+//! * [`workloads`] — the named 75-workload suite, its 9 categories
+//!   (Table 4) and the 42-workload memory-intensive subset.
+//! * [`mixes`] — homogeneous and heterogeneous 4-core mixes for the
+//!   multi-programmed experiments (Figures 17 and 18).
+//! * [`io`] — a small binary on-disk format for saving and reloading traces.
+//!
+//! # Example
+//!
+//! ```
+//! use dspatch_trace::workloads::{suite, WorkloadCategory};
+//!
+//! let all = suite();
+//! assert_eq!(all.len(), 75);
+//! let cloud: Vec<_> = all.iter().filter(|w| w.category == WorkloadCategory::Cloud).collect();
+//! let trace = cloud[0].generate(10_000);
+//! assert_eq!(trace.len(), 10_000);
+//! ```
+
+pub mod io;
+pub mod mixes;
+pub mod record;
+pub mod synth;
+pub mod workloads;
+
+pub use mixes::{heterogeneous_mixes, homogeneous_mixes, WorkloadMix};
+pub use record::{Trace, TraceRecord};
+pub use synth::{
+    CodeHeavyGen, IrregularGen, MixedGen, PatternGenerator, PointerChaseGen, SpatialPatternGen,
+    StreamGen, StridedGen,
+};
+pub use workloads::{memory_intensive_suite, suite, WorkloadCategory, WorkloadSpec};

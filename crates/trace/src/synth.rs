@@ -1,0 +1,585 @@
+//! Deterministic synthetic access-pattern generators.
+//!
+//! Each generator produces the kind of memory behaviour one of the paper's
+//! workload categories is dominated by. All generators are seeded and
+//! deterministic: the same `(generator, seed, length)` triple always yields
+//! the same trace, so every experiment in the harness is reproducible.
+
+use crate::record::TraceRecord;
+use dspatch_types::{CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A synthetic access-pattern generator.
+pub trait PatternGenerator {
+    /// Generates `len` memory accesses deterministically from `seed`.
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord>;
+}
+
+/// Sequential streaming over one or more large arrays (HPC / floating-point
+/// SPEC behaviour: dense, regular, delta-friendly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamGen {
+    /// Number of concurrent streams interleaved round-robin.
+    pub streams: usize,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+    /// Fraction (0..=100) of accesses that are stores.
+    pub store_percent: u8,
+}
+
+impl Default for StreamGen {
+    fn default() -> Self {
+        Self {
+            streams: 4,
+            gap: 6,
+            store_percent: 20,
+        }
+    }
+}
+
+impl PatternGenerator for StreamGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5741_7645);
+        let streams = self.streams.max(1);
+        let mut cursors: Vec<u64> = (0..streams)
+            .map(|i| (rng.random_range(0..1u64 << 20) + (i as u64) << 24) * CACHE_LINE_BYTES as u64)
+            .collect();
+        let pcs: Vec<u64> = (0..streams).map(|i| 0x40_0000 + i as u64 * 0x40).collect();
+        let mut records = Vec::with_capacity(len);
+        for i in 0..len {
+            let s = i % streams;
+            let addr = cursors[s];
+            cursors[s] += CACHE_LINE_BYTES as u64;
+            let record = if rng.random_range(0..100u8) < self.store_percent {
+                TraceRecord::store(pcs[s], addr)
+            } else {
+                TraceRecord::load(pcs[s], addr)
+            };
+            records.push(record.with_gap(self.gap));
+        }
+        records
+    }
+}
+
+/// Constant-stride access over large arrays (e.g. column walks, large
+/// structure iteration). Delta prefetchers handle this well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StridedGen {
+    /// Stride between consecutive accesses of one stream, in cache lines.
+    pub stride_lines: u64,
+    /// Number of concurrent streams.
+    pub streams: usize,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+impl Default for StridedGen {
+    fn default() -> Self {
+        Self {
+            stride_lines: 3,
+            streams: 2,
+            gap: 8,
+        }
+    }
+}
+
+impl PatternGenerator for StridedGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5354_5249);
+        let streams = self.streams.max(1);
+        let stride = self.stride_lines.max(1) * CACHE_LINE_BYTES as u64;
+        let mut cursors: Vec<u64> = (0..streams)
+            .map(|i| (rng.random_range(0..1u64 << 18) + ((i as u64) << 22)) * PAGE_BYTES as u64)
+            .collect();
+        let pcs: Vec<u64> = (0..streams).map(|i| 0x41_0000 + i as u64 * 0x20).collect();
+        let mut records = Vec::with_capacity(len);
+        for i in 0..len {
+            let s = i % streams;
+            let addr = cursors[s];
+            cursors[s] += stride;
+            records.push(TraceRecord::load(pcs[s], addr).with_gap(self.gap));
+        }
+        records
+    }
+}
+
+/// Spatially-clustered accesses: a small set of "object layouts" (one per
+/// PC), each touching a fixed set of offsets within a fresh 4 KB page, with
+/// the per-page access order shuffled to model out-of-order and memory-
+/// subsystem reordering. This is the structure DSPatch and SMS exploit
+/// (paper, Figure 2), and the reordering is exactly what defeats purely
+/// local delta histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpatialPatternGen {
+    /// Number of distinct object layouts (and trigger PCs).
+    pub layouts: usize,
+    /// Lines touched per page visit.
+    pub density: usize,
+    /// Degree of reordering: accesses are shuffled within windows of this
+    /// size (1 = program order).
+    pub reorder_window: usize,
+    /// Number of distinct pages cycled through before reuse.
+    pub working_set_pages: usize,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+impl Default for SpatialPatternGen {
+    fn default() -> Self {
+        Self {
+            layouts: 12,
+            density: 10,
+            reorder_window: 6,
+            working_set_pages: 4096,
+            gap: 10,
+        }
+    }
+}
+
+impl PatternGenerator for SpatialPatternGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5350_4154);
+        let layouts = self.layouts.max(1);
+        let density = self.density.clamp(1, LINES_PER_PAGE);
+        // Fixed per-layout offset sets, stable across page visits.
+        let layout_offsets: Vec<Vec<usize>> = (0..layouts)
+            .map(|k| {
+                let mut layout_rng = SmallRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37));
+                let mut offsets: Vec<usize> = (0..LINES_PER_PAGE).collect();
+                offsets.shuffle(&mut layout_rng);
+                offsets.truncate(density);
+                offsets
+            })
+            .collect();
+        let base_page = rng.random_range(0..1u64 << 20) << 4;
+        let mut records = Vec::with_capacity(len);
+        let mut page_cursor = 0u64;
+        while records.len() < len {
+            let k = rng.random_range(0..layouts);
+            let page = base_page + (page_cursor % self.working_set_pages.max(1) as u64);
+            page_cursor += 1;
+            let pc = 0x42_0000 + k as u64 * 0x100;
+            let mut visit: Vec<usize> = layout_offsets[k].clone();
+            // The first access (the object header / trigger) is always the
+            // same field, exactly as in the paper's Figure 2; the remaining
+            // accesses are reordered by out-of-order execution, shuffled
+            // within bounded windows.
+            if visit.len() > 1 {
+                let window = self.reorder_window.max(1).min(visit.len() - 1);
+                for chunk in visit[1..].chunks_mut(window) {
+                    chunk.shuffle(&mut rng);
+                }
+            }
+            for (i, offset) in visit.into_iter().enumerate() {
+                if records.len() >= len {
+                    break;
+                }
+                let addr = page * PAGE_BYTES as u64 + (offset * CACHE_LINE_BYTES) as u64;
+                // The object is traversed as a linked structure: every field
+                // access chases a pointer produced by the previous one, so
+                // without prefetching the visit is a serial chain of misses.
+                // A spatial prefetcher that recognises the layout at the
+                // trigger breaks that chain — which is exactly the benefit
+                // the paper attributes to anchored spatial patterns.
+                let _ = i;
+                records.push(
+                    TraceRecord::load(pc, addr)
+                        .with_gap(self.gap)
+                        .with_dependent(true),
+                );
+            }
+        }
+        records
+    }
+}
+
+/// Sparse, irregular accesses: large footprint, only a handful of accesses
+/// per page, little short-term reuse (graph / cloud / mcf-like behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrregularGen {
+    /// Footprint in 4 KB pages.
+    pub footprint_pages: u64,
+    /// Accesses issued per visited page (1..=4 keeps it sparse).
+    pub accesses_per_page: usize,
+    /// Number of distinct PCs issuing the accesses.
+    pub pcs: usize,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+impl Default for IrregularGen {
+    fn default() -> Self {
+        Self {
+            footprint_pages: 1 << 16,
+            accesses_per_page: 2,
+            pcs: 24,
+            gap: 14,
+        }
+    }
+}
+
+impl PatternGenerator for IrregularGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4952_5245);
+        let per_page = self.accesses_per_page.clamp(1, LINES_PER_PAGE);
+        let pcs = self.pcs.max(1);
+        let mut records = Vec::with_capacity(len);
+        while records.len() < len {
+            let page = rng.random_range(0..self.footprint_pages.max(1));
+            let pc = 0x43_0000 + rng.random_range(0..pcs as u64) * 0x10;
+            for i in 0..per_page {
+                if records.len() >= len {
+                    break;
+                }
+                let offset = rng.random_range(0..LINES_PER_PAGE);
+                let addr = page * PAGE_BYTES as u64 + (offset * CACHE_LINE_BYTES) as u64;
+                records.push(
+                    TraceRecord::load(pc, addr)
+                        .with_gap(self.gap)
+                        .with_dependent(i == 0),
+                );
+            }
+        }
+        records
+    }
+}
+
+/// Dependent pointer chasing over a shuffled node array: consecutive
+/// accesses land on unrelated lines, so almost nothing is prefetchable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointerChaseGen {
+    /// Number of nodes in the linked structure.
+    pub nodes: u64,
+    /// Size of one node in bytes (spacing between node addresses).
+    pub node_bytes: u64,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+impl Default for PointerChaseGen {
+    fn default() -> Self {
+        Self {
+            nodes: 1 << 16,
+            node_bytes: 192,
+            gap: 4,
+        }
+    }
+}
+
+impl PatternGenerator for PointerChaseGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5054_4348);
+        let nodes = self.nodes.max(2);
+        // A random permutation cycle approximated by a large-stride LCG walk,
+        // keeping memory usage O(1) even for huge node counts.
+        let multiplier = rng.random_range(1..(nodes / 2).max(2)) * 2 + 1; // odd multiplier => long period
+        let mut current = rng.random_range(0..nodes);
+        let pc = 0x44_0000;
+        let mut records = Vec::with_capacity(len);
+        for _ in 0..len {
+            let addr = current * self.node_bytes.max(CACHE_LINE_BYTES as u64);
+            records.push(TraceRecord::load(pc, addr).with_gap(self.gap).with_dependent(true));
+            current = (current.wrapping_mul(multiplier).wrapping_add(12345)) % nodes;
+        }
+        records
+    }
+}
+
+/// Code-footprint-heavy behaviour (server / TPC-C-like): thousands of
+/// distinct PCs, each touching a small spatial neighbourhood. Prefetchers
+/// with large signature stores (16 K-entry SMS) retain these; 256-entry
+/// tables thrash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeHeavyGen {
+    /// Number of distinct trigger PCs.
+    pub distinct_pcs: usize,
+    /// Lines touched around each visited location.
+    pub burst: usize,
+    /// Footprint in 4 KB pages.
+    pub footprint_pages: u64,
+    /// Non-memory instructions between accesses.
+    pub gap: u32,
+}
+
+impl Default for CodeHeavyGen {
+    fn default() -> Self {
+        Self {
+            distinct_pcs: 4096,
+            burst: 3,
+            footprint_pages: 1 << 15,
+            gap: 12,
+        }
+    }
+}
+
+impl PatternGenerator for CodeHeavyGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x434f_4445);
+        let pcs = self.distinct_pcs.max(1);
+        let burst = self.burst.clamp(1, LINES_PER_PAGE);
+        let mut records = Vec::with_capacity(len);
+        while records.len() < len {
+            let pc_index = rng.random_range(0..pcs as u64);
+            let pc = 0x45_0000 + pc_index * 0x14;
+            // Each PC has an affine home region so its accesses repeat pages.
+            let page = (pc_index * 37 + rng.random_range(0..8)) % self.footprint_pages.max(1);
+            let start = rng.random_range(0..LINES_PER_PAGE - burst + 1);
+            for b in 0..burst {
+                if records.len() >= len {
+                    break;
+                }
+                let addr = page * PAGE_BYTES as u64 + ((start + b) * CACHE_LINE_BYTES) as u64;
+                records.push(
+                    TraceRecord::load(pc, addr)
+                        .with_gap(self.gap)
+                        .with_dependent(b == 0),
+                );
+            }
+        }
+        records
+    }
+}
+
+/// A weighted interleaving of other generators, used to compose realistic
+/// category mixes (e.g. "Client" = streaming + spatial + irregular).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedGen {
+    /// Weighted parts: `(weight, generator)`.
+    pub parts: Vec<(u32, GeneratorSpec)>,
+    /// Length of each contiguous phase taken from one part before switching.
+    pub phase_len: usize,
+}
+
+impl MixedGen {
+    /// Creates a mix from weighted parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or all weights are zero.
+    pub fn new(parts: Vec<(u32, GeneratorSpec)>) -> Self {
+        assert!(!parts.is_empty(), "a mix needs at least one part");
+        assert!(parts.iter().any(|(w, _)| *w > 0), "at least one weight must be positive");
+        Self {
+            parts,
+            phase_len: 256,
+        }
+    }
+}
+
+impl PatternGenerator for MixedGen {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4d49_5845);
+        let total_weight: u64 = self.parts.iter().map(|(w, _)| u64::from(*w)).sum();
+        // Pre-generate each part's full-length stream, then interleave by
+        // phases drawn according to the weights.
+        let streams: Vec<Vec<TraceRecord>> = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, (_, spec))| spec.generate_records(seed.wrapping_add(i as u64 * 7919), len))
+            .collect();
+        let mut cursors = vec![0usize; streams.len()];
+        let mut records = Vec::with_capacity(len);
+        let phase = self.phase_len.max(1);
+        while records.len() < len {
+            let mut pick = rng.random_range(0..total_weight.max(1));
+            let mut index = 0;
+            for (i, (w, _)) in self.parts.iter().enumerate() {
+                if pick < u64::from(*w) {
+                    index = i;
+                    break;
+                }
+                pick -= u64::from(*w);
+            }
+            let stream = &streams[index];
+            for _ in 0..phase {
+                if records.len() >= len {
+                    break;
+                }
+                let cursor = cursors[index] % stream.len().max(1);
+                records.push(stream[cursor]);
+                cursors[index] += 1;
+            }
+        }
+        records
+    }
+}
+
+/// A serializable, cloneable description of any generator, so workload
+/// specifications can be stored and shared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GeneratorSpec {
+    /// Sequential streaming.
+    Stream(StreamGen),
+    /// Constant-stride streams.
+    Strided(StridedGen),
+    /// Spatially-clustered, reordered object accesses.
+    Spatial(SpatialPatternGen),
+    /// Sparse irregular accesses.
+    Irregular(IrregularGen),
+    /// Dependent pointer chasing.
+    PointerChase(PointerChaseGen),
+    /// Large code footprint with small bursts.
+    CodeHeavy(CodeHeavyGen),
+    /// Weighted mix of other generators.
+    Mixed(MixedGen),
+}
+
+impl PatternGenerator for GeneratorSpec {
+    fn generate_records(&self, seed: u64, len: usize) -> Vec<TraceRecord> {
+        match self {
+            GeneratorSpec::Stream(g) => g.generate_records(seed, len),
+            GeneratorSpec::Strided(g) => g.generate_records(seed, len),
+            GeneratorSpec::Spatial(g) => g.generate_records(seed, len),
+            GeneratorSpec::Irregular(g) => g.generate_records(seed, len),
+            GeneratorSpec::PointerChase(g) => g.generate_records(seed, len),
+            GeneratorSpec::CodeHeavy(g) => g.generate_records(seed, len),
+            GeneratorSpec::Mixed(g) => g.generate_records(seed, len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_specs() -> Vec<GeneratorSpec> {
+        vec![
+            GeneratorSpec::Stream(StreamGen::default()),
+            GeneratorSpec::Strided(StridedGen::default()),
+            GeneratorSpec::Spatial(SpatialPatternGen::default()),
+            GeneratorSpec::Irregular(IrregularGen::default()),
+            GeneratorSpec::PointerChase(PointerChaseGen::default()),
+            GeneratorSpec::CodeHeavy(CodeHeavyGen::default()),
+            GeneratorSpec::Mixed(MixedGen::new(vec![
+                (3, GeneratorSpec::Stream(StreamGen::default())),
+                (1, GeneratorSpec::Irregular(IrregularGen::default())),
+            ])),
+        ]
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for spec in all_specs() {
+            let a = spec.generate_records(42, 2000);
+            let b = spec.generate_records(42, 2000);
+            assert_eq!(a, b, "{spec:?} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        for spec in all_specs() {
+            let a = spec.generate_records(1, 2000);
+            let b = spec.generate_records(2, 2000);
+            assert_ne!(a, b, "{spec:?} should vary with the seed");
+        }
+    }
+
+    #[test]
+    fn generators_honour_requested_length() {
+        for spec in all_specs() {
+            assert_eq!(spec.generate_records(7, 1234).len(), 1234);
+            assert_eq!(spec.generate_records(7, 0).len(), 0);
+        }
+    }
+
+    #[test]
+    fn stream_is_dense_and_sequential() {
+        let records = StreamGen { streams: 1, gap: 0, store_percent: 0 }.generate_records(5, 100);
+        for pair in records.windows(2) {
+            let delta = pair[1].addr.line().delta_from(pair[0].addr.line());
+            assert_eq!(delta, 1, "single stream must be unit-stride");
+        }
+    }
+
+    #[test]
+    fn strided_keeps_its_stride() {
+        let gen = StridedGen { stride_lines: 5, streams: 1, gap: 0 };
+        let records = gen.generate_records(9, 50);
+        for pair in records.windows(2) {
+            assert_eq!(pair[1].addr.line().delta_from(pair[0].addr.line()), 5);
+        }
+    }
+
+    #[test]
+    fn spatial_reuses_layouts_across_pages() {
+        let gen = SpatialPatternGen { layouts: 2, density: 8, reorder_window: 4, working_set_pages: 1 << 20, gap: 0 };
+        let records = gen.generate_records(11, 4000);
+        // Group by PC and page; every page visited by one PC must touch the
+        // same set of page offsets (the layout), whatever the order.
+        use std::collections::BTreeMap;
+        let mut per_pc_page: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+        for r in &records {
+            per_pc_page
+                .entry((r.pc.as_u64(), r.addr.page().as_u64()))
+                .or_default()
+                .push(r.addr.page_line_offset());
+        }
+        let mut per_pc_sets: BTreeMap<u64, Vec<Vec<usize>>> = BTreeMap::new();
+        for ((pc, _page), mut offsets) in per_pc_page {
+            offsets.sort_unstable();
+            offsets.dedup();
+            per_pc_sets.entry(pc).or_default().push(offsets);
+        }
+        for (pc, sets) in per_pc_sets {
+            let complete: Vec<&Vec<usize>> = sets.iter().filter(|s| s.len() == 8).collect();
+            assert!(complete.len() > 1, "pc {pc:#x} should fully visit several pages");
+            for s in &complete {
+                assert_eq!(*s, complete[0], "layout must repeat across pages for pc {pc:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_has_large_page_footprint() {
+        let records = IrregularGen::default().generate_records(3, 8000);
+        let mut pages: Vec<u64> = records.iter().map(|r| r.addr.page().as_u64()).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        assert!(pages.len() > 2000, "sparse generator must spread over many pages");
+    }
+
+    #[test]
+    fn pointer_chase_has_low_spatial_locality() {
+        let records = PointerChaseGen::default().generate_records(17, 4000);
+        let sequential = records
+            .windows(2)
+            .filter(|w| (w[1].addr.line().delta_from(w[0].addr.line())).abs() <= 1)
+            .count();
+        assert!(
+            sequential < records.len() / 10,
+            "consecutive chase accesses should rarely be adjacent ({sequential})"
+        );
+    }
+
+    #[test]
+    fn code_heavy_has_thousands_of_pcs() {
+        let records = CodeHeavyGen::default().generate_records(23, 30_000);
+        let mut pcs: Vec<u64> = records.iter().map(|r| r.pc.as_u64()).collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        assert!(pcs.len() > 2000, "expected thousands of distinct PCs, got {}", pcs.len());
+    }
+
+    #[test]
+    fn mixed_contains_accesses_from_every_part() {
+        let mix = MixedGen::new(vec![
+            (1, GeneratorSpec::Stream(StreamGen::default())),
+            (1, GeneratorSpec::PointerChase(PointerChaseGen::default())),
+        ]);
+        let records = mix.generate_records(31, 10_000);
+        let stream_pcs = records.iter().filter(|r| r.pc.as_u64() < 0x41_0000).count();
+        let chase_pcs = records.iter().filter(|r| r.pc.as_u64() == 0x44_0000).count();
+        assert!(stream_pcs > 0 && chase_pcs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn empty_mix_is_rejected() {
+        let _ = MixedGen::new(Vec::new());
+    }
+}

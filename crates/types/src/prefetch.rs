@@ -1,0 +1,219 @@
+//! The prefetcher interface shared by DSPatch, the baseline prefetchers and
+//! the simulator.
+//!
+//! A prefetcher is attached to one cache level. The hierarchy calls
+//! [`Prefetcher::on_access`] for every access that level observes (for L2
+//! prefetchers in this reproduction, that is every L1 miss — demand or
+//! prefetch — exactly as in the paper's methodology, Section 4.1), passing a
+//! [`PrefetchContext`] that carries the current cycle, whether the access hit
+//! in the cache, and the broadcast [`BandwidthQuartile`]. The prefetcher
+//! returns zero or more [`PrefetchRequest`]s; the hierarchy filters ones that
+//! are already resident or in flight and issues the rest.
+
+use crate::access::MemoryAccess;
+use crate::address::LineAddr;
+use crate::bandwidth::BandwidthQuartile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The cache level a prefetched line should be filled into.
+///
+/// The paper's L2 prefetchers fill into the L2 and the LLC; SPP additionally
+/// demotes low-confidence prefetches to fill only into the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FillLevel {
+    /// Fill into the L1 data cache (used only by the L1 stride prefetcher).
+    L1,
+    /// Fill into the L2 cache (and, by inclusion, the LLC).
+    L2,
+    /// Fill only into the last-level cache.
+    Llc,
+}
+
+impl fmt::Display for FillLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FillLevel::L1 => write!(f, "L1"),
+            FillLevel::L2 => write!(f, "L2"),
+            FillLevel::Llc => write!(f, "LLC"),
+        }
+    }
+}
+
+/// A single prefetch candidate produced by a prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use dspatch_types::{FillLevel, LineAddr, PrefetchRequest};
+/// let req = PrefetchRequest::new(LineAddr::new(0x100))
+///     .with_fill_level(FillLevel::Llc)
+///     .with_low_priority(true);
+/// assert_eq!(req.line, LineAddr::new(0x100));
+/// assert!(req.low_priority);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrefetchRequest {
+    /// The cache line to prefetch.
+    pub line: LineAddr,
+    /// Where the line should be filled.
+    pub fill_level: FillLevel,
+    /// When set, the line is inserted with low replacement priority. DSPatch
+    /// requests this for coverage-biased prefetches whose `MeasureCovP`
+    /// counter is saturated (paper, Section 3.6).
+    pub low_priority: bool,
+}
+
+impl PrefetchRequest {
+    /// Creates a normal-priority request that fills into the L2.
+    pub fn new(line: LineAddr) -> Self {
+        Self {
+            line,
+            fill_level: FillLevel::L2,
+            low_priority: false,
+        }
+    }
+
+    /// Sets the fill level.
+    pub fn with_fill_level(mut self, fill_level: FillLevel) -> Self {
+        self.fill_level = fill_level;
+        self
+    }
+
+    /// Sets the replacement-priority hint.
+    pub fn with_low_priority(mut self, low_priority: bool) -> Self {
+        self.low_priority = low_priority;
+        self
+    }
+}
+
+/// Per-access context handed to a prefetcher by the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PrefetchContext {
+    /// Current core clock cycle.
+    pub cycle: u64,
+    /// Whether the triggering access hit in the cache level the prefetcher is
+    /// attached to.
+    pub cache_hit: bool,
+    /// The 2-bit DRAM bandwidth-utilization quartile broadcast by the memory
+    /// controller.
+    pub bandwidth: BandwidthQuartile,
+}
+
+impl PrefetchContext {
+    /// Creates a context for `cycle` with the remaining fields defaulted.
+    pub fn at_cycle(cycle: u64) -> Self {
+        Self {
+            cycle,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the cache-hit flag.
+    pub fn with_cache_hit(mut self, cache_hit: bool) -> Self {
+        self.cache_hit = cache_hit;
+        self
+    }
+
+    /// Sets the bandwidth quartile.
+    pub fn with_bandwidth(mut self, bandwidth: BandwidthQuartile) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+}
+
+/// A hardware prefetching algorithm.
+///
+/// Implementations must be deterministic functions of the access stream they
+/// observe so that simulation results are reproducible.
+pub trait Prefetcher {
+    /// Human-readable name used in reports ("SPP", "DSPatch+SPP", ...).
+    fn name(&self) -> &str;
+
+    /// Observes one access at the attached cache level and returns prefetch
+    /// candidates. Candidates may duplicate lines that are already cached;
+    /// the hierarchy is responsible for filtering them.
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest>;
+
+    /// Notifies the prefetcher that `line` was filled into the attached
+    /// cache. `was_prefetch` distinguishes prefetch fills from demand fills.
+    /// The default implementation ignores the notification.
+    fn on_fill(&mut self, line: LineAddr, was_prefetch: bool) {
+        let _ = (line, was_prefetch);
+    }
+
+    /// Hardware storage budget of the prefetcher in bits, used to reproduce
+    /// the storage columns of Tables 1 and 3.
+    fn storage_bits(&self) -> u64;
+}
+
+/// A prefetcher that never issues prefetches. Used as the no-prefetching
+/// baseline and as a placeholder in configurations without an L2 prefetcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPrefetcher;
+
+impl NullPrefetcher {
+    /// Creates the null prefetcher.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_access(&mut self, _access: &MemoryAccess, _ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+        Vec::new()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessKind, Pc};
+    use crate::address::Addr;
+
+    #[test]
+    fn null_prefetcher_is_silent_and_free() {
+        let mut p = NullPrefetcher::new();
+        let access = MemoryAccess::new(Pc::new(1), Addr::new(0x1000), AccessKind::Load);
+        assert!(p.on_access(&access, &PrefetchContext::default()).is_empty());
+        assert_eq!(p.storage_bits(), 0);
+        assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn request_builder_sets_fields() {
+        let req = PrefetchRequest::new(LineAddr::new(7))
+            .with_fill_level(FillLevel::Llc)
+            .with_low_priority(true);
+        assert_eq!(req.fill_level, FillLevel::Llc);
+        assert!(req.low_priority);
+        let default = PrefetchRequest::new(LineAddr::new(7));
+        assert_eq!(default.fill_level, FillLevel::L2);
+        assert!(!default.low_priority);
+    }
+
+    #[test]
+    fn context_builder_sets_fields() {
+        let ctx = PrefetchContext::at_cycle(42)
+            .with_cache_hit(true)
+            .with_bandwidth(BandwidthQuartile::Q3);
+        assert_eq!(ctx.cycle, 42);
+        assert!(ctx.cache_hit);
+        assert_eq!(ctx.bandwidth, BandwidthQuartile::Q3);
+    }
+
+    #[test]
+    fn prefetcher_trait_is_object_safe() {
+        let mut boxed: Box<dyn Prefetcher> = Box::new(NullPrefetcher::new());
+        let access = MemoryAccess::new(Pc::new(1), Addr::new(0), AccessKind::Load);
+        assert!(boxed.on_access(&access, &PrefetchContext::default()).is_empty());
+    }
+}

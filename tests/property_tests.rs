@@ -1,0 +1,161 @@
+//! Property-based tests over the core DSPatch data structures and the
+//! simulator substrate, using proptest.
+
+use dspatch::{
+    quantize_fraction, CompressedPattern, DsPatch, DsPatchConfig, PageBuffer, PredictionQuality,
+    SaturatingCounter, SpatialPattern,
+};
+use dspatch_types::{
+    AccessKind, Addr, BandwidthQuartile, MemoryAccess, PageAddr, Pc, PrefetchContext, Prefetcher,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Anchoring and un-anchoring a pattern by the same offset is the
+    /// identity, for every pattern and offset.
+    #[test]
+    fn anchor_round_trips(bits in any::<u64>(), offset in 0usize..64) {
+        let pattern = SpatialPattern::from_bits(bits);
+        prop_assert_eq!(pattern.anchor(offset).unanchor(offset), pattern);
+        prop_assert_eq!(pattern.anchor(offset).popcount(), pattern.popcount());
+    }
+
+    /// Anchoring is invariant to which access of the set triggers first in
+    /// the sense that the *set* of anchored deltas equals the set of offsets
+    /// minus the trigger, modulo 64.
+    #[test]
+    fn anchored_pattern_contains_trigger_at_bit_zero(bits in any::<u64>(), offset in 0usize..64) {
+        let mut pattern = SpatialPattern::from_bits(bits);
+        pattern.set(offset);
+        prop_assert!(pattern.anchor(offset).get(0));
+    }
+
+    /// Compression never loses a touched block: decompressing the compressed
+    /// pattern always covers the original.
+    #[test]
+    fn compression_is_a_superset(bits in any::<u64>()) {
+        let pattern = SpatialPattern::from_bits(bits);
+        let expanded = pattern.compress().decompress();
+        prop_assert_eq!(expanded.bits() & pattern.bits(), pattern.bits());
+        // And the overprediction is bounded by one line per touched block.
+        let over = CompressedPattern::compression_mispredictions(pattern);
+        prop_assert!(over <= pattern.compress().popcount());
+    }
+
+    /// OR-ing patterns never reduces coverage of either operand; AND-ing
+    /// never exceeds either operand.
+    #[test]
+    fn or_and_monotonicity(a in any::<u64>(), b in any::<u64>()) {
+        let pa = SpatialPattern::from_bits(a);
+        let pb = SpatialPattern::from_bits(b);
+        let or = pa | pb;
+        let and = pa & pb;
+        prop_assert_eq!(or.bits() & pa.bits(), pa.bits());
+        prop_assert_eq!(or.bits() & pb.bits(), pb.bits());
+        prop_assert!(and.popcount() <= pa.popcount().min(pb.popcount()));
+        prop_assert!(or.popcount() >= pa.popcount().max(pb.popcount()));
+    }
+
+    /// The quantizer never inverts ordering: a strictly larger fraction maps
+    /// to an equal or higher quartile.
+    #[test]
+    fn quantizer_is_monotonic(n1 in 0u32..=64, n2 in 0u32..=64, d in 1u32..=64) {
+        let (low, high) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(quantize_fraction(low, d) <= quantize_fraction(high, d));
+    }
+
+    /// Accuracy and coverage are always within their defining bounds.
+    #[test]
+    fn prediction_quality_counts_are_consistent(pred in any::<u64>(), real in any::<u64>()) {
+        let q = PredictionQuality::measure(
+            SpatialPattern::from_bits(pred),
+            SpatialPattern::from_bits(real),
+        );
+        prop_assert!(q.accurate <= q.predicted);
+        prop_assert!(q.accurate <= q.real);
+        prop_assert!(q.accuracy_fraction() <= 1.0 && q.accuracy_fraction() >= 0.0);
+        prop_assert!(q.coverage_fraction() <= 1.0 && q.coverage_fraction() >= 0.0);
+    }
+
+    /// Saturating counters stay within [0, max] under any operation sequence.
+    #[test]
+    fn saturating_counter_stays_in_range(ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut counter = SaturatingCounter::two_bit();
+        for op in ops {
+            if op {
+                counter.increment();
+            } else {
+                counter.decrement();
+            }
+            prop_assert!(counter.value() <= counter.max());
+        }
+    }
+
+    /// The page buffer never tracks more pages than its capacity and always
+    /// reports triggers for the first access to a segment.
+    #[test]
+    fn page_buffer_respects_capacity(
+        capacity in 1usize..32,
+        accesses in proptest::collection::vec((0u64..64, 0usize..64, 0u64..1024), 1..300),
+    ) {
+        let mut pb = PageBuffer::new(capacity);
+        for (page, offset, pc) in accesses {
+            let outcome = pb.record_access(PageAddr::new(page), offset, Pc::new(pc));
+            if let Some(trigger) = outcome.trigger {
+                prop_assert_eq!(trigger.offset, offset);
+            }
+            prop_assert!(pb.len() <= capacity);
+        }
+    }
+
+    /// DSPatch never prefetches outside the page of the triggering access,
+    /// never prefetches the trigger line itself, and issues at most 63 lines
+    /// per trigger — for arbitrary access streams and bandwidth levels.
+    #[test]
+    fn dspatch_prefetches_stay_in_page(
+        stream in proptest::collection::vec((0u64..32, 0u64..64, 0u64..8, 0u8..4), 1..400),
+    ) {
+        let mut prefetcher = DsPatch::new(DsPatchConfig::default());
+        for (page, offset, pc, bw) in stream {
+            let addr = Addr::new(page * 4096 + offset * 64);
+            let access = MemoryAccess::new(Pc::new(0x400 + pc * 8), addr, AccessKind::Load);
+            let ctx = PrefetchContext::default()
+                .with_bandwidth(BandwidthQuartile::from_bits(bw));
+            let requests = prefetcher.on_access(&access, &ctx);
+            prop_assert!(requests.len() < 64);
+            for request in requests {
+                prop_assert_eq!(request.line.page(), addr.page());
+                prop_assert_ne!(request.line, addr.line());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator conserves instructions (every trace record and gap is
+    /// executed exactly once) for arbitrary small traces.
+    #[test]
+    fn simulator_conserves_instructions(
+        accesses in proptest::collection::vec((0u64..128, 0u64..64, 0u32..30), 1..200),
+    ) {
+        use dspatch_sim::{SimulationBuilder, SystemConfig};
+        use dspatch_trace::{Trace, TraceRecord};
+        use dspatch_types::NullPrefetcher;
+
+        let records: Vec<TraceRecord> = accesses
+            .iter()
+            .map(|&(page, offset, gap)| {
+                TraceRecord::load(0x400, page * 4096 + offset * 64).with_gap(gap)
+            })
+            .collect();
+        let trace = Trace::new("prop", records);
+        let expected = trace.instruction_count();
+        let result = SimulationBuilder::new(SystemConfig::single_thread())
+            .with_core(trace, Box::new(NullPrefetcher::new()))
+            .run();
+        prop_assert_eq!(result.cores[0].instructions, expected);
+        prop_assert!(result.cores[0].finish_cycle > 0);
+    }
+}
