@@ -25,7 +25,14 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig16_coverage_accuracy");
     group.sample_size(10);
     group.bench_function("dspatch_plus_spp_single_workload", |b| {
-        b.iter(|| run_workload(&workloads[0], PrefetcherKind::DspatchPlusSpp, &config, &scale))
+        b.iter(|| {
+            run_workload(
+                &workloads[0],
+                PrefetcherKind::DspatchPlusSpp,
+                &config,
+                &scale,
+            )
+        })
     });
     group.finish();
 }

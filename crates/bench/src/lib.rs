@@ -6,8 +6,8 @@
 //! of work, so `cargo bench` both reproduces the evaluation data and tracks
 //! the simulator's performance over time.
 
-pub use dspatch_harness::{experiments, runner, Table};
 pub use dspatch_harness::runner::{PrefetcherKind, RunScale};
+pub use dspatch_harness::{experiments, runner, Table};
 
 /// The scale used by the benchmark targets: one workload per category and
 /// short traces, so the full set of figures regenerates in minutes.

@@ -7,10 +7,11 @@ use serde::{Deserialize, Serialize};
 ///
 /// [`SelectionPolicy::Full`] is the paper's DSPatch; the other two variants
 /// reproduce the ablation of Section 5.5 / Figure 19.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum SelectionPolicy {
     /// The full algorithm of Figure 10: choose between `CovP`, `AccP` and
     /// no-prefetch based on bandwidth utilization and the measure counters.
+    #[default]
     Full,
     /// Always prefetch with the coverage-biased pattern, regardless of
     /// bandwidth utilization ("AlwaysCovP" in Figure 19).
@@ -19,12 +20,6 @@ pub enum SelectionPolicy {
     /// prefetches) when bandwidth utilization is high ("ModCovP" in
     /// Figure 19).
     ModCovP,
-}
-
-impl Default for SelectionPolicy {
-    fn default() -> Self {
-        SelectionPolicy::Full
-    }
 }
 
 /// Configuration of a [`DsPatch`](crate::DsPatch) instance.
@@ -168,8 +163,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        let mut cfg = DsPatchConfig::default();
-        cfg.spt_entries = 0;
+        let mut cfg = DsPatchConfig {
+            spt_entries: 0,
+            ..DsPatchConfig::default()
+        };
         assert!(cfg.validate().is_err());
         cfg.spt_entries = 100;
         assert!(cfg.validate().is_err(), "non power of two must be rejected");

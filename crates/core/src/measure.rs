@@ -137,7 +137,10 @@ mod tests {
         assert_eq!(quantize_fraction(2, 10), BandwidthQuartile::Q0);
         assert_eq!(quantize_fraction(3, 10), BandwidthQuartile::Q1);
         assert_eq!(quantize_fraction(5, 10), BandwidthQuartile::Q2);
-        assert_eq!(quantize_fraction(7, 10), BandwidthQuartile::Q1.max(BandwidthQuartile::Q2));
+        assert_eq!(
+            quantize_fraction(7, 10),
+            BandwidthQuartile::Q1.max(BandwidthQuartile::Q2)
+        );
         assert_eq!(quantize_fraction(8, 10), BandwidthQuartile::Q3);
         assert_eq!(quantize_fraction(10, 10), BandwidthQuartile::Q3);
     }

@@ -218,7 +218,11 @@ mod tests {
         let a = pb.record_access(page, 3, pc(1));
         assert_eq!(
             a.trigger,
-            Some(TriggerInfo { pc: pc(1), offset: 3, segment: 0 })
+            Some(TriggerInfo {
+                pc: pc(1),
+                offset: 3,
+                segment: 0
+            })
         );
         // Second access to the same segment is not a trigger.
         let b = pb.record_access(page, 9, pc(2));
@@ -227,7 +231,11 @@ mod tests {
         let c = pb.record_access(page, 40, pc(3));
         assert_eq!(
             c.trigger,
-            Some(TriggerInfo { pc: pc(3), offset: 40, segment: 1 })
+            Some(TriggerInfo {
+                pc: pc(3),
+                offset: 40,
+                segment: 1
+            })
         );
     }
 

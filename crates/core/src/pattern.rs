@@ -97,7 +97,10 @@ impl SpatialPattern {
     /// trigger line becomes bit 0. Anchored bit `j` corresponds to the line
     /// `(trigger_offset + j) mod 64` of the original page.
     pub fn anchor(self, trigger_offset: usize) -> Self {
-        Self(self.0.rotate_right((trigger_offset % LINES_PER_PAGE) as u32))
+        Self(
+            self.0
+                .rotate_right((trigger_offset % LINES_PER_PAGE) as u32),
+        )
     }
 
     /// Inverse of [`SpatialPattern::anchor`]: converts an anchored pattern
@@ -382,7 +385,11 @@ mod tests {
     fn compress_decompress_is_superset() {
         let p = SpatialPattern::from_bits(0x8421_1248_8001_0203);
         let round = p.compress().decompress();
-        assert_eq!(round.bits() & p.bits(), p.bits(), "decompression must cover the original");
+        assert_eq!(
+            round.bits() & p.bits(),
+            p.bits(),
+            "decompression must cover the original"
+        );
     }
 
     #[test]
@@ -397,7 +404,10 @@ mod tests {
     fn compression_mispredictions_bounded_by_popcount() {
         let p = SpatialPattern::from_bits(0x5555_5555_5555_5555); // worst case: one line per pair
         let mis = CompressedPattern::compression_mispredictions(p);
-        assert_eq!(mis, 32, "worst case mispredicts exactly one line per touched pair");
+        assert_eq!(
+            mis, 32,
+            "worst case mispredicts exactly one line per touched pair"
+        );
         assert!(mis <= p.popcount());
     }
 

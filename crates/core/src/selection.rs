@@ -32,7 +32,9 @@ impl PatternChoice {
 impl fmt::Display for PatternChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PatternChoice::Coverage { low_priority: false } => write!(f, "CovP"),
+            PatternChoice::Coverage {
+                low_priority: false,
+            } => write!(f, "CovP"),
             PatternChoice::Coverage { low_priority: true } => write!(f, "CovP(low-priority)"),
             PatternChoice::Accuracy => write!(f, "AccP"),
             PatternChoice::NoPrefetch => write!(f, "none"),
@@ -83,7 +85,9 @@ pub fn select_pattern(
                 if measure_covp.is_saturated() {
                     PatternChoice::Accuracy
                 } else {
-                    PatternChoice::Coverage { low_priority: false }
+                    PatternChoice::Coverage {
+                        low_priority: false,
+                    }
                 }
             } else {
                 PatternChoice::Coverage {
@@ -101,7 +105,9 @@ pub fn select_pattern(
                 if measure_covp.is_saturated() {
                     PatternChoice::NoPrefetch
                 } else {
-                    PatternChoice::Coverage { low_priority: false }
+                    PatternChoice::Coverage {
+                        low_priority: false,
+                    }
                 }
             } else {
                 PatternChoice::Coverage {
@@ -130,22 +136,47 @@ mod tests {
 
     #[test]
     fn high_bandwidth_uses_accp_when_it_is_good() {
-        let c = select_pattern(BandwidthQuartile::Q3, fresh(), fresh(), SelectionPolicy::Full);
+        let c = select_pattern(
+            BandwidthQuartile::Q3,
+            fresh(),
+            fresh(),
+            SelectionPolicy::Full,
+        );
         assert_eq!(c, PatternChoice::Accuracy);
     }
 
     #[test]
     fn high_bandwidth_throttles_when_accp_is_bad() {
-        let c = select_pattern(BandwidthQuartile::Q3, fresh(), saturated(), SelectionPolicy::Full);
+        let c = select_pattern(
+            BandwidthQuartile::Q3,
+            fresh(),
+            saturated(),
+            SelectionPolicy::Full,
+        );
         assert_eq!(c, PatternChoice::NoPrefetch);
         assert!(!c.prefetches());
     }
 
     #[test]
     fn mid_bandwidth_prefers_covp_unless_it_is_bad() {
-        let good = select_pattern(BandwidthQuartile::Q2, fresh(), fresh(), SelectionPolicy::Full);
-        assert_eq!(good, PatternChoice::Coverage { low_priority: false });
-        let bad = select_pattern(BandwidthQuartile::Q2, saturated(), fresh(), SelectionPolicy::Full);
+        let good = select_pattern(
+            BandwidthQuartile::Q2,
+            fresh(),
+            fresh(),
+            SelectionPolicy::Full,
+        );
+        assert_eq!(
+            good,
+            PatternChoice::Coverage {
+                low_priority: false
+            }
+        );
+        let bad = select_pattern(
+            BandwidthQuartile::Q2,
+            saturated(),
+            fresh(),
+            SelectionPolicy::Full,
+        );
         assert_eq!(bad, PatternChoice::Accuracy);
     }
 
@@ -153,7 +184,12 @@ mod tests {
     fn low_bandwidth_always_uses_covp_with_priority_demotion() {
         for bw in [BandwidthQuartile::Q0, BandwidthQuartile::Q1] {
             let good = select_pattern(bw, fresh(), fresh(), SelectionPolicy::Full);
-            assert_eq!(good, PatternChoice::Coverage { low_priority: false });
+            assert_eq!(
+                good,
+                PatternChoice::Coverage {
+                    low_priority: false
+                }
+            );
             let bad = select_pattern(bw, saturated(), fresh(), SelectionPolicy::Full);
             assert_eq!(bad, PatternChoice::Coverage { low_priority: true });
         }
@@ -164,7 +200,10 @@ mod tests {
         for bw in BandwidthQuartile::ALL {
             for cov in [fresh(), saturated()] {
                 let c = select_pattern(bw, cov, saturated(), SelectionPolicy::AlwaysCovP);
-                assert!(matches!(c, PatternChoice::Coverage { .. }), "got {c} at {bw}");
+                assert!(
+                    matches!(c, PatternChoice::Coverage { .. }),
+                    "got {c} at {bw}"
+                );
             }
         }
     }
@@ -172,23 +211,42 @@ mod tests {
     #[test]
     fn mod_covp_throttles_at_high_bandwidth_but_never_uses_accp() {
         assert_eq!(
-            select_pattern(BandwidthQuartile::Q3, fresh(), fresh(), SelectionPolicy::ModCovP),
+            select_pattern(
+                BandwidthQuartile::Q3,
+                fresh(),
+                fresh(),
+                SelectionPolicy::ModCovP
+            ),
             PatternChoice::NoPrefetch
         );
         assert_eq!(
-            select_pattern(BandwidthQuartile::Q2, saturated(), fresh(), SelectionPolicy::ModCovP),
+            select_pattern(
+                BandwidthQuartile::Q2,
+                saturated(),
+                fresh(),
+                SelectionPolicy::ModCovP
+            ),
             PatternChoice::NoPrefetch
         );
         assert_eq!(
-            select_pattern(BandwidthQuartile::Q0, fresh(), fresh(), SelectionPolicy::ModCovP),
-            PatternChoice::Coverage { low_priority: false }
+            select_pattern(
+                BandwidthQuartile::Q0,
+                fresh(),
+                fresh(),
+                SelectionPolicy::ModCovP
+            ),
+            PatternChoice::Coverage {
+                low_priority: false
+            }
         );
     }
 
     #[test]
     fn display_names_are_distinct() {
         let names: Vec<String> = [
-            PatternChoice::Coverage { low_priority: false },
+            PatternChoice::Coverage {
+                low_priority: false,
+            },
             PatternChoice::Coverage { low_priority: true },
             PatternChoice::Accuracy,
             PatternChoice::NoPrefetch,

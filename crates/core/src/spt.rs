@@ -365,7 +365,9 @@ mod tests {
         let pc = Pc::new(0xcafe);
         let program = dense_pattern().compress();
         spt.train(pc, program, 2, BandwidthQuartile::Q0, &cfg);
-        let pred = spt.predict(pc, BandwidthQuartile::Q0, &cfg, 2).expect("prediction");
+        let pred = spt
+            .predict(pc, BandwidthQuartile::Q0, &cfg, 2)
+            .expect("prediction");
         // Every trained block must be covered by the prediction.
         let predicted_compressed = pred.anchored.compress();
         assert_eq!(predicted_compressed.bits() & program.bits(), program.bits());
@@ -383,7 +385,10 @@ mod tests {
         let (cov_lo, _) = entry.cov_p.halves();
         let (acc_lo, _) = entry.acc_p.halves();
         assert_eq!(cov_lo, 0b1111_1111, "OR accumulates both observations");
-        assert_eq!(acc_lo, 0b1111_0000, "AND keeps only the recurring/current bits");
+        assert_eq!(
+            acc_lo, 0b1111_0000,
+            "AND keeps only the recurring/current bits"
+        );
     }
 
     #[test]
@@ -401,7 +406,12 @@ mod tests {
             trained.push(bits);
         }
         for &t in &trained {
-            entry.train(CompressedPattern::from_bits(u32::from(t)), 1, BandwidthQuartile::Q0, &cfg);
+            entry.train(
+                CompressedPattern::from_bits(u32::from(t)),
+                1,
+                BandwidthQuartile::Q0,
+                &cfg,
+            );
         }
         let (cov_lo, _) = entry.cov_p.halves();
         // First training seeds one bit, then at most `or_limit` ORs each add one bit.
@@ -446,8 +456,12 @@ mod tests {
         let mut entry = SptEntry::default();
         let full = CompressedPattern::from_bits(0xFFFF_FFFF);
         entry.train(full, 2, BandwidthQuartile::Q0, &cfg);
-        let one = entry.predict(BandwidthQuartile::Q0, &cfg, 1).expect("prediction");
-        let two = entry.predict(BandwidthQuartile::Q0, &cfg, 2).expect("prediction");
+        let one = entry
+            .predict(BandwidthQuartile::Q0, &cfg, 1)
+            .expect("prediction");
+        let two = entry
+            .predict(BandwidthQuartile::Q0, &cfg, 2)
+            .expect("prediction");
         assert!(one.anchored.popcount() <= 32);
         assert!(two.anchored.popcount() > one.anchored.popcount());
     }
@@ -456,7 +470,12 @@ mod tests {
     fn high_bandwidth_with_bad_accp_suppresses_prefetching() {
         let cfg = config();
         let mut entry = SptEntry::default();
-        entry.train(CompressedPattern::from_bits(0xF), 1, BandwidthQuartile::Q0, &cfg);
+        entry.train(
+            CompressedPattern::from_bits(0xF),
+            1,
+            BandwidthQuartile::Q0,
+            &cfg,
+        );
         for h in 0..PATTERN_HALVES {
             for _ in 0..4 {
                 entry.measure_accp[h].increment();
@@ -480,7 +499,11 @@ mod tests {
         for pc in (0..10_000u64).step_by(97) {
             let idx = spt.index_of(Pc::new(pc));
             assert!(idx < spt.len());
-            assert_eq!(idx, spt.index_of(Pc::new(pc)), "index must be deterministic");
+            assert_eq!(
+                idx,
+                spt.index_of(Pc::new(pc)),
+                "index must be deterministic"
+            );
         }
     }
 

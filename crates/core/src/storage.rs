@@ -35,8 +35,8 @@ impl StorageBreakdown {
     /// Computes the breakdown for a configuration.
     pub fn for_config(config: &DsPatchConfig) -> Self {
         let pattern_bits = LINES_PER_PAGE as u64; // 64-bit raw pattern in the PB
-        let trigger_bits =
-            SEGMENTS_PER_PAGE as u64 * (u64::from(config.signature_bits) + u64::from(config.trigger_offset_bits));
+        let trigger_bits = SEGMENTS_PER_PAGE as u64
+            * (u64::from(config.signature_bits) + u64::from(config.trigger_offset_bits));
         let pb_entry_bits = u64::from(config.page_number_bits)
             + pattern_bits
             + trigger_bits
@@ -92,7 +92,12 @@ impl fmt::Display for StorageBreakdown {
             self.spt_entry_bits,
             self.spt_bits()
         )?;
-        write!(f, "Total: {} bits = {:.2} KB", self.total_bits(), self.total_kib())
+        write!(
+            f,
+            "Total: {} bits = {:.2} KB",
+            self.total_bits(),
+            self.total_kib()
+        )
     }
 }
 

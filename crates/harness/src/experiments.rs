@@ -90,7 +90,11 @@ fn category_performance(
 pub fn fig4_baseline_prefetchers(scale: &RunScale) -> CategoryPerformance {
     category_performance(
         "Figure 4: BOP / SMS / SPP performance delta over baseline",
-        &[PrefetcherKind::Bop, PrefetcherKind::Sms, PrefetcherKind::Spp],
+        &[
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Spp,
+        ],
         &SystemConfig::single_thread(),
         scale,
     )
@@ -167,11 +171,7 @@ impl BandwidthScaling {
     }
 }
 
-fn bandwidth_scaling(
-    figure: &str,
-    kinds: &[PrefetcherKind],
-    scale: &RunScale,
-) -> BandwidthScaling {
+fn bandwidth_scaling(figure: &str, kinds: &[PrefetcherKind], scale: &RunScale) -> BandwidthScaling {
     let workloads = scale.select_workloads(memory_intensive_suite());
     let mut points = Vec::new();
     for (channels, speed) in SystemConfig::bandwidth_sweep() {
@@ -187,7 +187,11 @@ fn bandwidth_scaling(
             deltas,
         });
     }
-    points.sort_by(|a, b| a.peak_gbps.partial_cmp(&b.peak_gbps).expect("finite bandwidth"));
+    points.sort_by(|a, b| {
+        a.peak_gbps
+            .partial_cmp(&b.peak_gbps)
+            .expect("finite bandwidth")
+    });
     BandwidthScaling {
         figure: figure.to_owned(),
         points,
@@ -198,7 +202,11 @@ fn bandwidth_scaling(
 pub fn fig1_bandwidth_scaling_baselines(scale: &RunScale) -> BandwidthScaling {
     bandwidth_scaling(
         "Figure 1: prefetcher performance scaling with DRAM bandwidth",
-        &[PrefetcherKind::Bop, PrefetcherKind::Sms, PrefetcherKind::Spp],
+        &[
+            PrefetcherKind::Bop,
+            PrefetcherKind::Sms,
+            PrefetcherKind::Spp,
+        ],
         scale,
     )
 }
@@ -245,10 +253,18 @@ impl SmsStorageSweep {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "Figure 5: SMS performance vs pattern-history-table size",
-            vec!["PHT entries".into(), "Storage (KB)".into(), "Perf delta".into()],
+            vec![
+                "PHT entries".into(),
+                "Storage (KB)".into(),
+                "Perf delta".into(),
+            ],
         );
         for (entries, kb, delta) in &self.rows {
-            table.add_row(vec![entries.to_string(), format!("{kb:.1}"), percent(*delta)]);
+            table.add_row(vec![
+                entries.to_string(),
+                format!("{kb:.1}"),
+                percent(*delta),
+            ]);
         }
         table
     }
@@ -308,11 +324,20 @@ impl DeltaCompressionStudy {
             "Figure 11: delta distribution and 128B-compression mispredictions",
             vec!["Metric".into(), "Value".into()],
         );
-        table.add_row(vec!["+1/-1 delta share".into(), percent(self.plus_minus_one_fraction)]);
-        table.add_row(vec!["+2/+3 delta share".into(), percent(self.small_delta_fraction)]);
+        table.add_row(vec![
+            "+1/-1 delta share".into(),
+            percent(self.plus_minus_one_fraction),
+        ]);
+        table.add_row(vec![
+            "+2/+3 delta share".into(),
+            percent(self.small_delta_fraction),
+        ]);
         let labels = ["0%", "0-12.5%", "12.5-25%", "25-37%", "37-50%", "50%"];
         for (label, value) in labels.iter().zip(self.misprediction_buckets.iter()) {
-            table.add_row(vec![format!("compression misprediction {label}"), percent(*value)]);
+            table.add_row(vec![
+                format!("compression misprediction {label}"),
+                percent(*value),
+            ]);
         }
         table
     }
@@ -406,7 +431,11 @@ impl MemoryIntensiveLine {
 
 /// Figure 13: SMS, SPP and DSPatch+SPP on the memory-intensive subset.
 pub fn fig13_memory_intensive(scale: &RunScale) -> MemoryIntensiveLine {
-    let kinds = vec![PrefetcherKind::Sms, PrefetcherKind::Spp, PrefetcherKind::DspatchPlusSpp];
+    let kinds = vec![
+        PrefetcherKind::Sms,
+        PrefetcherKind::Spp,
+        PrefetcherKind::DspatchPlusSpp,
+    ];
     let workloads = scale.select_workloads(memory_intensive_suite());
     let config = SystemConfig::single_thread();
     let per_kind: Vec<Vec<f64>> = kinds
@@ -470,8 +499,7 @@ impl CoverageReport {
             return None;
         }
         let coverage = rows.iter().map(|(_, _, c, ..)| *c).sum::<f64>() / rows.len() as f64;
-        let mispredictions =
-            rows.iter().map(|(.., m)| *m).sum::<f64>() / rows.len() as f64;
+        let mispredictions = rows.iter().map(|(.., m)| *m).sum::<f64>() / rows.len() as f64;
         Some((coverage, mispredictions))
     }
 }
@@ -519,10 +547,18 @@ impl MultiProgrammedReport {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             "Multi-programmed performance delta over baseline",
-            vec!["Configuration".into(), "Prefetcher".into(), "Perf delta".into()],
+            vec![
+                "Configuration".into(),
+                "Prefetcher".into(),
+                "Perf delta".into(),
+            ],
         );
         for (label, kind, delta) in &self.rows {
-            table.add_row(vec![label.clone(), kind.label().to_owned(), percent(*delta)]);
+            table.add_row(vec![
+                label.clone(),
+                kind.label().to_owned(),
+                percent(*delta),
+            ]);
         }
         table
     }
@@ -700,7 +736,12 @@ pub fn table1_storage() -> Table {
     let breakdown = StorageBreakdown::for_config(&DsPatchConfig::default());
     let mut table = Table::new(
         "Table 1: DSPatch storage overhead",
-        vec!["Structure".into(), "Entries".into(), "Bits/entry".into(), "Total bits".into()],
+        vec![
+            "Structure".into(),
+            "Entries".into(),
+            "Bits/entry".into(),
+            "Total bits".into(),
+        ],
     );
     table.add_row(vec![
         "PB".into(),
@@ -718,7 +759,11 @@ pub fn table1_storage() -> Table {
         "Total".into(),
         String::new(),
         String::new(),
-        format!("{} ({:.1} KB)", breakdown.total_bits(), breakdown.total_kib()),
+        format!(
+            "{} ({:.1} KB)",
+            breakdown.total_bits(),
+            breakdown.total_kib()
+        ),
     ]);
     table
 }
@@ -760,10 +805,22 @@ pub fn dspatch_introspection(scale: &RunScale) -> Table {
     );
     table.add_row(vec!["accesses".into(), stats.accesses.to_string()]);
     table.add_row(vec!["triggers".into(), stats.triggers.to_string()]);
-    table.add_row(vec!["CovP predictions".into(), stats.covp_predictions.to_string()]);
-    table.add_row(vec!["AccP predictions".into(), stats.accp_predictions.to_string()]);
-    table.add_row(vec!["throttled".into(), stats.throttled_predictions.to_string()]);
-    table.add_row(vec!["prefetches issued".into(), stats.prefetches_issued.to_string()]);
+    table.add_row(vec![
+        "CovP predictions".into(),
+        stats.covp_predictions.to_string(),
+    ]);
+    table.add_row(vec![
+        "AccP predictions".into(),
+        stats.accp_predictions.to_string(),
+    ]);
+    table.add_row(vec![
+        "throttled".into(),
+        stats.throttled_predictions.to_string(),
+    ]);
+    table.add_row(vec![
+        "prefetches issued".into(),
+        stats.prefetches_issued.to_string(),
+    ]);
     table.add_row(vec![
         "SPT occupancy".into(),
         format!("{:.1}%", prefetcher.spt().occupancy() * 100.0),
@@ -806,7 +863,10 @@ mod tests {
         let study = fig11_delta_and_compression(&tiny());
         assert!(study.plus_minus_one_fraction > 0.2);
         let sum: f64 = study.misprediction_buckets.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "bucket fractions must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "bucket fractions must sum to 1, got {sum}"
+        );
     }
 
     #[test]

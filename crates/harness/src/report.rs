@@ -70,7 +70,9 @@ impl Table {
         out.push('\n');
         out.push_str(&render_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));

@@ -76,7 +76,9 @@ impl PrefetcherKind {
             PrefetcherKind::Bop => Box::new(BopPrefetcher::new(BopConfig::default())),
             PrefetcherKind::Ebop => Box::new(BopPrefetcher::new(BopConfig::enhanced())),
             PrefetcherKind::Sms => Box::new(SmsPrefetcher::new(SmsConfig::default())),
-            PrefetcherKind::SmsIso => Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(256))),
+            PrefetcherKind::SmsIso => {
+                Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(256)))
+            }
             PrefetcherKind::Spp => Box::new(SppPrefetcher::new(SppConfig::default())),
             PrefetcherKind::Espp => Box::new(SppPrefetcher::new(SppConfig::enhanced())),
             PrefetcherKind::Dspatch => Box::new(DsPatch::new(DsPatchConfig::default())),
@@ -239,7 +241,10 @@ pub fn speedups_over_baseline(
                         let baseline =
                             run_workload(workload, PrefetcherKind::Baseline, &config, &scale);
                         let candidate = run_workload(workload, kind, &config, &scale);
-                        (chunk_index * chunk_size + i, candidate.speedup_over(&baseline))
+                        (
+                            chunk_index * chunk_size + i,
+                            candidate.speedup_over(&baseline),
+                        )
                     })
                     .collect::<Vec<_>>()
             }));
@@ -309,7 +314,11 @@ mod tests {
     fn scale_caps_workloads_per_category() {
         let scale = RunScale::smoke();
         let selected = scale.select_workloads(suite());
-        assert_eq!(selected.len(), 9, "one workload per category at smoke scale");
+        assert_eq!(
+            selected.len(),
+            9,
+            "one workload per category at smoke scale"
+        );
         let full = RunScale::full().select_workloads(suite());
         assert_eq!(full.len(), 75);
     }
@@ -333,10 +342,13 @@ mod tests {
     #[test]
     fn speedups_align_with_workload_order() {
         let scale = RunScale::smoke();
-        let workloads: Vec<_> = scale.select_workloads(suite()).into_iter().take(3).collect();
+        let workloads: Vec<_> = scale
+            .select_workloads(suite())
+            .into_iter()
+            .take(3)
+            .collect();
         let config = SystemConfig::single_thread();
-        let speedups =
-            speedups_over_baseline(&workloads, PrefetcherKind::Spp, &config, &scale);
+        let speedups = speedups_over_baseline(&workloads, PrefetcherKind::Spp, &config, &scale);
         assert_eq!(speedups.len(), workloads.len());
         assert!(speedups.iter().all(|s| *s > 0.0));
     }

@@ -9,8 +9,7 @@
 //! included here for completeness.
 
 use dspatch_types::{
-    FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest, Prefetcher,
-    LINES_PER_PAGE,
+    FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest, Prefetcher, LINES_PER_PAGE,
 };
 use serde::{Deserialize, Serialize};
 
@@ -138,7 +137,8 @@ impl Prefetcher for AmpmPrefetcher {
         let already_prefetched = zone.prefetched;
 
         let mut requests = Vec::new();
-        let covered = |map: u64, o: i64| (0..LINES_PER_PAGE as i64).contains(&o) && (map >> o) & 1 == 1;
+        let covered =
+            |map: u64, o: i64| (0..LINES_PER_PAGE as i64).contains(&o) && (map >> o) & 1 == 1;
         for direction in [1i64, -1] {
             for k in 1..=self.config.max_stride as i64 {
                 if requests.len() >= self.config.degree {
@@ -176,7 +176,11 @@ mod tests {
     use dspatch_types::{AccessKind, Addr, Pc};
 
     fn access(page: u64, off: u64) -> MemoryAccess {
-        MemoryAccess::new(Pc::new(1), Addr::new(page * 4096 + off * 64), AccessKind::Load)
+        MemoryAccess::new(
+            Pc::new(1),
+            Addr::new(page * 4096 + off * 64),
+            AccessKind::Load,
+        )
     }
 
     fn drive(ampm: &mut AmpmPrefetcher, seq: &[(u64, u64)]) -> Vec<PrefetchRequest> {
@@ -202,7 +206,11 @@ mod tests {
         let reqs = drive(&mut ampm, &seq);
         assert!(!reqs.is_empty());
         for r in &reqs {
-            assert_eq!(r.line.page_offset() % 4, 0, "prefetches follow the +4 stride");
+            assert_eq!(
+                r.line.page_offset() % 4,
+                0,
+                "prefetches follow the +4 stride"
+            );
         }
     }
 
@@ -224,7 +232,11 @@ mod tests {
         let before = lines.len();
         lines.sort_unstable();
         lines.dedup();
-        assert_eq!(before, lines.len(), "each line is prefetched at most once per zone");
+        assert_eq!(
+            before,
+            lines.len(),
+            "each line is prefetched at most once per zone"
+        );
     }
 
     #[test]

@@ -129,9 +129,16 @@ impl BopPrefetcher {
     /// Panics if the RR table, candidate list or degree is empty/zero.
     pub fn new(config: BopConfig) -> Self {
         assert!(config.rr_entries > 0, "RR table must be non-empty");
-        assert!(!config.candidate_offsets.is_empty(), "candidate offset list must be non-empty");
+        assert!(
+            !config.candidate_offsets.is_empty(),
+            "candidate offset list must be non-empty"
+        );
         assert!(config.degree > 0, "prefetch degree must be positive");
-        let name = if config.bandwidth_enhanced { "eBOP" } else { "BOP" };
+        let name = if config.bandwidth_enhanced {
+            "eBOP"
+        } else {
+            "BOP"
+        };
         Self {
             rr_table: vec![None; config.rr_entries],
             scores: vec![0; config.candidate_offsets.len()],
@@ -244,7 +251,9 @@ impl Prefetcher for BopPrefetcher {
         };
         let degree = self.effective_degree(ctx.bandwidth);
         let requests: Vec<PrefetchRequest> = (1..=degree as i64)
-            .map(|k| PrefetchRequest::new(line.offset_by(offset * k)).with_fill_level(FillLevel::L2))
+            .map(|k| {
+                PrefetchRequest::new(line.offset_by(offset * k)).with_fill_level(FillLevel::L2)
+            })
             .collect();
         self.stats.prefetches += requests.len() as u64;
         requests
@@ -268,7 +277,10 @@ mod tests {
         MemoryAccess::new(Pc::new(1), Addr::new(line * 64), AccessKind::Load)
     }
 
-    fn drive(bop: &mut BopPrefetcher, lines: impl IntoIterator<Item = u64>) -> Vec<PrefetchRequest> {
+    fn drive(
+        bop: &mut BopPrefetcher,
+        lines: impl IntoIterator<Item = u64>,
+    ) -> Vec<PrefetchRequest> {
         let ctx = PrefetchContext::default();
         let mut out = Vec::new();
         for l in lines {
@@ -289,7 +301,11 @@ mod tests {
         let lines = (0..4000u64).map(|i| (i / 2) * 3 + (i % 2));
         let reqs = drive(&mut bop, lines);
         assert!(!reqs.is_empty());
-        assert_eq!(bop.best_offset(), Some(3), "BOP should converge on offset 3");
+        assert_eq!(
+            bop.best_offset(),
+            Some(3),
+            "BOP should converge on offset 3"
+        );
     }
 
     #[test]
@@ -306,7 +322,9 @@ mod tests {
         // A pseudo-random walk with no repeating offset relationship.
         let mut x = 12345u64;
         let lines = (0..20_000u64).map(move |_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 20
         });
         let reqs = drive(&mut bop, lines);
@@ -326,7 +344,7 @@ mod tests {
             degree: 3,
             ..BopConfig::default()
         });
-        let _ = drive(&mut bop, (0..4000u64).map(|i| i));
+        let _ = drive(&mut bop, 0..4000u64);
         let reqs = drive(&mut bop, [10_000, 10_001]);
         assert!(!reqs.is_empty());
         assert_eq!(reqs.len() % 3, 0, "each access issues `degree` prefetches");
@@ -335,7 +353,7 @@ mod tests {
     #[test]
     fn ebop_scales_degree_with_bandwidth_headroom() {
         let mut bop = BopPrefetcher::new(BopConfig::enhanced());
-        let _ = drive(&mut bop, (0..4000u64).map(|i| i));
+        let _ = drive(&mut bop, 0..4000u64);
         assert!(bop.best_offset().is_some());
         let low = bop.on_access(
             &access(50_000),
@@ -371,7 +389,10 @@ mod tests {
     fn storage_is_about_1_3_kb() {
         let bop = BopPrefetcher::new(BopConfig::default());
         let kb = bop.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((0.4..2.0).contains(&kb), "BOP storage should be ~1 KB, got {kb:.2}");
+        assert!(
+            (0.4..2.0).contains(&kb),
+            "BOP storage should be ~1 KB, got {kb:.2}"
+        );
     }
 
     #[test]

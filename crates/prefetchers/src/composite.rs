@@ -160,7 +160,10 @@ mod tests {
     fn request_cap_is_enforced() {
         let mut combined = AdjunctPrefetcher::new(
             StreamPrefetcher::new(StreamConfig::default()),
-            StreamPrefetcher::new(StreamConfig { degree: 8, ..StreamConfig::default() }),
+            StreamPrefetcher::new(StreamConfig {
+                degree: 8,
+                ..StreamConfig::default()
+            }),
         )
         .with_request_cap(3);
         let reqs = combined.on_access(&access(0), &PrefetchContext::default());
@@ -198,8 +201,14 @@ mod tests {
         let dspatch = lineup::dspatch().storage_bits();
         let spp = lineup::spp().storage_bits();
         let sms = lineup::sms().storage_bits();
-        assert!(bop < dspatch, "BOP ({bop}) should be smaller than DSPatch ({dspatch})");
-        assert!(dspatch < spp, "DSPatch ({dspatch}) should be smaller than SPP ({spp})");
+        assert!(
+            bop < dspatch,
+            "BOP ({bop}) should be smaller than DSPatch ({dspatch})"
+        );
+        assert!(
+            dspatch < spp,
+            "DSPatch ({dspatch}) should be smaller than SPP ({spp})"
+        );
         assert!(spp < sms, "SPP ({spp}) should be smaller than SMS ({sms})");
     }
 }

@@ -137,7 +137,10 @@ impl SmsPrefetcher {
             (1..=64).contains(&lines),
             "region must hold 1..=64 cache lines, got {lines}"
         );
-        assert!(config.accumulation_entries > 0, "accumulation table must be non-empty");
+        assert!(
+            config.accumulation_entries > 0,
+            "accumulation table must be non-empty"
+        );
         assert!(config.filter_entries > 0, "filter table must be non-empty");
         assert!(config.pht_entries > 0, "PHT must be non-empty");
         assert!(config.pht_ways > 0, "PHT associativity must be positive");
@@ -164,7 +167,8 @@ impl SmsPrefetcher {
 
     fn region_of(&self, access: &MemoryAccess) -> (u64, usize) {
         let region = access.addr.as_u64() / self.config.region_bytes as u64;
-        let offset = (access.addr.as_u64() % self.config.region_bytes as u64) as usize / CACHE_LINE_BYTES;
+        let offset =
+            (access.addr.as_u64() % self.config.region_bytes as u64) as usize / CACHE_LINE_BYTES;
         (region, offset)
     }
 
@@ -201,7 +205,11 @@ impl SmsPrefetcher {
             entry.last_use = clock;
             return;
         }
-        let entry = PhtEntry { tag: signature, pattern, last_use: clock };
+        let entry = PhtEntry {
+            tag: signature,
+            pattern,
+            last_use: clock,
+        };
         if bucket.len() < ways {
             bucket.push(entry);
         } else {
@@ -330,7 +338,12 @@ mod tests {
         MemoryAccess::new(Pc::new(pc), Addr::new(byte), AccessKind::Load)
     }
 
-    fn train_regions(sms: &mut SmsPrefetcher, pc: u64, regions: std::ops::Range<u64>, offsets: &[u64]) -> Vec<PrefetchRequest> {
+    fn train_regions(
+        sms: &mut SmsPrefetcher,
+        pc: u64,
+        regions: std::ops::Range<u64>,
+        offsets: &[u64],
+    ) -> Vec<PrefetchRequest> {
         let ctx = PrefetchContext::default();
         let mut out = Vec::new();
         for r in regions {
@@ -345,7 +358,10 @@ mod tests {
     fn replays_learnt_pattern_on_matching_trigger() {
         let mut sms = SmsPrefetcher::new(SmsConfig::default());
         let reqs = train_regions(&mut sms, 0x42, 0..256, &[1, 4, 7, 10]);
-        assert!(!reqs.is_empty(), "repeated (PC, offset) signatures must replay patterns");
+        assert!(
+            !reqs.is_empty(),
+            "repeated (PC, offset) signatures must replay patterns"
+        );
         assert!(sms.stats().pht_hits > 0);
         // Replayed prefetches must stay inside one 2 KB region (32 lines).
         for r in &reqs {
@@ -408,8 +424,14 @@ mod tests {
         let small = SmsPrefetcher::new(SmsConfig::with_pht_entries(256));
         let big_kb = big.storage_bits() as f64 / 8.0 / 1024.0;
         let small_kb = small.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(big_kb > 80.0 && big_kb < 200.0, "16K-entry SMS should be tens of KB, got {big_kb:.1}");
-        assert!(small_kb < 6.0, "256-entry SMS should be a few KB, got {small_kb:.1}");
+        assert!(
+            big_kb > 80.0 && big_kb < 200.0,
+            "16K-entry SMS should be tens of KB, got {big_kb:.1}"
+        );
+        assert!(
+            small_kb < 6.0,
+            "256-entry SMS should be a few KB, got {small_kb:.1}"
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ impl PtEntry {
             }
         }
         self.c_sig += 1;
-        if let Some(slot) = self.deltas.iter_mut().find(|s| s.counter > 0 && s.delta == delta) {
+        if let Some(slot) = self
+            .deltas
+            .iter_mut()
+            .find(|s| s.counter > 0 && s.delta == delta)
+        {
             slot.counter = (slot.counter + 1).min(COUNTER_MAX);
             return;
         }
@@ -203,13 +207,23 @@ impl SppPrefetcher {
     ///
     /// Panics if a table size is zero or a threshold is outside `(0, 1]`.
     pub fn new(config: SppConfig) -> Self {
-        assert!(config.signature_table_entries > 0, "signature table must be non-empty");
-        assert!(config.pattern_table_entries > 0, "pattern table must be non-empty");
+        assert!(
+            config.signature_table_entries > 0,
+            "signature table must be non-empty"
+        );
+        assert!(
+            config.pattern_table_entries > 0,
+            "pattern table must be non-empty"
+        );
         assert!(
             config.prefetch_threshold > 0.0 && config.prefetch_threshold <= 1.0,
             "prefetch threshold must be in (0, 1]"
         );
-        let name = if config.bandwidth_enhanced { "eSPP" } else { "SPP" };
+        let name = if config.bandwidth_enhanced {
+            "eSPP"
+        } else {
+            "SPP"
+        };
         Self {
             signature_table: vec![StEntry::default(); config.signature_table_entries],
             pattern_table: vec![PtEntry::default(); config.pattern_table_entries],
@@ -323,11 +337,13 @@ impl SppPrefetcher {
                         self.ghr_insert(signature, delta, target);
                     }
                 }
-                if best.map_or(true, |(_, b)| path_conf > b) {
+                if best.is_none_or(|(_, b)| path_conf > b) {
                     best = Some((delta, path_conf));
                 }
             }
-            let Some((best_delta, best_conf)) = best else { break };
+            let Some((best_delta, best_conf)) = best else {
+                break;
+            };
             if best_conf < threshold {
                 break;
             }
@@ -410,7 +426,11 @@ mod tests {
     use dspatch_types::{AccessKind, Addr, Pc};
 
     fn access(page: u64, offset: u64) -> MemoryAccess {
-        MemoryAccess::new(Pc::new(1), Addr::new(page * 4096 + offset * 64), AccessKind::Load)
+        MemoryAccess::new(
+            Pc::new(1),
+            Addr::new(page * 4096 + offset * 64),
+            AccessKind::Load,
+        )
     }
 
     fn drive(spp: &mut SppPrefetcher, accesses: &[(u64, u64)]) -> Vec<PrefetchRequest> {
@@ -477,17 +497,18 @@ mod tests {
         let mut spp = SppPrefetcher::new(SppConfig::default());
         // A non-repeating, irregular offset sequence.
         let offsets = [3u64, 47, 12, 60, 1, 33, 20, 55, 9, 41, 27, 14];
-        let stream: Vec<(u64, u64)> = (0..8).flat_map(|p| {
-            let rotate = (p * 5) as usize % offsets.len();
-            offsets
-                .iter()
-                .cycle()
-                .skip(rotate)
-                .take(offsets.len())
-                .map(move |&o| (p, o))
-                .collect::<Vec<_>>()
-        })
-        .collect();
+        let stream: Vec<(u64, u64)> = (0..8)
+            .flat_map(|p| {
+                let rotate = (p * 5) as usize % offsets.len();
+                offsets
+                    .iter()
+                    .cycle()
+                    .skip(rotate)
+                    .take(offsets.len())
+                    .map(move |&o| (p, o))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         let regular: Vec<(u64, u64)> = (100..108)
             .flat_map(|p| (0..12u64).map(move |o| (p, o)))
             .collect();
@@ -576,7 +597,10 @@ mod tests {
     fn storage_is_in_the_single_digit_kilobyte_range() {
         let spp = SppPrefetcher::new(SppConfig::default());
         let kb = spp.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 2.0 && kb < 8.0, "SPP storage should be a few KB, got {kb:.1}");
+        assert!(
+            kb > 2.0 && kb < 8.0,
+            "SPP storage should be a few KB, got {kb:.1}"
+        );
     }
 
     #[test]

@@ -168,7 +168,9 @@ mod tests {
         let _ = pf.on_access(&access(0x1000 + 30 * 64), &ctx);
         let reqs = pf.on_access(&access(0x1000 + 20 * 64), &ctx);
         assert!(!reqs.is_empty());
-        assert!(reqs.iter().all(|r| r.line < Addr::new(0x1000 + 20 * 64).line()));
+        assert!(reqs
+            .iter()
+            .all(|r| r.line < Addr::new(0x1000 + 20 * 64).line()));
     }
 
     #[test]
@@ -180,7 +182,9 @@ mod tests {
         let ctx = PrefetchContext::default();
         let _ = pf.on_access(&access(0x1000 + 30 * 64), &ctx);
         let reqs = pf.on_access(&access(0x1000 + 20 * 64), &ctx);
-        assert!(reqs.iter().all(|r| r.line > Addr::new(0x1000 + 20 * 64).line()));
+        assert!(reqs
+            .iter()
+            .all(|r| r.line > Addr::new(0x1000 + 20 * 64).line()));
     }
 
     #[test]

@@ -142,14 +142,18 @@ impl Prefetcher for StridePrefetcher {
                 entry.confidence = 0;
             }
             entry.last_line = line;
-            (entry.stride, entry.confidence >= self.config.confidence_threshold)
+            (
+                entry.stride,
+                entry.confidence >= self.config.confidence_threshold,
+            )
         };
         if !confident || stride == 0 {
             return Vec::new();
         }
         (1..=self.config.degree as i64)
             .map(|k| {
-                PrefetchRequest::new(line.offset_by(stride * k)).with_fill_level(self.config.fill_level)
+                PrefetchRequest::new(line.offset_by(stride * k))
+                    .with_fill_level(self.config.fill_level)
             })
             .collect()
     }
@@ -187,7 +191,9 @@ mod tests {
         // With a +1-line stride, the prefetches are strictly ahead of the demand.
         let last_demand = Addr::new(256).line();
         assert!(reqs.iter().all(|r| r.line > Addr::new(0).line()));
-        assert!(reqs.iter().any(|r| r.line > last_demand || r.line.as_u64() > 0));
+        assert!(reqs
+            .iter()
+            .any(|r| r.line > last_demand || r.line.as_u64() > 0));
     }
 
     #[test]
@@ -247,7 +253,10 @@ mod tests {
     fn storage_is_reported() {
         let pf = StridePrefetcher::new(StrideConfig::default());
         assert!(pf.storage_bits() > 0);
-        assert!(pf.storage_bits() < 8 * 1024 * 8, "stride prefetcher must stay tiny");
+        assert!(
+            pf.storage_bits() < 8 * 1024 * 8,
+            "stride prefetcher must stay tiny"
+        );
     }
 
     #[test]

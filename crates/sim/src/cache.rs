@@ -56,7 +56,7 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err(format!("{}: associativity must be positive", self.name));
         }
-        if self.size_bytes % (CACHE_LINE_BYTES * self.ways) != 0 {
+        if !self.size_bytes.is_multiple_of(CACHE_LINE_BYTES * self.ways) {
             return Err(format!(
                 "{}: capacity must be a multiple of ways x line size",
                 self.name
@@ -177,7 +177,9 @@ impl Cache {
     /// Returns whether `line` is resident, without touching LRU state or
     /// statistics.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].iter().any(|w| w.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|w| w.line == line)
     }
 
     /// Performs a demand lookup: updates LRU, marks prefetched lines as
@@ -218,7 +220,12 @@ impl Cache {
     /// Fills `line` into the cache. `is_prefetch` marks prefetch fills;
     /// `low_priority` inserts near the LRU position instead of at MRU.
     /// Returns the eviction this fill caused, if any.
-    pub fn fill(&mut self, line: LineAddr, is_prefetch: bool, low_priority: bool) -> Option<Eviction> {
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        is_prefetch: bool,
+        low_priority: bool,
+    ) -> Option<Eviction> {
         self.clock += 1;
         let clock = self.clock;
         let set_index = self.set_index(line);
@@ -243,7 +250,11 @@ impl Cache {
 
         // Low-priority fills are inserted with an old LRU stamp so they are
         // the next victims unless promoted by a demand hit.
-        let lru_stamp = if low_priority { clock.saturating_sub(1 << 20) } else { clock };
+        let lru_stamp = if low_priority {
+            clock.saturating_sub(1 << 20)
+        } else {
+            clock
+        };
         let new_way = Way {
             line,
             meta: LineMeta {
@@ -353,7 +364,11 @@ mod tests {
         c.fill(line(0), false, false);
         c.fill(line(4), true, true); // low-priority prefetch
         let evicted = c.fill(line(8), false, false).expect("eviction expected");
-        assert_eq!(evicted.line, line(4), "low-priority line must be the victim");
+        assert_eq!(
+            evicted.line,
+            line(4),
+            "low-priority line must be the victim"
+        );
     }
 
     #[test]

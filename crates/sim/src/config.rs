@@ -281,7 +281,9 @@ mod tests {
         // Same LLC capacity per core, half the bandwidth per core.
         let st = SystemConfig::single_thread();
         assert_eq!(cfg.llc.size_bytes / cfg.cores, st.llc.size_bytes);
-        assert!((cfg.dram.peak_bandwidth_gbps() / cfg.cores as f64) < st.dram.peak_bandwidth_gbps());
+        assert!(
+            (cfg.dram.peak_bandwidth_gbps() / cfg.cores as f64) < st.dram.peak_bandwidth_gbps()
+        );
     }
 
     #[test]
@@ -325,7 +327,10 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        assert_eq!(DramConfig::with_speed(2, DramSpeedGrade::Ddr4_2400).label(), "2ch-2400");
+        assert_eq!(
+            DramConfig::with_speed(2, DramSpeedGrade::Ddr4_2400).label(),
+            "2ch-2400"
+        );
         assert_eq!(DramSpeedGrade::Ddr4_1600.label(), "1600");
     }
 }

@@ -69,8 +69,7 @@ impl BandwidthTracker {
         let cycles_per_ns = core_clock_mhz as f64 / 1000.0;
         let window_cycles = (4.0 * config.t_rc_ns() * cycles_per_ns).round().max(1.0) as u64;
         let transfer_cycles = config.transfer_time_ns() * cycles_per_ns;
-        let peak_cas_per_window =
-            (window_cycles as f64 / transfer_cycles) * config.channels as f64;
+        let peak_cas_per_window = (window_cycles as f64 / transfer_cycles) * config.channels as f64;
         Self {
             window_cycles,
             peak_cas_per_window,
@@ -168,7 +167,10 @@ impl Dram {
     /// Panics if the configuration has no channels or banks.
     pub fn new(config: DramConfig, core_clock_mhz: u64) -> Self {
         assert!(config.channels > 0, "DRAM needs at least one channel");
-        assert!(config.banks_per_channel() > 0, "DRAM needs at least one bank");
+        assert!(
+            config.banks_per_channel() > 0,
+            "DRAM needs at least one bank"
+        );
         let tracker = BandwidthTracker::new(&config, core_clock_mhz);
         let channel = Channel {
             banks: vec![
@@ -298,7 +300,10 @@ mod tests {
         let hit = d.access(LineAddr::new(16), 10_000, false) - 10_000;
         // Line 512 is bank 0 but a different row: row conflict.
         let miss = d.access(LineAddr::new(512), 20_000, false) - 20_000;
-        assert!(hit < miss, "row hit ({hit}) must be faster than row conflict ({miss})");
+        assert!(
+            hit < miss,
+            "row hit ({hit}) must be faster than row conflict ({miss})"
+        );
         assert!(cold >= hit);
         assert!(d.stats().row_hits >= 1);
         assert!(d.stats().row_misses >= 2);
@@ -363,7 +368,10 @@ mod tests {
             cycle += transfer_cycles;
         }
         let q = tracker.advance(cycle, &mut stats);
-        assert!(q >= BandwidthQuartile::Q2, "saturating traffic should report high utilization, got {q}");
+        assert!(
+            q >= BandwidthQuartile::Q2,
+            "saturating traffic should report high utilization, got {q}"
+        );
     }
 
     #[test]
@@ -376,7 +384,10 @@ mod tests {
         }
         let busy = tracker.advance(4100, &mut stats);
         let after_idle = tracker.advance(4100 + 20 * tracker.window_cycles(), &mut stats);
-        assert!(after_idle < busy, "utilization must decay when traffic stops");
+        assert!(
+            after_idle < busy,
+            "utilization must decay when traffic stops"
+        );
         assert_eq!(after_idle, BandwidthQuartile::Q0);
     }
 

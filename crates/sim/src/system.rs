@@ -265,7 +265,9 @@ impl Machine {
                 break;
             }
             self.ready_queue.pop();
-            let Some(fill) = self.pending.remove(&line) else { continue };
+            let Some(fill) = self.pending.remove(&line) else {
+                continue;
+            };
             if fill.ready > cycle {
                 // A duplicate queue entry from a superseded request; requeue.
                 self.pending.insert(line, fill);
@@ -357,10 +359,7 @@ impl Machine {
             core.load_completions.push(Reverse(completion));
             core.instructions += 1;
             core.next_record += 1;
-            core.gap_remaining = core
-                .records
-                .get(core.next_record)
-                .map_or(0, |r| r.gap);
+            core.gap_remaining = core.records.get(core.next_record).map_or(0, |r| r.gap);
             allocated += 1;
         }
     }
@@ -373,7 +372,8 @@ impl Machine {
         let l2_latency = self.config.l2.latency;
         let llc_latency = self.config.llc.latency;
         let bandwidth = self.dram.bandwidth_quartile();
-        let access = MemoryAccess::new(record.pc, record.addr, record.kind).with_core(CoreId(index));
+        let access =
+            MemoryAccess::new(record.pc, record.addr, record.kind).with_core(CoreId(index));
 
         // L1 prefetcher observes every demand access at the L1.
         let l1_requests = {
@@ -687,11 +687,21 @@ mod tests {
         use dspatch_trace::PointerChaseGen;
         let chase = Trace::new(
             "chase",
-            PointerChaseGen { nodes: 1 << 15, node_bytes: 192, gap: 10 }.generate_records(9, 2_000),
+            PointerChaseGen {
+                nodes: 1 << 15,
+                node_bytes: 192,
+                gap: 10,
+            }
+            .generate_records(9, 2_000),
         );
         let stream = Trace::new(
             "stream",
-            StreamGen { streams: 1, gap: 10, store_percent: 0 }.generate_records(9, 2_000),
+            StreamGen {
+                streams: 1,
+                gap: 10,
+                store_percent: 0,
+            }
+            .generate_records(9, 2_000),
         );
         let chase_result = run_single(chase, Box::new(NullPrefetcher::new()));
         let stream_result = run_single(stream, Box::new(NullPrefetcher::new()));
@@ -711,7 +721,10 @@ mod tests {
         );
         let acc = result.total_accounting();
         assert!(acc.prefetches_issued > 0);
-        assert!(acc.covered > 0, "stream prefetching must cover some L2 accesses");
+        assert!(
+            acc.covered > 0,
+            "stream prefetching must cover some L2 accesses"
+        );
         assert!(acc.coverage() > 0.1);
         assert!(acc.covered + acc.uncovered <= acc.l2_demand_accesses);
     }
@@ -730,7 +743,10 @@ mod tests {
         let baseline = run_single(stream_trace(3_000, 5), Box::new(NullPrefetcher::new()));
         let prefetched = run_single(
             stream_trace(3_000, 5),
-            Box::new(StreamPrefetcher::new(StreamConfig { degree: 8, ..StreamConfig::default() })),
+            Box::new(StreamPrefetcher::new(StreamConfig {
+                degree: 8,
+                ..StreamConfig::default()
+            })),
         );
         assert!(prefetched.dram.cas_commands >= baseline.dram.cas_commands);
         assert!(prefetched.dram.prefetch_accesses > 0);
@@ -741,7 +757,10 @@ mod tests {
         let config = SystemConfig::multi_programmed();
         let mut builder = SimulationBuilder::new(config);
         for seed in 0..4u64 {
-            builder = builder.with_core(stream_trace(1_500, 10 + seed), Box::new(NullPrefetcher::new()));
+            builder = builder.with_core(
+                stream_trace(1_500, 10 + seed),
+                Box::new(NullPrefetcher::new()),
+            );
         }
         let result = builder.run();
         assert_eq!(result.cores.len(), 4);
@@ -792,16 +811,29 @@ mod tests {
         let light = run_single(
             Trace::new(
                 "light",
-                StreamGen { streams: 1, gap: 60, store_percent: 0 }.generate_records(7, 1_000),
+                StreamGen {
+                    streams: 1,
+                    gap: 60,
+                    store_percent: 0,
+                }
+                .generate_records(7, 1_000),
             ),
             Box::new(NullPrefetcher::new()),
         );
         let heavy = run_single(
             Trace::new(
                 "heavy",
-                StreamGen { streams: 4, gap: 0, store_percent: 0 }.generate_records(7, 6_000),
+                StreamGen {
+                    streams: 4,
+                    gap: 0,
+                    store_percent: 0,
+                }
+                .generate_records(7, 6_000),
             ),
-            Box::new(StreamPrefetcher::new(StreamConfig { degree: 8, ..StreamConfig::default() })),
+            Box::new(StreamPrefetcher::new(StreamConfig {
+                degree: 8,
+                ..StreamConfig::default()
+            })),
         );
         assert!(heavy.dram.average_utilization() > light.dram.average_utilization());
     }
@@ -823,11 +855,23 @@ mod tests {
             .generate_records(11, 8_000),
         );
         let result = SimulationBuilder::new(config)
-            .with_core(trace, Box::new(StreamPrefetcher::new(StreamConfig { degree: 6, ..StreamConfig::default() })))
+            .with_core(
+                trace,
+                Box::new(StreamPrefetcher::new(StreamConfig {
+                    degree: 6,
+                    ..StreamConfig::default()
+                })),
+            )
             .run();
-        assert!(result.pollution.total() > 0, "prefetch fills must evict something");
+        assert!(
+            result.pollution.total() > 0,
+            "prefetch fills must evict something"
+        );
         let (no_reuse, _, bad) = result.pollution.fractions();
-        assert!(no_reuse > bad, "dead victims should dominate true pollution");
+        assert!(
+            no_reuse > bad,
+            "dead victims should dominate true pollution"
+        );
     }
 
     #[test]

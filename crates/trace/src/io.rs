@@ -50,7 +50,10 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Trace> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DSPT trace file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a DSPT trace file",
+        ));
     }
     let version = read_u32(&mut reader)?;
     if version != VERSION {
@@ -62,8 +65,8 @@ pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Trace> {
     let name_len = read_u32(&mut reader)? as usize;
     let mut name_bytes = vec![0u8; name_len];
     reader.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let name =
+        String::from_utf8(name_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     let count = read_u64(&mut reader)? as usize;
     let mut records = Vec::with_capacity(count.min(1 << 24));
     for _ in 0..count {
@@ -126,7 +129,9 @@ mod tests {
             vec![
                 TraceRecord::load(0x400100, 0x7000_0000).with_gap(5),
                 TraceRecord::store(0x400104, 0x7000_0040),
-                TraceRecord::load(0x400108, 0x7000_1000).with_gap(100).with_dependent(true),
+                TraceRecord::load(0x400108, 0x7000_1000)
+                    .with_gap(100)
+                    .with_dependent(true),
             ],
         )
     }

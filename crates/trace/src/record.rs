@@ -127,7 +127,11 @@ impl Trace {
 
     /// Number of distinct cache lines touched.
     pub fn footprint_lines(&self) -> usize {
-        let mut lines: Vec<u64> = self.records.iter().map(|r| r.addr.line().as_u64()).collect();
+        let mut lines: Vec<u64> = self
+            .records
+            .iter()
+            .map(|r| r.addr.line().as_u64())
+            .collect();
         lines.sort_unstable();
         lines.dedup();
         lines.len()
@@ -135,7 +139,11 @@ impl Trace {
 
     /// Number of distinct 4 KB pages touched.
     pub fn footprint_pages(&self) -> usize {
-        let mut pages: Vec<u64> = self.records.iter().map(|r| r.addr.page().as_u64()).collect();
+        let mut pages: Vec<u64> = self
+            .records
+            .iter()
+            .map(|r| r.addr.page().as_u64())
+            .collect();
         pages.sort_unstable();
         pages.dedup();
         pages.len()

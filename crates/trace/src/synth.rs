@@ -45,7 +45,12 @@ impl PatternGenerator for StreamGen {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5741_7645);
         let streams = self.streams.max(1);
         let mut cursors: Vec<u64> = (0..streams)
-            .map(|i| (rng.random_range(0..1u64 << 20) + (i as u64) << 24) * CACHE_LINE_BYTES as u64)
+            .map(|i| {
+                // Random line-aligned start within each stream's private
+                // region; regions are spaced 2^24 lines (1 GiB) apart so
+                // streams never collide.
+                (rng.random_range(0..1u64 << 20) + ((i as u64) << 24)) * CACHE_LINE_BYTES as u64
+            })
             .collect();
         let pcs: Vec<u64> = (0..streams).map(|i| 0x40_0000 + i as u64 * 0x40).collect();
         let mut records = Vec::with_capacity(len);
@@ -147,7 +152,8 @@ impl PatternGenerator for SpatialPatternGen {
         // Fixed per-layout offset sets, stable across page visits.
         let layout_offsets: Vec<Vec<usize>> = (0..layouts)
             .map(|k| {
-                let mut layout_rng = SmallRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37));
+                let mut layout_rng =
+                    SmallRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37));
                 let mut offsets: Vec<usize> = (0..LINES_PER_PAGE).collect();
                 offsets.shuffle(&mut layout_rng);
                 offsets.truncate(density);
@@ -281,7 +287,11 @@ impl PatternGenerator for PointerChaseGen {
         let mut records = Vec::with_capacity(len);
         for _ in 0..len {
             let addr = current * self.node_bytes.max(CACHE_LINE_BYTES as u64);
-            records.push(TraceRecord::load(pc, addr).with_gap(self.gap).with_dependent(true));
+            records.push(
+                TraceRecord::load(pc, addr)
+                    .with_gap(self.gap)
+                    .with_dependent(true),
+            );
             current = (current.wrapping_mul(multiplier).wrapping_add(12345)) % nodes;
         }
         records
@@ -325,7 +335,7 @@ impl PatternGenerator for CodeHeavyGen {
             let pc_index = rng.random_range(0..pcs as u64);
             let pc = 0x45_0000 + pc_index * 0x14;
             // Each PC has an affine home region so its accesses repeat pages.
-            let page = (pc_index * 37 + rng.random_range(0..8)) % self.footprint_pages.max(1);
+            let page = (pc_index * 37 + rng.random_range(0..8u64)) % self.footprint_pages.max(1);
             let start = rng.random_range(0..LINES_PER_PAGE - burst + 1);
             for b in 0..burst {
                 if records.len() >= len {
@@ -361,7 +371,10 @@ impl MixedGen {
     /// Panics if `parts` is empty or all weights are zero.
     pub fn new(parts: Vec<(u32, GeneratorSpec)>) -> Self {
         assert!(!parts.is_empty(), "a mix needs at least one part");
-        assert!(parts.iter().any(|(w, _)| *w > 0), "at least one weight must be positive");
+        assert!(
+            parts.iter().any(|(w, _)| *w > 0),
+            "at least one weight must be positive"
+        );
         Self {
             parts,
             phase_len: 256,
@@ -489,7 +502,12 @@ mod tests {
 
     #[test]
     fn stream_is_dense_and_sequential() {
-        let records = StreamGen { streams: 1, gap: 0, store_percent: 0 }.generate_records(5, 100);
+        let records = StreamGen {
+            streams: 1,
+            gap: 0,
+            store_percent: 0,
+        }
+        .generate_records(5, 100);
         for pair in records.windows(2) {
             let delta = pair[1].addr.line().delta_from(pair[0].addr.line());
             assert_eq!(delta, 1, "single stream must be unit-stride");
@@ -498,7 +516,11 @@ mod tests {
 
     #[test]
     fn strided_keeps_its_stride() {
-        let gen = StridedGen { stride_lines: 5, streams: 1, gap: 0 };
+        let gen = StridedGen {
+            stride_lines: 5,
+            streams: 1,
+            gap: 0,
+        };
         let records = gen.generate_records(9, 50);
         for pair in records.windows(2) {
             assert_eq!(pair[1].addr.line().delta_from(pair[0].addr.line()), 5);
@@ -507,7 +529,13 @@ mod tests {
 
     #[test]
     fn spatial_reuses_layouts_across_pages() {
-        let gen = SpatialPatternGen { layouts: 2, density: 8, reorder_window: 4, working_set_pages: 1 << 20, gap: 0 };
+        let gen = SpatialPatternGen {
+            layouts: 2,
+            density: 8,
+            reorder_window: 4,
+            working_set_pages: 1 << 20,
+            gap: 0,
+        };
         let records = gen.generate_records(11, 4000);
         // Group by PC and page; every page visited by one PC must touch the
         // same set of page offsets (the layout), whatever the order.
@@ -527,9 +555,15 @@ mod tests {
         }
         for (pc, sets) in per_pc_sets {
             let complete: Vec<&Vec<usize>> = sets.iter().filter(|s| s.len() == 8).collect();
-            assert!(complete.len() > 1, "pc {pc:#x} should fully visit several pages");
+            assert!(
+                complete.len() > 1,
+                "pc {pc:#x} should fully visit several pages"
+            );
             for s in &complete {
-                assert_eq!(*s, complete[0], "layout must repeat across pages for pc {pc:#x}");
+                assert_eq!(
+                    *s, complete[0],
+                    "layout must repeat across pages for pc {pc:#x}"
+                );
             }
         }
     }
@@ -540,7 +574,10 @@ mod tests {
         let mut pages: Vec<u64> = records.iter().map(|r| r.addr.page().as_u64()).collect();
         pages.sort_unstable();
         pages.dedup();
-        assert!(pages.len() > 2000, "sparse generator must spread over many pages");
+        assert!(
+            pages.len() > 2000,
+            "sparse generator must spread over many pages"
+        );
     }
 
     #[test]
@@ -562,7 +599,11 @@ mod tests {
         let mut pcs: Vec<u64> = records.iter().map(|r| r.pc.as_u64()).collect();
         pcs.sort_unstable();
         pcs.dedup();
-        assert!(pcs.len() > 2000, "expected thousands of distinct PCs, got {}", pcs.len());
+        assert!(
+            pcs.len() > 2000,
+            "expected thousands of distinct PCs, got {}",
+            pcs.len()
+        );
     }
 
     #[test]
@@ -573,7 +614,10 @@ mod tests {
         ]);
         let records = mix.generate_records(31, 10_000);
         let stream_pcs = records.iter().filter(|r| r.pc.as_u64() < 0x41_0000).count();
-        let chase_pcs = records.iter().filter(|r| r.pc.as_u64() == 0x44_0000).count();
+        let chase_pcs = records
+            .iter()
+            .filter(|r| r.pc.as_u64() == 0x44_0000)
+            .count();
         assert!(stream_pcs > 0 && chase_pcs > 0);
     }
 

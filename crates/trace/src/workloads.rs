@@ -92,7 +92,10 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Generates a trace of `accesses` memory accesses for this workload.
     pub fn generate(&self, accesses: usize) -> Trace {
-        Trace::new(self.name.clone(), self.generator.generate_records(self.seed, accesses))
+        Trace::new(
+            self.name.clone(),
+            self.generator.generate_records(self.seed, accesses),
+        )
     }
 }
 
@@ -164,8 +167,14 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Client,
             names: &[
-                "7zip-compress", "7zip-decompress", "vp9-encode", "vp9-decode", "image-filter",
-                "pdf-render", "browser-layout", "audio-transcode",
+                "7zip-compress",
+                "7zip-decompress",
+                "vp9-encode",
+                "vp9-decode",
+                "image-filter",
+                "pdf-render",
+                "browser-layout",
+                "audio-transcode",
             ],
             memory_intensive: &[true, true, true, false, true, false, false, false],
             build: |i| {
@@ -179,8 +188,14 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Server,
             names: &[
-                "tpcc", "specjbb2015", "specjenterprise", "spark-pagerank", "web-frontend",
-                "mail-index", "rpc-broker", "db-oltp",
+                "tpcc",
+                "specjbb2015",
+                "specjenterprise",
+                "spark-pagerank",
+                "web-frontend",
+                "mail-index",
+                "rpc-broker",
+                "db-oltp",
             ],
             memory_intensive: &[true, true, false, true, false, false, false, true],
             build: |i| {
@@ -194,8 +209,15 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Hpc,
             names: &[
-                "linpack", "npb-cg", "npb-mg", "npb-ft", "parsec-stream", "stencil-2d",
-                "spec-accel-lbm", "spmv", "fft-batch",
+                "linpack",
+                "npb-cg",
+                "npb-mg",
+                "npb-ft",
+                "parsec-stream",
+                "stencil-2d",
+                "spec-accel-lbm",
+                "spmv",
+                "fft-batch",
             ],
             memory_intensive: &[true, true, true, true, false, false, true, false, false],
             build: |i| {
@@ -208,7 +230,14 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Fspec06,
             names: &[
-                "sphinx3", "soplex", "gemsfdtd", "lbm06", "milc", "leslie3d", "zeusmp", "cactusadm",
+                "sphinx3",
+                "soplex",
+                "gemsfdtd",
+                "lbm06",
+                "milc",
+                "leslie3d",
+                "zeusmp",
+                "cactusadm",
                 "bwaves06",
             ],
             memory_intensive: &[true, true, true, true, true, true, false, false, false],
@@ -223,7 +252,13 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Ispec06,
             names: &[
-                "mcf06", "omnetpp06", "gcc06", "astar", "xalancbmk06", "libquantum", "bzip2",
+                "mcf06",
+                "omnetpp06",
+                "gcc06",
+                "astar",
+                "xalancbmk06",
+                "libquantum",
+                "bzip2",
                 "gobmk",
             ],
             memory_intensive: &[true, true, true, true, true, false, false, false],
@@ -239,7 +274,15 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Fspec17,
             names: &[
-                "lbm17", "cam4", "roms", "fotonik3d", "nab", "bwaves17", "wrf", "povray", "namd",
+                "lbm17",
+                "cam4",
+                "roms",
+                "fotonik3d",
+                "nab",
+                "bwaves17",
+                "wrf",
+                "povray",
+                "namd",
             ],
             memory_intensive: &[true, true, true, true, false, true, false, false, false],
             build: |i| {
@@ -252,7 +295,14 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Ispec17,
             names: &[
-                "mcf17", "omnetpp17", "xalancbmk17", "leela", "deepsjeng", "x264", "gcc17", "xz",
+                "mcf17",
+                "omnetpp17",
+                "xalancbmk17",
+                "leela",
+                "deepsjeng",
+                "x264",
+                "gcc17",
+                "xz",
             ],
             memory_intensive: &[true, true, true, false, false, false, true, false],
             build: |i| {
@@ -266,8 +316,14 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Cloud,
             names: &[
-                "bigbench-q1", "cassandra-read", "cassandra-write", "hbase-scan", "kmeans",
-                "streaming-agg", "hadoop-sort", "kv-store",
+                "bigbench-q1",
+                "cassandra-read",
+                "cassandra-write",
+                "hbase-scan",
+                "kmeans",
+                "streaming-agg",
+                "hadoop-sort",
+                "kv-store",
             ],
             memory_intensive: &[true, true, true, true, false, true, false, false],
             build: |i| {
@@ -281,8 +337,14 @@ fn category_plans() -> Vec<CategoryPlan> {
         CategoryPlan {
             category: WorkloadCategory::Sysmark,
             names: &[
-                "sysmark-excel", "sysmark-word", "sysmark-photoshop", "sysmark-sketchup",
-                "sysmark-media", "sysmark-mail", "sysmark-browse", "sysmark-archive",
+                "sysmark-excel",
+                "sysmark-word",
+                "sysmark-photoshop",
+                "sysmark-sketchup",
+                "sysmark-media",
+                "sysmark-mail",
+                "sysmark-browse",
+                "sysmark-archive",
             ],
             memory_intensive: &[true, false, true, true, false, false, true, false],
             build: |i| {
@@ -326,7 +388,10 @@ pub fn memory_intensive_suite() -> Vec<WorkloadSpec> {
 
 /// Returns the workloads of one category.
 pub fn category_suite(category: WorkloadCategory) -> Vec<WorkloadSpec> {
-    suite().into_iter().filter(|w| w.category == category).collect()
+    suite()
+        .into_iter()
+        .filter(|w| w.category == category)
+        .collect()
 }
 
 #[cfg(test)]

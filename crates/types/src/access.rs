@@ -6,7 +6,9 @@ use std::fmt;
 
 /// A program counter value. Prefetchers use the PC as (part of) their
 /// signature; DSPatch uses an 8-bit folded hash of the trigger PC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Pc(u64);
 
 impl Pc {
@@ -57,7 +59,9 @@ impl fmt::Display for Pc {
 }
 
 /// Identifier of a core in a multi-core simulation (0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CoreId(pub usize);
 
 impl CoreId {
@@ -74,9 +78,10 @@ impl fmt::Display for CoreId {
 }
 
 /// Whether a memory access reads or writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum AccessKind {
     /// A demand load.
+    #[default]
     Load,
     /// A demand store.
     Store,
@@ -86,12 +91,6 @@ impl AccessKind {
     /// Returns `true` for [`AccessKind::Load`].
     pub const fn is_load(self) -> bool {
         matches!(self, AccessKind::Load)
-    }
-}
-
-impl Default for AccessKind {
-    fn default() -> Self {
-        AccessKind::Load
     }
 }
 
@@ -199,7 +198,10 @@ mod tests {
         let access = MemoryAccess::new(Pc::new(1), Addr::new(0x2345), AccessKind::Store);
         assert_eq!(access.line(), Addr::new(0x2345).line());
         assert_eq!(access.page(), Addr::new(0x2345).page());
-        assert_eq!(access.page_line_offset(), Addr::new(0x2345).page_line_offset());
+        assert_eq!(
+            access.page_line_offset(),
+            Addr::new(0x2345).page_line_offset()
+        );
         assert!(!access.kind.is_load());
     }
 }

@@ -39,7 +39,9 @@ const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
 /// assert_eq!(a.page_line_offset(), 2);
 /// assert_eq!(a.page().as_u64(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -113,7 +115,9 @@ impl fmt::LowerHex for Addr {
 /// assert_eq!(line, LineAddr::new(0x41));
 /// assert_eq!(line.to_addr(), Addr::new(0x1040));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -175,7 +179,9 @@ impl fmt::Display for LineAddr {
 /// assert_eq!(page.to_addr(), Addr::new(7 * 4096));
 /// assert_eq!(page.line_at(3), Addr::new(7 * 4096 + 3 * 64).line());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PageAddr(u64);
 
 impl PageAddr {

@@ -24,9 +24,12 @@ use std::fmt;
 /// assert!(BandwidthQuartile::Q3.is_high());
 /// assert!(!BandwidthQuartile::Q1.is_high());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum BandwidthQuartile {
     /// Utilization below 25 % of peak.
+    #[default]
     Q0,
     /// Utilization in [25 %, 50 %).
     Q1,
@@ -103,12 +106,6 @@ impl BandwidthQuartile {
     }
 }
 
-impl Default for BandwidthQuartile {
-    fn default() -> Self {
-        BandwidthQuartile::Q0
-    }
-}
-
 impl fmt::Display for BandwidthQuartile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -127,17 +124,32 @@ mod tests {
     #[test]
     fn fraction_boundaries_map_to_expected_quartiles() {
         assert_eq!(BandwidthQuartile::from_fraction(0.0), BandwidthQuartile::Q0);
-        assert_eq!(BandwidthQuartile::from_fraction(0.2499), BandwidthQuartile::Q0);
-        assert_eq!(BandwidthQuartile::from_fraction(0.25), BandwidthQuartile::Q1);
-        assert_eq!(BandwidthQuartile::from_fraction(0.4999), BandwidthQuartile::Q1);
+        assert_eq!(
+            BandwidthQuartile::from_fraction(0.2499),
+            BandwidthQuartile::Q0
+        );
+        assert_eq!(
+            BandwidthQuartile::from_fraction(0.25),
+            BandwidthQuartile::Q1
+        );
+        assert_eq!(
+            BandwidthQuartile::from_fraction(0.4999),
+            BandwidthQuartile::Q1
+        );
         assert_eq!(BandwidthQuartile::from_fraction(0.5), BandwidthQuartile::Q2);
-        assert_eq!(BandwidthQuartile::from_fraction(0.75), BandwidthQuartile::Q3);
+        assert_eq!(
+            BandwidthQuartile::from_fraction(0.75),
+            BandwidthQuartile::Q3
+        );
         assert_eq!(BandwidthQuartile::from_fraction(1.0), BandwidthQuartile::Q3);
     }
 
     #[test]
     fn fraction_clamps_out_of_range() {
-        assert_eq!(BandwidthQuartile::from_fraction(-1.0), BandwidthQuartile::Q0);
+        assert_eq!(
+            BandwidthQuartile::from_fraction(-1.0),
+            BandwidthQuartile::Q0
+        );
         assert_eq!(BandwidthQuartile::from_fraction(9.0), BandwidthQuartile::Q3);
     }
 
@@ -160,7 +172,10 @@ mod tests {
 
     #[test]
     fn lower_bounds_are_monotonic() {
-        let bounds: Vec<f64> = BandwidthQuartile::ALL.iter().map(|q| q.lower_bound()).collect();
+        let bounds: Vec<f64> = BandwidthQuartile::ALL
+            .iter()
+            .map(|q| q.lower_bound())
+            .collect();
         assert!(bounds.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -164,7 +164,11 @@ impl Prefetcher for NullPrefetcher {
         "none"
     }
 
-    fn on_access(&mut self, _access: &MemoryAccess, _ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(
+        &mut self,
+        _access: &MemoryAccess,
+        _ctx: &PrefetchContext,
+    ) -> Vec<PrefetchRequest> {
         Vec::new()
     }
 
@@ -214,6 +218,8 @@ mod tests {
     fn prefetcher_trait_is_object_safe() {
         let mut boxed: Box<dyn Prefetcher> = Box::new(NullPrefetcher::new());
         let access = MemoryAccess::new(Pc::new(1), Addr::new(0), AccessKind::Load);
-        assert!(boxed.on_access(&access, &PrefetchContext::default()).is_empty());
+        assert!(boxed
+            .on_access(&access, &PrefetchContext::default())
+            .is_empty());
     }
 }

@@ -4,19 +4,23 @@
 //! Run with `cargo run --release --example bandwidth_adaptive`.
 
 use dspatch_harness::runner::{perf_delta, PrefetcherKind, RunScale};
+use dspatch_repro::example_accesses;
 use dspatch_sim::{DramConfig, SystemConfig};
 use dspatch_trace::workloads::memory_intensive_suite;
 
 fn main() {
     let scale = RunScale {
-        accesses_per_workload: 8_000,
+        accesses_per_workload: example_accesses(8_000),
         workloads_per_category: 1,
         mixes: 1,
         threads: 8,
     };
     let workloads = scale.select_workloads(memory_intensive_suite());
     println!("{} memory-intensive workloads per point\n", workloads.len());
-    println!("{:<10} {:>10} {:>12} {:>14}", "DRAM", "peak GB/s", "SPP", "DSPatch+SPP");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14}",
+        "DRAM", "peak GB/s", "SPP", "DSPatch+SPP"
+    );
     for (channels, speed) in SystemConfig::bandwidth_sweep() {
         let config = SystemConfig::single_thread().with_dram(channels, speed);
         let dram = DramConfig::with_speed(channels, speed);

@@ -5,12 +5,13 @@
 //! Run with `cargo run --release --example multicore_mix`.
 
 use dspatch_harness::runner::{run_mix, PrefetcherKind, RunScale};
+use dspatch_repro::example_accesses;
 use dspatch_sim::SystemConfig;
 use dspatch_trace::heterogeneous_mixes;
 
 fn main() {
     let scale = RunScale {
-        accesses_per_workload: 8_000,
+        accesses_per_workload: example_accesses(8_000),
         workloads_per_category: 0,
         mixes: 1,
         threads: 1,
@@ -24,9 +25,17 @@ fn main() {
     println!();
 
     let baseline = run_mix(mix, PrefetcherKind::Baseline, &config, &scale);
-    for kind in [PrefetcherKind::Baseline, PrefetcherKind::Spp, PrefetcherKind::DspatchPlusSpp] {
+    for kind in [
+        PrefetcherKind::Baseline,
+        PrefetcherKind::Spp,
+        PrefetcherKind::DspatchPlusSpp,
+    ] {
         let result = run_mix(mix, kind, &config, &scale);
-        let ipcs: Vec<String> = result.cores.iter().map(|c| format!("{:.2}", c.ipc())).collect();
+        let ipcs: Vec<String> = result
+            .cores
+            .iter()
+            .map(|c| format!("{:.2}", c.ipc()))
+            .collect();
         println!(
             "{:<14} per-core IPC [{}]  delta over baseline {:+.1}%  avg DRAM utilization {:.0}%",
             kind.label(),

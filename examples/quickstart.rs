@@ -4,11 +4,16 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use dspatch::{DsPatch, DsPatchConfig};
-use dspatch_types::{AccessKind, Addr, BandwidthQuartile, MemoryAccess, Pc, PrefetchContext, Prefetcher};
+use dspatch_types::{
+    AccessKind, Addr, BandwidthQuartile, MemoryAccess, Pc, PrefetchContext, Prefetcher,
+};
 
 fn main() {
     let mut prefetcher = DsPatch::new(DsPatchConfig::default());
-    println!("DSPatch storage budget:\n{}\n", prefetcher.storage_breakdown());
+    println!(
+        "DSPatch storage budget:\n{}\n",
+        prefetcher.storage_breakdown()
+    );
 
     // A program that touches the same sparse object layout (lines 0, 3, 6, 9,
     // 12 of a page) in many different pages, always triggered by the same PC,
@@ -30,7 +35,10 @@ fn main() {
     // coverage-biased pattern.
     let trigger = MemoryAccess::new(trigger_pc, Addr::new(10_000 * 4096), AccessKind::Load);
     let low_bw = prefetcher.on_access(&trigger, &ctx);
-    println!("low bandwidth utilization  -> {} prefetches (coverage-biased)", low_bw.len());
+    println!(
+        "low bandwidth utilization  -> {} prefetches (coverage-biased)",
+        low_bw.len()
+    );
     for request in &low_bw {
         println!("  prefetch {}", request.line.to_addr());
     }
@@ -40,7 +48,10 @@ fn main() {
     let busy = PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q3);
     let trigger = MemoryAccess::new(trigger_pc, Addr::new(10_001 * 4096), AccessKind::Load);
     let high_bw = prefetcher.on_access(&trigger, &busy);
-    println!("high bandwidth utilization -> {} prefetches (accuracy-biased)", high_bw.len());
+    println!(
+        "high bandwidth utilization -> {} prefetches (accuracy-biased)",
+        high_bw.len()
+    );
 
     let stats = prefetcher.stats();
     println!(

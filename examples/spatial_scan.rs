@@ -4,12 +4,13 @@
 //! Run with `cargo run --release --example spatial_scan`.
 
 use dspatch_harness::runner::{run_workload, PrefetcherKind, RunScale};
+use dspatch_repro::example_accesses;
 use dspatch_sim::SystemConfig;
 use dspatch_trace::workloads::{category_suite, WorkloadCategory};
 
 fn main() {
     let scale = RunScale {
-        accesses_per_workload: 20_000,
+        accesses_per_workload: example_accesses(20_000),
         workloads_per_category: 1,
         mixes: 1,
         threads: 1,
@@ -25,7 +26,11 @@ fn main() {
         baseline.cores[0].ipc(),
         baseline.dram.cas_commands
     );
-    for kind in [PrefetcherKind::Spp, PrefetcherKind::Dspatch, PrefetcherKind::DspatchPlusSpp] {
+    for kind in [
+        PrefetcherKind::Spp,
+        PrefetcherKind::Dspatch,
+        PrefetcherKind::DspatchPlusSpp,
+    ] {
         let result = run_workload(workload, kind, &config, &scale);
         let acc = result.total_accounting();
         println!(

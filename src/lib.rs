@@ -18,3 +18,16 @@ pub use dspatch_prefetchers;
 pub use dspatch_sim;
 pub use dspatch_trace;
 pub use dspatch_types;
+
+/// Number of accesses an example should simulate per workload: `default`,
+/// unless the `DSPATCH_EXAMPLE_ACCESSES` environment variable overrides it.
+///
+/// The repository's example smoke tests set the variable to a tiny value so
+/// every example can be executed end-to-end in CI without paying for the
+/// demo-sized simulations the examples run by default.
+pub fn example_accesses(default: usize) -> usize {
+    std::env::var("DSPATCH_EXAMPLE_ACCESSES")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(default)
+}

@@ -2,8 +2,8 @@
 //! → harness metrics, exercising the public API the way the examples and the
 //! benchmark harness do.
 
-use dspatch_harness::runner::{run_mix, run_workload, PrefetcherKind, RunScale};
 use dspatch_harness::experiments;
+use dspatch_harness::runner::{run_mix, run_workload, PrefetcherKind, RunScale};
 use dspatch_sim::SystemConfig;
 use dspatch_trace::workloads::{category_suite, suite, WorkloadCategory};
 use dspatch_trace::{heterogeneous_mixes, homogeneous_mixes};

@@ -1,0 +1,51 @@
+//! Smoke tests running every repository example end-to-end at tiny scale,
+//! so the examples cannot silently rot: `cargo test` fails if an example
+//! stops compiling, panics, or prints nothing.
+//!
+//! Each test shells out to `cargo run --example <name>` (the examples are
+//! already compiled by the time the test harness runs) with
+//! `DSPATCH_EXAMPLE_ACCESSES` set so the demo-sized simulations shrink to a
+//! fraction of a second.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .env("DSPATCH_EXAMPLE_ACCESSES", "400")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn `cargo run --example {name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` succeeded but printed nothing"
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    run_example("quickstart");
+}
+
+#[test]
+fn spatial_scan_runs_to_completion() {
+    run_example("spatial_scan");
+}
+
+#[test]
+fn bandwidth_adaptive_runs_to_completion() {
+    run_example("bandwidth_adaptive");
+}
+
+#[test]
+fn multicore_mix_runs_to_completion() {
+    run_example("multicore_mix");
+}

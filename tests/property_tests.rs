@@ -132,6 +132,89 @@ proptest! {
 }
 
 proptest! {
+    /// A counter built with any maximum saturates exactly at that maximum:
+    /// `max` increments reach it, further increments are no-ops, and the
+    /// same holds symmetrically for decrements at zero.
+    #[test]
+    fn saturating_counter_saturates_at_both_bounds(max in 1u8..=16, extra in 0u8..32) {
+        let mut counter = SaturatingCounter::new(max);
+        for _ in 0..max {
+            counter.increment();
+        }
+        prop_assert_eq!(counter.value(), max);
+        prop_assert!(counter.is_saturated());
+        for _ in 0..extra {
+            prop_assert_eq!(counter.increment(), max);
+        }
+        for _ in 0..max {
+            counter.decrement();
+        }
+        prop_assert_eq!(counter.value(), 0);
+        prop_assert!(counter.is_zero());
+        for _ in 0..extra {
+            prop_assert_eq!(counter.decrement(), 0);
+        }
+    }
+
+    /// Increment and decrement return exactly the value a subsequent
+    /// `value()` call reports, for any operation sequence.
+    #[test]
+    fn saturating_counter_returns_its_new_value(
+        max in 1u8..=16,
+        ops in proptest::collection::vec(any::<bool>(), 0..64),
+    ) {
+        let mut counter = SaturatingCounter::new(max);
+        for op in ops {
+            let returned = if op { counter.increment() } else { counter.decrement() };
+            prop_assert_eq!(returned, counter.value());
+            prop_assert!(counter.value() <= counter.max());
+        }
+    }
+
+    /// The quantizer hits the exact quartile boundaries of the paper
+    /// (Section 3.2): `floor(4n/d)` clamped to Q3.
+    #[test]
+    fn quantizer_matches_quartile_boundaries(n in 0u32..=2048, d in 1u32..=2048) {
+        let expected = match (u64::from(n) * 4) / u64::from(d) {
+            0 => BandwidthQuartile::Q0,
+            1 => BandwidthQuartile::Q1,
+            2 => BandwidthQuartile::Q2,
+            _ => BandwidthQuartile::Q3,
+        };
+        prop_assert_eq!(quantize_fraction(n, d), expected);
+    }
+
+    /// Quantization only depends on the ratio: scaling numerator and
+    /// denominator by the same factor never changes the quartile.
+    #[test]
+    fn quantizer_is_scale_invariant(n in 0u32..=256, d in 1u32..=256, k in 1u32..=64) {
+        prop_assert_eq!(quantize_fraction(n * k, d * k), quantize_fraction(n, d));
+    }
+
+    /// Compression is idempotent: once a pattern has been through a
+    /// compress→decompress round trip, further round trips are the identity.
+    #[test]
+    fn compression_round_trip_is_idempotent(bits in any::<u64>()) {
+        let compressed = SpatialPattern::from_bits(bits).compress();
+        let expanded = compressed.decompress();
+        prop_assert_eq!(expanded.compress(), compressed);
+        prop_assert_eq!(expanded.compress().decompress(), expanded);
+    }
+
+    /// Compressing keeps per-block occupancy: block `b` of the compressed
+    /// pattern is set iff any of the two lines of block `b` was touched.
+    #[test]
+    fn compression_tracks_block_occupancy(bits in any::<u64>()) {
+        let pattern = SpatialPattern::from_bits(bits);
+        let compressed = pattern.compress();
+        for block in 0..32 {
+            let touched = pattern.get(2 * block) || pattern.get(2 * block + 1);
+            prop_assert_eq!(compressed.get(block), touched);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The simulator conserves instructions (every trace record and gap is

@@ -1,0 +1,143 @@
+//! Minimal, dependency-free stand-in for the
+//! [criterion](https://crates.io/crates/criterion) crate, vendored because
+//! this build environment has no network access to a Cargo registry.
+//!
+//! It implements the subset of the API the workspace's bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop: per sample it times one batch of iterations
+//! and reports min/mean/max over the samples.
+//!
+//! Command-line arguments passed by `cargo bench`/`cargo test` are accepted
+//! and ignored, except `--test`, which (as in real criterion) runs each
+//! benchmark exactly once for validation instead of measuring it.
+
+use std::time::{Duration, Instant};
+
+/// Re-export hint equivalent to `criterion::black_box`; routes through
+/// `std::hint::black_box`, which is what recent criterion versions do.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Final configuration step in generated `main`s; a no-op here beyond
+    /// what [`Default`] already read from the command line.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            test_mode: self.test_mode,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one(name, 10, test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmark functions.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut bencher = Bencher {
+        samples: if test_mode { 1 } else { samples.max(1) },
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("Testing {name} ... ok");
+        return;
+    }
+    let n = bencher.durations.len().max(1) as u32;
+    let total: Duration = bencher.durations.iter().sum();
+    let mean = total / n;
+    let min = bencher.durations.iter().min().copied().unwrap_or_default();
+    let max = bencher.durations.iter().max().copied().unwrap_or_default();
+    println!("{name:<60} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]");
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs and times the
+/// measured routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! The deterministic test runner behind the [`proptest!`](crate::proptest)
+//! macro: a splitmix64 input stream, a case budget, and failure reporting.
+
+use crate::strategy::Strategy;
+
+/// Deterministic pseudo-random source (splitmix64). A fixed seed keeps runs
+/// reproducible across machines; there is no shrinking, so reproducibility is
+/// what makes failures actionable.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Mirrors `proptest::test_runner::Config` for the options this workspace
+/// sets.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass: a hard failure (assertion) or a
+/// rejection (`prop_assume!`).
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(condition: impl Into<String>) -> Self {
+        TestCaseError::Reject(condition.into())
+    }
+}
+
+/// Runs one property against `Config::cases` generated inputs.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> Self {
+        Self {
+            config,
+            // Arbitrary fixed seed: determinism matters, the value does not.
+            rng: TestRng::from_seed(0x5eed_da7a_0001),
+        }
+    }
+
+    /// Generates inputs from `strategy` and feeds them to `test`. Returns a
+    /// human-readable failure description on the first failing case, after
+    /// at most `cases` accepted cases (rejections get a bounded retry
+    /// budget, like real proptest).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let max_rejects = self.config.cases.saturating_mul(4).max(1024);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let reported = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(cond))) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        return Err(format!(
+                            "too many input rejections ({rejects}); last assumption: {cond}"
+                        ));
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(message))) => {
+                    return Err(format!(
+                        "property failed at case {case}: {message}\n input: {reported}"
+                    ));
+                }
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".to_string());
+                    return Err(format!(
+                        "property panicked at case {case}: {message}\n input: {reported}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

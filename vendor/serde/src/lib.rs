@@ -1,0 +1,18 @@
+//! Minimal stand-in for the [serde](https://crates.io/crates/serde) facade,
+//! vendored because this build environment has no network access to a Cargo
+//! registry.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and stats
+//! types but never invokes a serializer, so the derives expand to nothing
+//! (see the vendored `serde_derive`) and the trait names below exist only so
+//! `use serde::{Deserialize, Serialize}` resolves. If a future PR needs real
+//! serialization, replace `vendor/serde*` with the genuine crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`. The no-op derive does
+/// not implement it; add real serde before writing `T: Serialize` bounds.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

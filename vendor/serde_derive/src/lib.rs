@@ -1,0 +1,20 @@
+//! No-op stand-ins for serde's derive macros, vendored because this build
+//! environment has no network access to a Cargo registry.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (for
+//! forward-compatibility of its config and stats types); nothing calls a
+//! serializer, so the derives can legally expand to nothing. The
+//! `attributes(serde)` registration keeps field annotations such as
+//! `#[serde(default)]` accepted as inert helper attributes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
