@@ -1,0 +1,28 @@
+//! Benchmarks raw simulator throughput on the fixed perf-snapshot scenarios
+//! (see `dspatch_harness::perf` and the `perf_snapshot` binary, which emits
+//! `BENCH_sim_throughput.json` from the same workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dspatch_harness::perf::{
+    run_baseline_snapshot, run_four_core_snapshot, run_single_thread_snapshot,
+};
+
+const BENCH_ACCESSES: usize = 24_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("baseline_single_thread", |b| {
+        b.iter(|| run_baseline_snapshot(BENCH_ACCESSES).cycles)
+    });
+    group.bench_function("dspatch_spp_single_thread", |b| {
+        b.iter(|| run_single_thread_snapshot(BENCH_ACCESSES).cycles)
+    });
+    group.bench_function("four_core", |b| {
+        b.iter(|| run_four_core_snapshot(BENCH_ACCESSES / 4).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,23 +22,27 @@
 //!
 //! ```
 //! use dspatch::{DsPatch, DsPatchConfig};
-//! use dspatch_types::{AccessKind, Addr, MemoryAccess, Pc, PrefetchContext, Prefetcher};
+//! use dspatch_types::{
+//!     AccessKind, Addr, MemoryAccess, Pc, PrefetchContext, PrefetchSink, Prefetcher,
+//! };
 //!
 //! let mut pf = DsPatch::new(DsPatchConfig::default());
 //! let ctx = PrefetchContext::default();
+//! let mut sink = PrefetchSink::new();
 //! // Train on a streaming pattern across many pages (enough to evict
 //! // page-buffer entries and populate the signature table)...
 //! for page in 0..80u64 {
 //!     for off in [0u64, 2, 4, 6, 8, 10] {
 //!         let addr = Addr::new(page * 4096 + off * 64);
 //!         let access = MemoryAccess::new(Pc::new(0x400100), addr, AccessKind::Load);
-//!         let _ = pf.on_access(&access, &ctx);
+//!         pf.on_access(&access, &ctx, &mut sink);
+//!         sink.clear();
 //!     }
 //! }
 //! // ...after a few pages the trigger PC predicts the learnt pattern.
 //! let trigger = MemoryAccess::new(Pc::new(0x400100), Addr::new(100 * 4096), AccessKind::Load);
-//! let requests = pf.on_access(&trigger, &ctx);
-//! assert!(!requests.is_empty());
+//! pf.on_access(&trigger, &ctx, &mut sink);
+//! assert!(!sink.is_empty());
 //! ```
 
 pub mod config;

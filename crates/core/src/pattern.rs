@@ -110,9 +110,21 @@ impl SpatialPattern {
     }
 
     /// Iterates over the offsets of set bits in increasing order.
+    ///
+    /// Runs in one `trailing_zeros` + one clear-lowest-set-bit per set bit
+    /// (not one test per possible bit) — this sits on the prediction-issue
+    /// hot path, where patterns are typically sparse.
     pub fn iter_offsets(self) -> impl Iterator<Item = usize> {
-        let bits = self.0;
-        (0..LINES_PER_PAGE).filter(move |i| (bits >> i) & 1 == 1)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let offset = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(offset)
+            }
+        })
     }
 
     /// Keeps only the first `n` bit positions (used to restrict the second
@@ -313,6 +325,24 @@ mod tests {
         assert!(p.get(0) && p.get(63));
         assert!(!p.get(2));
         assert_eq!(p.iter_offsets().collect::<Vec<_>>(), vec![0, 1, 17, 63]);
+    }
+
+    #[test]
+    fn iter_offsets_matches_naive_scan() {
+        for bits in [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0xdead_beef_1234_5678,
+            0x5555_5555_5555_5555,
+        ] {
+            let fast: Vec<usize> = SpatialPattern::from_bits(bits).iter_offsets().collect();
+            let naive: Vec<usize> = (0..LINES_PER_PAGE)
+                .filter(|i| (bits >> i) & 1 == 1)
+                .collect();
+            assert_eq!(fast, naive, "bits {bits:#x}");
+        }
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::selection::PatternChoice;
 use crate::spt::SignaturePredictionTable;
 use crate::storage::StorageBreakdown;
 use dspatch_types::{
-    BandwidthQuartile, FillLevel, MemoryAccess, PrefetchContext, PrefetchRequest, Prefetcher,
-    LINES_PER_PAGE,
+    BandwidthQuartile, FillLevel, MemoryAccess, PrefetchContext, PrefetchRequest, PrefetchSink,
+    Prefetcher, LINES_PER_PAGE,
 };
 use serde::{Deserialize, Serialize};
 
@@ -124,16 +124,17 @@ impl DsPatch {
         page: dspatch_types::PageAddr,
         trigger: &TriggerInfo,
         bandwidth: BandwidthQuartile,
-    ) -> Vec<PrefetchRequest> {
+        out: &mut PrefetchSink,
+    ) {
         let halves = if trigger.segment == 0 { 2 } else { 1 };
         let entry = self.spt.entry(trigger.pc);
         if entry.is_cold() {
             self.stats.cold_triggers += 1;
-            return Vec::new();
+            return;
         }
         let Some(prediction) = entry.predict(bandwidth, &self.config, halves) else {
             self.stats.throttled_predictions += 1;
-            return Vec::new();
+            return;
         };
         match prediction.choice {
             PatternChoice::Coverage { .. } => self.stats.covp_predictions += 1,
@@ -141,7 +142,7 @@ impl DsPatch {
             PatternChoice::NoPrefetch => self.stats.throttled_predictions += 1,
         }
         let page_pattern = prediction.anchored.unanchor(trigger.offset);
-        let mut requests = Vec::new();
+        let issued_before = out.len();
         for offset in page_pattern.iter_offsets() {
             if offset == trigger.offset {
                 continue; // the trigger line is already being fetched by the demand
@@ -150,10 +151,9 @@ impl DsPatch {
             let request = PrefetchRequest::new(page.line_at(offset))
                 .with_fill_level(FillLevel::L2)
                 .with_low_priority(prediction.low_priority);
-            requests.push(request);
+            out.push(request);
         }
-        self.stats.prefetches_issued += requests.len() as u64;
-        requests
+        self.stats.prefetches_issued += (out.len() - issued_before) as u64;
     }
 }
 
@@ -162,7 +162,7 @@ impl Prefetcher for DsPatch {
         &self.name
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext, out: &mut PrefetchSink) {
         self.stats.accesses += 1;
         self.last_bandwidth = ctx.bandwidth;
         let page = access.page();
@@ -174,9 +174,7 @@ impl Prefetcher for DsPatch {
         }
         if let Some(trigger) = &outcome.trigger {
             self.stats.triggers += 1;
-            self.predict_for_trigger(page, trigger, ctx.bandwidth)
-        } else {
-            Vec::new()
+            self.predict_for_trigger(page, trigger, ctx.bandwidth, out);
         }
     }
 
@@ -202,7 +200,7 @@ mod tests {
         let ctx = PrefetchContext::default();
         for page in pages {
             for &off in offsets {
-                let _ = pf.on_access(&access(pc, page, off), &ctx);
+                let _ = pf.collect_requests(&access(pc, page, off), &ctx);
             }
         }
     }
@@ -214,7 +212,7 @@ mod tests {
         // so pages must be evicted to train the SPT. Touch 128 pages.
         train_streaming(&mut pf, 0x400100, 0..128, &[0, 2, 4, 6, 8]);
         let ctx = PrefetchContext::default();
-        let requests = pf.on_access(&access(0x400100, 500, 0), &ctx);
+        let requests = pf.collect_requests(&access(0x400100, 500, 0), &ctx);
         assert!(!requests.is_empty(), "trained trigger should prefetch");
         // All requests stay within the triggering page.
         for r in &requests {
@@ -237,7 +235,7 @@ mod tests {
                 pf.spt().index_of(Pc::new(candidate)) != pf.spt().index_of(Pc::new(0x400100))
             })
             .expect("some PC maps to a different SPT entry");
-        let requests = pf.on_access(&access(other_pc, 999, 0), &ctx);
+        let requests = pf.collect_requests(&access(other_pc, 999, 0), &ctx);
         assert!(requests.is_empty());
         assert!(pf.stats().cold_triggers > 0);
     }
@@ -248,8 +246,12 @@ mod tests {
         train_streaming(&mut pf, 0x400200, 0..128, &[0, 2, 4, 6, 8, 10]);
         let low_ctx = PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q0);
         let high_ctx = PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q3);
-        let low = pf.on_access(&access(0x400200, 700, 0), &low_ctx).len();
-        let high = pf.on_access(&access(0x400200, 701, 0), &high_ctx).len();
+        let low = pf
+            .collect_requests(&access(0x400200, 700, 0), &low_ctx)
+            .len();
+        let high = pf
+            .collect_requests(&access(0x400200, 701, 0), &high_ctx)
+            .len();
         assert!(
             high <= low,
             "accuracy-biased prefetching must not be more aggressive than coverage-biased \
@@ -262,7 +264,7 @@ mod tests {
         let mut pf = DsPatch::new(DsPatchConfig::default());
         train_streaming(&mut pf, 0x1111, 0..128, &[3, 5, 7, 9]);
         let ctx = PrefetchContext::default();
-        let requests = pf.on_access(&access(0x1111, 800, 3), &ctx);
+        let requests = pf.collect_requests(&access(0x1111, 800, 3), &ctx);
         let trigger_line = Addr::new(800 * 4096 + 3 * 64).line();
         assert!(requests.iter().all(|r| r.line != trigger_line));
     }
@@ -272,7 +274,7 @@ mod tests {
         let mut pf = DsPatch::new(DsPatchConfig::default());
         let ctx = PrefetchContext::default();
         for off in [0u64, 1, 2, 3] {
-            let _ = pf.on_access(&access(0x42, 7, off), &ctx);
+            let _ = pf.collect_requests(&access(0x42, 7, off), &ctx);
         }
         assert_eq!(pf.stats().trainings, 0);
         pf.flush_training();
@@ -293,12 +295,12 @@ mod tests {
         let mut pf = DsPatch::new(DsPatchConfig::default());
         let ctx = PrefetchContext::default();
         for off in 0..8u64 {
-            let _ = pf.on_access(&access(0x10, 3, off), &ctx);
+            let _ = pf.collect_requests(&access(0x10, 3, off), &ctx);
         }
         assert_eq!(pf.stats().accesses, 8);
         // Offsets 0..8 all fall in the first 2 KB segment: exactly one trigger.
         assert_eq!(pf.stats().triggers, 1);
-        let _ = pf.on_access(&access(0x10, 3, 40), &ctx);
+        let _ = pf.collect_requests(&access(0x10, 3, 40), &ctx);
         assert_eq!(pf.stats().triggers, 2);
     }
 }

@@ -1,0 +1,57 @@
+//! Measures simulator throughput on the fixed snapshot scenarios and writes
+//! `BENCH_sim_throughput.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_snapshot [--smoke] [--accesses N] [--repeats N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the scenarios so CI can exercise the emitter in
+//! milliseconds (the numbers are meaningless at that scale); `--accesses`
+//! overrides the single-thread access count (the 4-core scenario uses a
+//! quarter of it per core); `--repeats` sets the best-of repeat count
+//! (higher damps scheduler noise on busy machines); `--out` overrides the
+//! JSON path.
+
+use dspatch_harness::perf::run_snapshot;
+
+const DEFAULT_ACCESSES: usize = 240_000;
+const DEFAULT_REPEATS: usize = 3;
+
+fn main() {
+    let mut accesses = DEFAULT_ACCESSES;
+    let mut repeats = DEFAULT_REPEATS;
+    let mut out = String::from("BENCH_sim_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                accesses = 2_000;
+                repeats = 1;
+            }
+            "--accesses" => {
+                let value = args.next().expect("--accesses needs a value");
+                accesses = value.parse().expect("--accesses must be an integer");
+            }
+            "--repeats" => {
+                let value = args.next().expect("--repeats needs a value");
+                repeats = value.parse().expect("--repeats must be an integer");
+            }
+            "--out" => {
+                out = args.next().expect("--out needs a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: perf_snapshot [--smoke] [--accesses N] [--repeats N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let report = run_snapshot(accesses, accesses / 4, repeats);
+    println!("{}", report.summary());
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -795,8 +795,10 @@ pub fn dspatch_introspection(scale: &RunScale) -> Table {
     let trace = workload.generate(scale.accesses_per_workload);
     let mut prefetcher = DsPatch::new(DsPatchConfig::default());
     let ctx = dspatch_types::PrefetchContext::default();
+    let mut sink = dspatch_types::PrefetchSink::new();
     for record in &trace {
-        let _ = prefetcher.on_access(&record.to_access(), &ctx);
+        sink.clear();
+        prefetcher.on_access(&record.to_access(), &ctx, &mut sink);
     }
     let stats = *prefetcher.stats();
     let mut table = Table::new(

@@ -24,6 +24,7 @@
 //! ```
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,263 @@
+//! Fixed-scenario simulator-throughput measurement.
+//!
+//! The paper's evaluation simulates hundreds of millions of accesses, so the
+//! simulator's own throughput — not model fidelity — bounds how many
+//! scenarios a given machine can sweep. This module pins down three fixed,
+//! deterministic scenarios and measures how fast the simulator retires them,
+//! in simulated accesses per wall-clock second and simulated cycles per
+//! wall-clock second:
+//!
+//! * `baseline_single_thread` — one core with the paper's baseline
+//!   configuration (L1 PC-stride prefetcher, no L2 prefetcher). Every figure
+//!   runs this configuration once per workload for speedup normalization, so
+//!   it gates roughly half of all experiment wall-clock.
+//! * `dspatch_spp_single_thread` — the same trace with the headline
+//!   DSPatch+SPP prefetcher, adding the full train-predict-issue-fill load.
+//! * `four_core` — a 4-core multi-programmed mix (DSPatch+SPP per core)
+//!   sharing LLC and DRAM.
+//!
+//! The `perf_snapshot` binary wraps [`run_snapshot`] and writes the result to
+//! `BENCH_sim_throughput.json`, populating the repository's performance
+//! trajectory. Numbers are comparable only within one machine/build
+//! environment; the JSON exists to catch *relative* regressions over time.
+
+use dspatch_sim::{SimulationBuilder, SystemConfig};
+use dspatch_trace::{
+    PatternGenerator, PointerChaseGen, SpatialPatternGen, StreamGen, Trace, TraceRecord,
+};
+use dspatch_types::Prefetcher;
+use std::time::Instant;
+
+/// Throughput measured for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioThroughput {
+    /// Simulated memory accesses (trace records) retired.
+    pub accesses: u64,
+    /// Simulated core cycles the run covered.
+    pub cycles: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_seconds: f64,
+}
+
+impl ScenarioThroughput {
+    /// Simulated accesses per wall-clock second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// The result of one snapshot run: all three fixed scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotReport {
+    /// One core, baseline configuration (no L2 prefetcher).
+    pub baseline_single_thread: ScenarioThroughput,
+    /// One core running DSPatch+SPP.
+    pub dspatch_spp_single_thread: ScenarioThroughput,
+    /// Four cores (DSPatch+SPP each) sharing LLC and DRAM.
+    pub four_core: ScenarioThroughput,
+}
+
+impl SnapshotReport {
+    /// Renders the report as the `BENCH_sim_throughput.json` document.
+    pub fn to_json(&self) -> String {
+        fn scenario(s: &ScenarioThroughput) -> String {
+            format!(
+                "{{\"accesses\": {}, \"cycles\": {}, \"wall_seconds\": {:.6}, \
+                 \"accesses_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}}}",
+                s.accesses,
+                s.cycles,
+                s.wall_seconds,
+                s.accesses_per_sec(),
+                s.cycles_per_sec()
+            )
+        }
+        format!(
+            "{{\n  \"benchmark\": \"sim_throughput\",\n  \
+             \"baseline_single_thread\": {},\n  \
+             \"dspatch_spp_single_thread\": {},\n  \
+             \"four_core\": {}\n}}\n",
+            scenario(&self.baseline_single_thread),
+            scenario(&self.dspatch_spp_single_thread),
+            scenario(&self.four_core)
+        )
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "baseline 1T: {:.0} acc/s ({:.2} Mcyc/s) | DSPatch+SPP 1T: {:.0} acc/s ({:.2} Mcyc/s) | 4-core: {:.0} acc/s ({:.2} Mcyc/s)",
+            self.baseline_single_thread.accesses_per_sec(),
+            self.baseline_single_thread.cycles_per_sec() / 1e6,
+            self.dspatch_spp_single_thread.accesses_per_sec(),
+            self.dspatch_spp_single_thread.cycles_per_sec() / 1e6,
+            self.four_core.accesses_per_sec(),
+            self.four_core.cycles_per_sec() / 1e6,
+        )
+    }
+}
+
+/// The fixed single-thread snapshot trace: a deterministic blend of
+/// streaming, sparse-spatial and pointer-chasing access behaviour so the
+/// run exercises every level of the hierarchy, the DRAM model and both
+/// prefetcher hook points. Gap values (non-memory instructions per access)
+/// match the canonical workload suite in `dspatch-trace` (36–48), so the
+/// snapshot's compute-to-memory ratio is representative of the figures'
+/// experiments rather than an artificially access-dense stress test.
+pub fn snapshot_single_trace(accesses: usize) -> Trace {
+    let third = accesses / 3;
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(accesses);
+    records.extend(
+        StreamGen {
+            streams: 2,
+            gap: 48,
+            store_percent: 10,
+        }
+        .generate_records(0xD5, third),
+    );
+    records.extend(
+        SpatialPatternGen {
+            layouts: 8,
+            density: 12,
+            reorder_window: 4,
+            working_set_pages: 1 << 16,
+            gap: 40,
+        }
+        .generate_records(0xD5 + 1, third),
+    );
+    records.extend(
+        PointerChaseGen {
+            nodes: 1 << 14,
+            node_bytes: 192,
+            gap: 36,
+        }
+        .generate_records(0xD5 + 2, accesses - 2 * third),
+    );
+    Trace::new("perf-snapshot-single", records)
+}
+
+/// The four per-core traces of the fixed multi-programmed snapshot.
+pub fn snapshot_multi_traces(accesses_per_core: usize) -> Vec<Trace> {
+    (0..4u64)
+        .map(|core| {
+            Trace::new(
+                format!("perf-snapshot-core{core}"),
+                SpatialPatternGen {
+                    layouts: 6,
+                    density: 10,
+                    reorder_window: 3,
+                    working_set_pages: 1 << 17,
+                    gap: 40,
+                }
+                .generate_records(0xC0DE + core, accesses_per_core),
+            )
+        })
+        .collect()
+}
+
+fn measure(trace_count: u64, run: impl FnOnce() -> u64) -> ScenarioThroughput {
+    let start = Instant::now();
+    let cycles = run();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    ScenarioThroughput {
+        accesses: trace_count,
+        cycles,
+        wall_seconds,
+    }
+}
+
+fn dspatch_plus_spp() -> Box<dyn Prefetcher> {
+    dspatch_prefetchers::lineup::dspatch_plus_spp()
+}
+
+fn baseline() -> Box<dyn Prefetcher> {
+    Box::new(dspatch_types::NullPrefetcher::new())
+}
+
+fn run_single(trace: Trace, prefetcher: Box<dyn Prefetcher>) -> ScenarioThroughput {
+    let count = trace.records.len() as u64;
+    measure(count, move || {
+        SimulationBuilder::new(SystemConfig::single_thread())
+            .with_core(trace, prefetcher)
+            .run()
+            .cycles
+    })
+}
+
+/// Runs the baseline single-thread snapshot scenario once and times it.
+pub fn run_baseline_snapshot(accesses: usize) -> ScenarioThroughput {
+    run_single(snapshot_single_trace(accesses), baseline())
+}
+
+/// Runs the DSPatch+SPP single-thread snapshot scenario once and times it.
+pub fn run_single_thread_snapshot(accesses: usize) -> ScenarioThroughput {
+    run_single(snapshot_single_trace(accesses), dspatch_plus_spp())
+}
+
+/// Runs the 4-core snapshot scenario once and times it.
+pub fn run_four_core_snapshot(accesses_per_core: usize) -> ScenarioThroughput {
+    let traces = snapshot_multi_traces(accesses_per_core);
+    let count = traces.iter().map(|t| t.records.len() as u64).sum();
+    measure(count, move || {
+        let mut builder = SimulationBuilder::new(SystemConfig::multi_programmed());
+        for trace in traces {
+            builder = builder.with_core(trace, dspatch_plus_spp());
+        }
+        builder.run().cycles
+    })
+}
+
+/// Runs all three snapshot scenarios. `repeats` > 1 keeps the best (lowest
+/// wall-clock) run per scenario, damping scheduler noise.
+pub fn run_snapshot(
+    single_accesses: usize,
+    per_core_accesses: usize,
+    repeats: usize,
+) -> SnapshotReport {
+    let repeats = repeats.max(1);
+    let best = |f: &dyn Fn() -> ScenarioThroughput| {
+        (0..repeats)
+            .map(|_| f())
+            .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+            .expect("at least one repeat")
+    };
+    SnapshotReport {
+        baseline_single_thread: best(&|| run_baseline_snapshot(single_accesses)),
+        dspatch_spp_single_thread: best(&|| run_single_thread_snapshot(single_accesses)),
+        four_core: best(&|| run_four_core_snapshot(per_core_accesses)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_traces_are_deterministic_and_sized() {
+        let a = snapshot_single_trace(600);
+        let b = snapshot_single_trace(600);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.records.len(), 600);
+        let multi = snapshot_multi_traces(300);
+        assert_eq!(multi.len(), 4);
+        assert!(multi.iter().all(|t| t.records.len() == 300));
+    }
+
+    #[test]
+    fn snapshot_runs_and_reports_json() {
+        let report = run_snapshot(400, 200, 1);
+        assert_eq!(report.baseline_single_thread.accesses, 400);
+        assert_eq!(report.dspatch_spp_single_thread.accesses, 400);
+        assert_eq!(report.four_core.accesses, 800);
+        assert!(report.dspatch_spp_single_thread.cycles > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"accesses_per_sec\""));
+        assert!(json.contains("\"baseline_single_thread\""));
+        assert!(json.contains("\"four_core\""));
+        assert!(!report.summary().is_empty());
+    }
+}

@@ -9,7 +9,8 @@
 //! included here for completeness.
 
 use dspatch_types::{
-    FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest, Prefetcher, LINES_PER_PAGE,
+    FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest, PrefetchSink, Prefetcher,
+    LINES_PER_PAGE,
 };
 use serde::{Deserialize, Serialize};
 
@@ -55,7 +56,7 @@ struct Zone {
 /// let mut issued = Vec::new();
 /// for off in 0..16u64 {
 ///     let a = MemoryAccess::new(Pc::new(1), Addr::new(off * 64), AccessKind::Load);
-///     issued.extend(ampm.on_access(&a, &ctx));
+///     issued.extend(ampm.collect_requests(&a, &ctx));
 /// }
 /// assert!(!issued.is_empty());
 /// ```
@@ -124,7 +125,7 @@ impl Prefetcher for AmpmPrefetcher {
         "AMPM"
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext, out: &mut PrefetchSink) {
         self.clock += 1;
         let page = access.page();
         let offset = access.page_line_offset() as i64;
@@ -136,12 +137,12 @@ impl Prefetcher for AmpmPrefetcher {
         let accessed = zone.accessed;
         let already_prefetched = zone.prefetched;
 
-        let mut requests = Vec::new();
+        let mut issued = 0usize;
         let covered =
             |map: u64, o: i64| (0..LINES_PER_PAGE as i64).contains(&o) && (map >> o) & 1 == 1;
         for direction in [1i64, -1] {
             for k in 1..=self.config.max_stride as i64 {
-                if requests.len() >= self.config.degree {
+                if issued >= self.config.degree {
                     break;
                 }
                 let stride = k * direction;
@@ -153,15 +154,15 @@ impl Prefetcher for AmpmPrefetcher {
                     && covered(accessed, offset - 2 * stride)
                     && !covered(accessed | already_prefetched, target)
                 {
-                    requests.push(
+                    out.push(
                         PrefetchRequest::new(page.line_at(target as usize))
                             .with_fill_level(FillLevel::L2),
                     );
+                    issued += 1;
                     self.zones[index].prefetched |= 1u64 << target;
                 }
             }
         }
-        requests
     }
 
     fn storage_bits(&self) -> u64 {
@@ -186,7 +187,7 @@ mod tests {
     fn drive(ampm: &mut AmpmPrefetcher, seq: &[(u64, u64)]) -> Vec<PrefetchRequest> {
         let ctx = PrefetchContext::default();
         seq.iter()
-            .flat_map(|&(p, o)| ampm.on_access(&access(p, o), &ctx))
+            .flat_map(|&(p, o)| ampm.collect_requests(&access(p, o), &ctx))
             .collect()
     }
 
@@ -247,7 +248,7 @@ mod tests {
         });
         let ctx = PrefetchContext::default();
         for o in 0..30u64 {
-            let reqs = ampm.on_access(&access(2, o), &ctx);
+            let reqs = ampm.collect_requests(&access(2, o), &ctx);
             assert!(reqs.len() <= 1);
         }
     }

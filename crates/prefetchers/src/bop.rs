@@ -14,7 +14,7 @@
 
 use dspatch_types::{
     BandwidthQuartile, FillLevel, LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest,
-    Prefetcher,
+    PrefetchSink, Prefetcher,
 };
 use serde::{Deserialize, Serialize};
 
@@ -105,7 +105,7 @@ pub struct BopStats {
 /// for i in 0..8000u64 {
 ///     let line = (i / 2) * 3 + (i % 2);
 ///     let a = MemoryAccess::new(Pc::new(9), Addr::new(line * 64), AccessKind::Load);
-///     issued += bop.on_access(&a, &ctx).len();
+///     issued += bop.collect_requests(&a, &ctx).len();
 /// }
 /// assert!(issued > 0);
 /// ```
@@ -241,22 +241,21 @@ impl Prefetcher for BopPrefetcher {
         self.name
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext, out: &mut PrefetchSink) {
         self.stats.accesses += 1;
         let line = access.line();
         self.learn(line);
         self.rr_insert(line);
         let Some(offset) = self.best_offset else {
-            return Vec::new();
+            return;
         };
         let degree = self.effective_degree(ctx.bandwidth);
-        let requests: Vec<PrefetchRequest> = (1..=degree as i64)
-            .map(|k| {
-                PrefetchRequest::new(line.offset_by(offset * k)).with_fill_level(FillLevel::L2)
-            })
-            .collect();
-        self.stats.prefetches += requests.len() as u64;
-        requests
+        for k in 1..=degree as i64 {
+            out.push(
+                PrefetchRequest::new(line.offset_by(offset * k)).with_fill_level(FillLevel::L2),
+            );
+        }
+        self.stats.prefetches += degree as u64;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -284,7 +283,7 @@ mod tests {
         let ctx = PrefetchContext::default();
         let mut out = Vec::new();
         for l in lines {
-            out.extend(bop.on_access(&access(l), &ctx));
+            out.extend(bop.collect_requests(&access(l), &ctx));
         }
         out
     }
@@ -355,15 +354,15 @@ mod tests {
         let mut bop = BopPrefetcher::new(BopConfig::enhanced());
         let _ = drive(&mut bop, 0..4000u64);
         assert!(bop.best_offset().is_some());
-        let low = bop.on_access(
+        let low = bop.collect_requests(
             &access(50_000),
             &PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q0),
         );
-        let mid = bop.on_access(
+        let mid = bop.collect_requests(
             &access(60_000),
             &PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q2),
         );
-        let high = bop.on_access(
+        let high = bop.collect_requests(
             &access(70_000),
             &PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q3),
         );

@@ -5,7 +5,7 @@
 //! and their prefetch candidates are merged, de-duplicated and issued
 //! together. The same mechanism evaluates BOP+SPP and SMS+SPP (Figure 14).
 
-use dspatch_types::{LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, Prefetcher};
+use dspatch_types::{LineAddr, MemoryAccess, PrefetchContext, PrefetchSink, Prefetcher};
 
 /// Runs a primary prefetcher and an adjunct side by side, merging requests.
 ///
@@ -21,7 +21,7 @@ use dspatch_types::{LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, Pr
 ///
 /// let mut combined = lineup::dspatch_plus_spp();
 /// let a = MemoryAccess::new(Pc::new(1), Addr::new(0x1000), AccessKind::Load);
-/// let _ = combined.on_access(&a, &PrefetchContext::default());
+/// let _ = combined.collect_requests(&a, &PrefetchContext::default());
 /// assert_eq!(combined.name(), "DSPatch+SPP");
 /// ```
 #[derive(Debug)]
@@ -29,6 +29,10 @@ pub struct AdjunctPrefetcher<P, A> {
     primary: P,
     adjunct: A,
     name: String,
+    /// Reusable buffer for the adjunct's candidates while they are merged
+    /// into the caller's sink (kept across calls so merging never allocates
+    /// in steady state).
+    scratch: PrefetchSink,
     /// Optional cap on merged requests per access (0 = unlimited).
     max_requests_per_access: usize,
 }
@@ -42,6 +46,7 @@ impl<P: Prefetcher, A: Prefetcher> AdjunctPrefetcher<P, A> {
             primary,
             adjunct,
             name,
+            scratch: PrefetchSink::new(),
             max_requests_per_access: 0,
         }
     }
@@ -68,20 +73,25 @@ impl<P: Prefetcher, A: Prefetcher> Prefetcher for AdjunctPrefetcher<P, A> {
         &self.name
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
-        let mut merged = self.primary.on_access(access, ctx);
-        let adjunct_requests = self.adjunct.on_access(access, ctx);
-        let mut seen: Vec<LineAddr> = merged.iter().map(|r| r.line).collect();
-        for request in adjunct_requests {
-            if !seen.contains(&request.line) {
-                seen.push(request.line);
-                merged.push(request);
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext, out: &mut PrefetchSink) {
+        // The sink may already hold earlier requests from the caller; only
+        // this access's slice takes part in dedup and capping.
+        let start = out.len();
+        self.primary.on_access(access, ctx, out);
+        self.scratch.clear();
+        self.adjunct.on_access(access, ctx, &mut self.scratch);
+        for i in 0..self.scratch.len() {
+            let request = self.scratch.requests()[i];
+            let duplicate = out.requests()[start..]
+                .iter()
+                .any(|merged| merged.line == request.line);
+            if !duplicate {
+                out.push(request);
             }
         }
         if self.max_requests_per_access > 0 {
-            merged.truncate(self.max_requests_per_access);
+            out.truncate(start + self.max_requests_per_access);
         }
-        merged
     }
 
     fn on_fill(&mut self, line: LineAddr, was_prefetch: bool) {
@@ -113,7 +123,7 @@ mod tests {
             StreamPrefetcher::new(StreamConfig::default()),
             StreamPrefetcher::new(StreamConfig::default()),
         );
-        let reqs = combined.on_access(&access(0x4000), &PrefetchContext::default());
+        let reqs = combined.collect_requests(&access(0x4000), &PrefetchContext::default());
         let mut lines: Vec<u64> = reqs.iter().map(|r| r.line.as_u64()).collect();
         let before = lines.len();
         lines.sort_unstable();
@@ -128,7 +138,7 @@ mod tests {
             fill_level: FillLevel::L2,
             ..StreamConfig::default()
         });
-        let expected = primary_only.on_access(&access(0x8000), &PrefetchContext::default());
+        let expected = primary_only.collect_requests(&access(0x8000), &PrefetchContext::default());
         let mut combined = AdjunctPrefetcher::new(
             StreamPrefetcher::new(StreamConfig {
                 fill_level: FillLevel::L2,
@@ -139,7 +149,7 @@ mod tests {
                 ..StreamConfig::default()
             }),
         );
-        let merged = combined.on_access(&access(0x8000), &PrefetchContext::default());
+        let merged = combined.collect_requests(&access(0x8000), &PrefetchContext::default());
         for (m, e) in merged.iter().zip(expected.iter()) {
             assert_eq!(m.fill_level, e.fill_level, "primary's fill level is kept");
         }
@@ -152,7 +162,7 @@ mod tests {
             NullPrefetcher::new(),
             StreamPrefetcher::new(StreamConfig::default()),
         );
-        let reqs = combined.on_access(&access(0), &PrefetchContext::default());
+        let reqs = combined.collect_requests(&access(0), &PrefetchContext::default());
         assert_eq!(reqs.len(), 4);
     }
 
@@ -166,7 +176,7 @@ mod tests {
             }),
         )
         .with_request_cap(3);
-        let reqs = combined.on_access(&access(0), &PrefetchContext::default());
+        let reqs = combined.collect_requests(&access(0), &PrefetchContext::default());
         assert!(reqs.len() <= 3);
     }
 

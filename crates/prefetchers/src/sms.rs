@@ -13,7 +13,8 @@
 //! bandwidth feedback.
 
 use dspatch_types::{
-    FillLevel, MemoryAccess, Pc, PrefetchContext, PrefetchRequest, Prefetcher, CACHE_LINE_BYTES,
+    FillLevel, MemoryAccess, Pc, PrefetchContext, PrefetchRequest, PrefetchSink, Prefetcher,
+    CACHE_LINE_BYTES,
 };
 use serde::{Deserialize, Serialize};
 
@@ -109,7 +110,7 @@ pub struct SmsStats {
 /// for region in 0..128u64 {
 ///     for off in [0u64, 3, 6, 9] {
 ///         let a = MemoryAccess::new(Pc::new(0x77), Addr::new(region * 2048 + off * 64), AccessKind::Load);
-///         issued.extend(sms.on_access(&a, &ctx));
+///         issued.extend(sms.collect_requests(&a, &ctx));
 ///     }
 /// }
 /// assert!(!issued.is_empty());
@@ -148,7 +149,12 @@ impl SmsPrefetcher {
         Self {
             filter: Vec::with_capacity(config.filter_entries),
             accumulation: Vec::with_capacity(config.accumulation_entries),
-            pht: vec![Vec::with_capacity(config.pht_ways); sets],
+            // Build each bucket individually: cloning a Vec does not clone its
+            // capacity, and the buckets must never reallocate on the access
+            // hot path once built.
+            pht: (0..sets)
+                .map(|_| Vec::with_capacity(config.pht_ways))
+                .collect(),
             clock: 0,
             stats: SmsStats::default(),
             config,
@@ -285,7 +291,7 @@ impl Prefetcher for SmsPrefetcher {
         "SMS"
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext, out: &mut PrefetchSink) {
         self.stats.accesses += 1;
         self.clock += 1;
         let (region, offset) = self.region_of(access);
@@ -295,7 +301,7 @@ impl Prefetcher for SmsPrefetcher {
             generation.pattern |= 1u64 << offset;
             generation.accesses += 1;
             generation.last_use = clock;
-            return Vec::new();
+            return;
         }
 
         // Trigger access: start a new generation and replay any stored
@@ -303,19 +309,18 @@ impl Prefetcher for SmsPrefetcher {
         self.start_generation(region, access.pc, offset);
         let signature = self.signature(access.pc, offset);
         let Some(pattern) = self.pht_lookup(signature) else {
-            return Vec::new();
+            return;
         };
         self.stats.pht_hits += 1;
         let region_base_line = region * self.lines_per_region() as u64;
-        let requests: Vec<PrefetchRequest> = (0..self.lines_per_region())
-            .filter(|&i| i != offset && (pattern >> i) & 1 == 1)
-            .map(|i| {
+        let issued_before = out.len();
+        for i in (0..self.lines_per_region()).filter(|&i| i != offset && (pattern >> i) & 1 == 1) {
+            out.push(
                 PrefetchRequest::new(dspatch_types::LineAddr::new(region_base_line + i as u64))
-                    .with_fill_level(FillLevel::L2)
-            })
-            .collect();
-        self.stats.prefetches += requests.len() as u64;
-        requests
+                    .with_fill_level(FillLevel::L2),
+            );
+        }
+        self.stats.prefetches += (out.len() - issued_before) as u64;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -348,7 +353,7 @@ mod tests {
         let mut out = Vec::new();
         for r in regions {
             for &o in offsets {
-                out.extend(sms.on_access(&access(pc, r * 2048 + o * 64), &ctx));
+                out.extend(sms.collect_requests(&access(pc, r * 2048 + o * 64), &ctx));
             }
         }
         out
@@ -376,7 +381,7 @@ mod tests {
         let _ = train_regions(&mut sms, 0x42, 0..128, &[1, 4, 7]);
         // Same PC but triggering at offset 9 (unseen signature): no replay.
         let ctx = PrefetchContext::default();
-        let reqs = sms.on_access(&access(0x42, 100_000 * 2048 + 9 * 64), &ctx);
+        let reqs = sms.collect_requests(&access(0x42, 100_000 * 2048 + 9 * 64), &ctx);
         assert!(reqs.is_empty());
     }
 
@@ -386,8 +391,8 @@ mod tests {
         let ctx = PrefetchContext::default();
         // Touch a single region twice so it reaches the accumulation table,
         // then flood other regions so it is eventually evicted and trained.
-        let _ = sms.on_access(&access(7, 0), &ctx);
-        let _ = sms.on_access(&access(7, 5 * 64), &ctx);
+        let _ = sms.collect_requests(&access(7, 0), &ctx);
+        let _ = sms.collect_requests(&access(7, 5 * 64), &ctx);
         assert_eq!(sms.stats().trained_generations, 0);
         let _ = train_regions(&mut sms, 9, 10..200, &[0, 1]);
         assert!(sms.stats().trained_generations > 0);
@@ -407,8 +412,12 @@ mod tests {
                 let region = round * 100_000 + pc * 131;
                 for &o in offsets.iter() {
                     let byte = region * 2048 + o * 64;
-                    big_hits += big.on_access(&access(0x1000 + pc * 4, byte), &ctx).len();
-                    small_hits += small.on_access(&access(0x1000 + pc * 4, byte), &ctx).len();
+                    big_hits += big
+                        .collect_requests(&access(0x1000 + pc * 4, byte), &ctx)
+                        .len();
+                    small_hits += small
+                        .collect_requests(&access(0x1000 + pc * 4, byte), &ctx)
+                        .len();
                 }
             }
         }

@@ -15,7 +15,7 @@
 
 use dspatch_types::{
     BandwidthQuartile, FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest,
-    Prefetcher, LINES_PER_PAGE,
+    PrefetchSink, Prefetcher, LINES_PER_PAGE,
 };
 use serde::{Deserialize, Serialize};
 
@@ -185,7 +185,7 @@ pub struct SppStats {
 /// for page in 0..4u64 {
 ///     for off in 0..32u64 {
 ///         let a = MemoryAccess::new(Pc::new(3), Addr::new(page * 4096 + off * 64), AccessKind::Load);
-///         issued.extend(spp.on_access(&a, &ctx));
+///         issued.extend(spp.collect_requests(&a, &ctx));
 ///     }
 /// }
 /// assert!(!issued.is_empty());
@@ -302,8 +302,8 @@ impl SppPrefetcher {
         start_offset: usize,
         start_signature: u16,
         threshold: f64,
-    ) -> Vec<PrefetchRequest> {
-        let mut requests = Vec::new();
+        out: &mut PrefetchSink,
+    ) {
         let mut issued = [false; LINES_PER_PAGE];
         let mut signature = start_signature;
         let mut base = start_offset as i64;
@@ -327,7 +327,7 @@ impl SppPrefetcher {
                             } else {
                                 FillLevel::Llc
                             };
-                            requests.push(
+                            out.push(
                                 PrefetchRequest::new(page.line_at(offset)).with_fill_level(fill),
                             );
                         }
@@ -354,7 +354,6 @@ impl SppPrefetcher {
                 self.stats.lookahead_limited += 1;
             }
         }
-        requests
     }
 }
 
@@ -363,7 +362,7 @@ impl Prefetcher for SppPrefetcher {
         self.name
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext, out: &mut PrefetchSink) {
         self.stats.accesses += 1;
         let page = access.page();
         let offset = access.page_line_offset();
@@ -374,7 +373,7 @@ impl Prefetcher for SppPrefetcher {
         let signature = if entry.valid && entry.page == page {
             let delta = offset as i64 - entry.last_offset as i64;
             if delta == 0 {
-                return Vec::new();
+                return;
             }
             let delta = delta.clamp(i64::from(i8::MIN), i64::from(i8::MAX)) as i8;
             // Train the pattern table with the observed transition.
@@ -402,11 +401,11 @@ impl Prefetcher for SppPrefetcher {
         };
 
         if signature == 0 {
-            return Vec::new();
+            return;
         }
-        let requests = self.lookahead(page, offset, signature, threshold);
-        self.stats.prefetches += requests.len() as u64;
-        requests
+        let issued_before = out.len();
+        self.lookahead(page, offset, signature, threshold, out);
+        self.stats.prefetches += (out.len() - issued_before) as u64;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -437,7 +436,7 @@ mod tests {
         let ctx = PrefetchContext::default();
         let mut out = Vec::new();
         for &(p, o) in accesses {
-            out.extend(spp.on_access(&access(p, o), &ctx));
+            out.extend(spp.collect_requests(&access(p, o), &ctx));
         }
         out
     }
@@ -554,13 +553,13 @@ mod tests {
         let ctx_high = PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q3);
         let mut high_total = 0;
         for &(p, o) in &train {
-            high_total += enhanced.on_access(&access(p, o), &ctx_high).len();
+            high_total += enhanced.collect_requests(&access(p, o), &ctx_high).len();
         }
         let mut low = SppPrefetcher::new(SppConfig::enhanced());
         let ctx_low = PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q0);
         let mut low_total = 0;
         for &(p, o) in &train {
-            low_total += low.on_access(&access(p, o), &ctx_low).len();
+            low_total += low.collect_requests(&access(p, o), &ctx_low).len();
         }
         assert!(low_total >= high_total);
     }

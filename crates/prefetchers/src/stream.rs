@@ -7,7 +7,7 @@
 //! `degree` sequential cache lines, optionally detecting descending streams.
 
 use dspatch_types::{
-    FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest, Prefetcher,
+    FillLevel, MemoryAccess, PageAddr, PrefetchContext, PrefetchRequest, PrefetchSink, Prefetcher,
 };
 use serde::{Deserialize, Serialize};
 
@@ -45,7 +45,7 @@ impl Default for StreamConfig {
 ///
 /// let mut pf = StreamPrefetcher::new(StreamConfig::default());
 /// let a = MemoryAccess::new(Pc::new(1), Addr::new(0x1000), AccessKind::Load);
-/// let reqs = pf.on_access(&a, &PrefetchContext::default());
+/// let reqs = pf.collect_requests(&a, &PrefetchContext::default());
 /// assert_eq!(reqs.len(), 4);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -102,20 +102,18 @@ impl Prefetcher for StreamPrefetcher {
         "streamer"
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext, out: &mut PrefetchSink) {
         let line = access.line();
         let page = access.page();
         let offset = access.page_line_offset();
         let direction = self.direction_for(page, offset);
-        let mut requests = Vec::with_capacity(self.config.degree);
         for k in 1..=self.config.degree as i64 {
             let target = line.offset_by(direction * k);
             if self.config.stop_at_page_boundary && target.page() != page {
                 break;
             }
-            requests.push(PrefetchRequest::new(target).with_fill_level(self.config.fill_level));
+            out.push(PrefetchRequest::new(target).with_fill_level(self.config.fill_level));
         }
-        requests
     }
 
     fn storage_bits(&self) -> u64 {
@@ -136,7 +134,7 @@ mod tests {
     #[test]
     fn prefetches_degree_sequential_lines() {
         let mut pf = StreamPrefetcher::new(StreamConfig::default());
-        let reqs = pf.on_access(&access(0x2000), &PrefetchContext::default());
+        let reqs = pf.collect_requests(&access(0x2000), &PrefetchContext::default());
         assert_eq!(reqs.len(), 4);
         for (i, r) in reqs.iter().enumerate() {
             assert_eq!(r.line, Addr::new(0x2000).line().offset_by(i as i64 + 1));
@@ -147,7 +145,7 @@ mod tests {
     fn stops_at_page_boundary_when_configured() {
         let mut pf = StreamPrefetcher::new(StreamConfig::default());
         // Last line of a page: nothing to prefetch without crossing the page.
-        let reqs = pf.on_access(&access(0x1000 - 64), &PrefetchContext::default());
+        let reqs = pf.collect_requests(&access(0x1000 - 64), &PrefetchContext::default());
         assert!(reqs.is_empty());
     }
 
@@ -157,7 +155,7 @@ mod tests {
             stop_at_page_boundary: false,
             ..StreamConfig::default()
         });
-        let reqs = pf.on_access(&access(0x1000 - 64), &PrefetchContext::default());
+        let reqs = pf.collect_requests(&access(0x1000 - 64), &PrefetchContext::default());
         assert_eq!(reqs.len(), 4);
     }
 
@@ -165,8 +163,8 @@ mod tests {
     fn follows_descending_streams() {
         let mut pf = StreamPrefetcher::new(StreamConfig::default());
         let ctx = PrefetchContext::default();
-        let _ = pf.on_access(&access(0x1000 + 30 * 64), &ctx);
-        let reqs = pf.on_access(&access(0x1000 + 20 * 64), &ctx);
+        let _ = pf.collect_requests(&access(0x1000 + 30 * 64), &ctx);
+        let reqs = pf.collect_requests(&access(0x1000 + 20 * 64), &ctx);
         assert!(!reqs.is_empty());
         assert!(reqs
             .iter()
@@ -180,8 +178,8 @@ mod tests {
             ..StreamConfig::default()
         });
         let ctx = PrefetchContext::default();
-        let _ = pf.on_access(&access(0x1000 + 30 * 64), &ctx);
-        let reqs = pf.on_access(&access(0x1000 + 20 * 64), &ctx);
+        let _ = pf.collect_requests(&access(0x1000 + 30 * 64), &ctx);
+        let reqs = pf.collect_requests(&access(0x1000 + 20 * 64), &ctx);
         assert!(reqs
             .iter()
             .all(|r| r.line > Addr::new(0x1000 + 20 * 64).line()));

@@ -7,7 +7,8 @@
 //! prefetcher runs `degree` strides ahead of the demand stream.
 
 use dspatch_types::{
-    FillLevel, LineAddr, MemoryAccess, Pc, PrefetchContext, PrefetchRequest, Prefetcher,
+    FillLevel, LineAddr, MemoryAccess, Pc, PrefetchContext, PrefetchRequest, PrefetchSink,
+    Prefetcher,
 };
 use serde::{Deserialize, Serialize};
 
@@ -50,17 +51,19 @@ struct StrideEntry {
 ///
 /// ```
 /// use dspatch_prefetchers::{StrideConfig, StridePrefetcher};
-/// use dspatch_types::{AccessKind, Addr, MemoryAccess, Pc, PrefetchContext, Prefetcher};
+/// use dspatch_types::{
+///     AccessKind, Addr, MemoryAccess, Pc, PrefetchContext, PrefetchSink, Prefetcher,
+/// };
 ///
 /// let mut pf = StridePrefetcher::new(StrideConfig::default());
 /// let ctx = PrefetchContext::default();
-/// let mut issued = Vec::new();
+/// let mut sink = PrefetchSink::new();
 /// for i in 0..6u64 {
 ///     let a = MemoryAccess::new(Pc::new(0x10), Addr::new(i * 128), AccessKind::Load);
-///     issued.extend(pf.on_access(&a, &ctx));
+///     pf.on_access(&a, &ctx, &mut sink);
 /// }
 /// // A constant +2-line stride is learnt and prefetched ahead.
-/// assert!(!issued.is_empty());
+/// assert!(!sink.is_empty());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StridePrefetcher {
@@ -123,7 +126,7 @@ impl Prefetcher for StridePrefetcher {
         "L1-stride"
     }
 
-    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &MemoryAccess, _ctx: &PrefetchContext, out: &mut PrefetchSink) {
         self.clock += 1;
         let line = access.line();
         let index = self.find_or_allocate(access.pc, line);
@@ -133,7 +136,7 @@ impl Prefetcher for StridePrefetcher {
             let observed = line.delta_from(entry.last_line);
             if observed == 0 {
                 // Same line again: no new information.
-                return Vec::new();
+                return;
             }
             if observed == entry.stride {
                 entry.confidence = entry.confidence.saturating_add(1);
@@ -148,14 +151,14 @@ impl Prefetcher for StridePrefetcher {
             )
         };
         if !confident || stride == 0 {
-            return Vec::new();
+            return;
         }
-        (1..=self.config.degree as i64)
-            .map(|k| {
+        for k in 1..=self.config.degree as i64 {
+            out.push(
                 PrefetchRequest::new(line.offset_by(stride * k))
-                    .with_fill_level(self.config.fill_level)
-            })
-            .collect()
+                    .with_fill_level(self.config.fill_level),
+            );
+        }
     }
 
     fn storage_bits(&self) -> u64 {
@@ -178,7 +181,7 @@ mod tests {
         let ctx = PrefetchContext::default();
         let mut out = Vec::new();
         for &b in bytes {
-            out.extend(pf.on_access(&access(pc, b), &ctx));
+            out.extend(pf.collect_requests(&access(pc, b), &ctx));
         }
         out
     }
@@ -220,8 +223,8 @@ mod tests {
         let mut issued = Vec::new();
         // Interleave two PCs with different strides; both should train.
         for i in 0..8u64 {
-            issued.extend(pf.on_access(&access(1, i * 64), &ctx));
-            issued.extend(pf.on_access(&access(2, 1 << 20 | (i * 256)), &ctx));
+            issued.extend(pf.collect_requests(&access(1, i * 64), &ctx));
+            issued.extend(pf.collect_requests(&access(2, 1 << 20 | (i * 256)), &ctx));
         }
         assert!(!issued.is_empty());
     }
@@ -234,7 +237,7 @@ mod tests {
         });
         let ctx = PrefetchContext::default();
         for pc in 0..64u64 {
-            let _ = pf.on_access(&access(pc, pc * 4096), &ctx);
+            let _ = pf.collect_requests(&access(pc, pc * 4096), &ctx);
         }
         assert!(pf.entries.len() <= 4);
     }

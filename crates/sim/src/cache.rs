@@ -39,12 +39,19 @@ impl CacheConfig {
         }
     }
 
-    /// Number of sets implied by the geometry.
+    /// Number of sets implied by the geometry, rounded **up** to a power of
+    /// two so set selection is a mask instead of a `%` on the lookup hot
+    /// path. All of the paper's geometries are powers of two already; an
+    /// exotic non-power-of-two configuration gains a little extra capacity
+    /// rather than being rejected.
     pub fn sets(&self) -> usize {
-        (self.size_bytes / CACHE_LINE_BYTES / self.ways).max(1)
+        (self.size_bytes / CACHE_LINE_BYTES / self.ways)
+            .max(1)
+            .next_power_of_two()
     }
 
-    /// Validates the geometry.
+    /// Validates the geometry (and documents the power-of-two set rounding
+    /// applied by [`CacheConfig::sets`]).
     ///
     /// # Errors
     ///
@@ -78,12 +85,15 @@ pub struct LineMeta {
     pub low_priority: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct Way {
-    line: LineAddr,
-    meta: LineMeta,
-    lru: u64,
-}
+/// Sentinel tag marking an unoccupied way. Real tags are line numbers
+/// (byte address >> 6), which cannot reach `u64::MAX`.
+const EMPTY_TAG: u64 = u64::MAX;
+
+const EMPTY_META: LineMeta = LineMeta {
+    prefetched: false,
+    used: false,
+    low_priority: false,
+};
 
 /// An eviction produced by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -125,6 +135,13 @@ impl CacheStats {
 
 /// A set-associative, true-LRU cache.
 ///
+/// Storage is a structure-of-arrays `sets × ways` arena (set-major) with a
+/// power-of-two set count: the tag array is a dense `u64` slab, so a lookup
+/// is one mask, one multiply and a scan of `ways` adjacent 8-byte tags (one
+/// or two cache lines of simulator memory), touching the LRU/metadata
+/// arrays only on a hit. Unoccupied ways hold [`EMPTY_TAG`], which no real
+/// line number (a 64-bit byte address shifted right by 6) can equal.
+///
 /// # Example
 ///
 /// ```
@@ -139,7 +156,16 @@ impl CacheStats {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Line tags, `EMPTY_TAG` when unoccupied; set `s` occupies
+    /// `tags[s*assoc..(s+1)*assoc]`, and the same indexing applies to
+    /// `lrus` and `metas`.
+    tags: Vec<u64>,
+    lrus: Vec<u64>,
+    metas: Vec<LineMeta>,
+    /// `sets - 1`, valid because the set count is a power of two.
+    set_mask: usize,
+    /// Associativity, denormalized from `config` for the indexing hot path.
+    assoc: usize,
     clock: u64,
     stats: CacheStats,
 }
@@ -152,8 +178,15 @@ impl Cache {
     /// Panics if the configuration fails [`CacheConfig::validate`].
     pub fn new(config: CacheConfig) -> Self {
         config.validate().expect("invalid cache configuration");
+        let sets = config.sets();
+        debug_assert!(sets.is_power_of_two());
+        let slots = sets * config.ways;
         Self {
-            sets: vec![Vec::with_capacity(config.ways); config.sets()],
+            tags: vec![EMPTY_TAG; slots],
+            lrus: vec![0; slots],
+            metas: vec![EMPTY_META; slots],
+            set_mask: sets - 1,
+            assoc: config.ways,
             clock: 0,
             stats: CacheStats::default(),
             config,
@@ -170,30 +203,40 @@ impl Cache {
         &self.stats
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.as_u64() as usize) % self.sets.len()
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        ((line.as_u64() as usize) & self.set_mask) * self.assoc
+    }
+
+    /// Index of `line` in the arena if resident.
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_base(line);
+        let tag = line.as_u64();
+        debug_assert_ne!(tag, EMPTY_TAG, "line aliases the empty-way sentinel");
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|i| base + i)
     }
 
     /// Returns whether `line` is resident, without touching LRU state or
     /// statistics.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|w| w.line == line)
+        self.find(line).is_some()
     }
 
     /// Performs a demand lookup: updates LRU, marks prefetched lines as
     /// used, and records hit/miss statistics. Returns whether it hit.
     pub fn demand_lookup(&mut self, line: LineAddr) -> bool {
         self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_index(line);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
-            way.lru = clock;
-            if way.meta.prefetched && !way.meta.used {
+        if let Some(slot) = self.find(line) {
+            self.lrus[slot] = self.clock;
+            let meta = &mut self.metas[slot];
+            if meta.prefetched && !meta.used {
                 self.stats.prefetch_first_uses += 1;
             }
-            way.meta.used = true;
+            meta.used = true;
             self.stats.demand_hits += 1;
             true
         } else {
@@ -207,10 +250,8 @@ impl Cache {
     /// count as demand traffic and do not mark lines used).
     pub fn prefetch_lookup(&mut self, line: LineAddr) -> bool {
         self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_index(line);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
-            way.lru = clock;
+        if let Some(slot) = self.find(line) {
+            self.lrus[slot] = self.clock;
             true
         } else {
             false
@@ -228,18 +269,26 @@ impl Cache {
     ) -> Option<Eviction> {
         self.clock += 1;
         let clock = self.clock;
-        let set_index = self.set_index(line);
-        let ways = self.config.ways;
-        let set = &mut self.sets[set_index];
+        let base = self.set_base(line);
+        let tag = line.as_u64();
+        let set_tags = &self.tags[base..base + self.assoc];
 
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
-            // Already resident: a demand fill upgrades a prefetched line to a
-            // demand line; a prefetch fill never downgrades.
-            if !is_prefetch {
-                way.meta.used = true;
+        // One pass over the tag slab: find a resident copy and the first
+        // free way simultaneously.
+        let mut free_index = usize::MAX;
+        for (i, &t) in set_tags.iter().enumerate() {
+            if t == tag {
+                // Already resident: a demand fill upgrades a prefetched line
+                // to a demand line; a prefetch fill never downgrades.
+                if !is_prefetch {
+                    self.metas[base + i].used = true;
+                }
+                self.lrus[base + i] = clock;
+                return None;
             }
-            way.lru = clock;
-            return None;
+            if t == EMPTY_TAG && free_index == usize::MAX {
+                free_index = i;
+            }
         }
 
         if is_prefetch {
@@ -255,40 +304,48 @@ impl Cache {
         } else {
             clock
         };
-        let new_way = Way {
-            line,
-            meta: LineMeta {
-                prefetched: is_prefetch,
-                used: false,
-                low_priority,
-            },
-            lru: lru_stamp,
+        let new_meta = LineMeta {
+            prefetched: is_prefetch,
+            used: false,
+            low_priority,
         };
 
-        if set.len() < ways {
-            set.push(new_way);
+        // A free way wins outright (matching the seed's fill-before-replace
+        // order, since free ways only exist before the set first fills up);
+        // otherwise the smallest LRU stamp, earliest index on ties.
+        let slot = if free_index != usize::MAX {
+            base + free_index
+        } else {
+            let mut victim_index = base;
+            let mut victim_lru = self.lrus[base];
+            for i in base + 1..base + self.assoc {
+                if self.lrus[i] < victim_lru {
+                    victim_lru = self.lrus[i];
+                    victim_index = i;
+                }
+            }
+            victim_index
+        };
+        let evicted_tag = self.tags[slot];
+        let evicted_meta = self.metas[slot];
+        self.tags[slot] = tag;
+        self.lrus[slot] = lru_stamp;
+        self.metas[slot] = new_meta;
+        if evicted_tag == EMPTY_TAG {
             return None;
         }
-        let victim_index = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru)
-            .map(|(i, _)| i)
-            .expect("set is non-empty at capacity");
-        let victim = set[victim_index];
-        if victim.meta.prefetched && !victim.meta.used {
+        if evicted_meta.prefetched && !evicted_meta.used {
             self.stats.prefetch_unused_evictions += 1;
         }
-        set[victim_index] = new_way;
         Some(Eviction {
-            line: victim.line,
-            meta: victim.meta,
+            line: LineAddr::new(evicted_tag),
+            meta: evicted_meta,
         })
     }
 
     /// Number of resident lines (for occupancy checks in tests).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
     }
 }
 

@@ -164,6 +164,12 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Whether the baseline PC-stride prefetcher runs at the L1.
     pub l1_stride_prefetcher: bool,
+    /// Whether the machine may fast-forward over provably idle /
+    /// closed-form cycles. On by default; disabling forces the reference
+    /// cycle-by-cycle loop, which produces **bit-identical results** (a
+    /// property test asserts this) at a large wall-clock cost. Exists so
+    /// the skip machinery's exactness stays falsifiable.
+    pub cycle_skipping: bool,
     /// Upper bound on simulated cycles (guards against pathological
     /// configurations; 0 disables the guard).
     pub max_cycles: u64,
@@ -181,6 +187,7 @@ impl SystemConfig {
             llc: CacheConfig::new("LLC", 2 * 1024 * 1024, 16, 30, 32),
             dram: DramConfig::with_speed(1, DramSpeedGrade::Ddr4_2133),
             l1_stride_prefetcher: true,
+            cycle_skipping: true,
             max_cycles: 2_000_000_000,
         }
     }

@@ -156,7 +156,13 @@ pub struct Dram {
     channels: Vec<Channel>,
     tracker: BandwidthTracker,
     stats: DramStats,
-    cycles_per_ns: f64,
+    /// Timing parameters converted to core cycles once at construction —
+    /// `access` runs on the per-miss hot path and must not redo the
+    /// float-multiply-and-round per call.
+    t_cl_cycles: u64,
+    t_rcd_cycles: u64,
+    t_rp_cycles: u64,
+    transfer_cycles: u64,
 }
 
 impl Dram {
@@ -183,11 +189,16 @@ impl Dram {
             data_bus_free: 0,
             demand_bus_free: 0,
         };
+        let cycles_per_ns = core_clock_mhz as f64 / 1000.0;
+        let to_cycles = |ns: f64| (ns * cycles_per_ns).round() as u64;
         Self {
             channels: vec![channel; config.channels],
             tracker,
             stats: DramStats::default(),
-            cycles_per_ns: core_clock_mhz as f64 / 1000.0,
+            t_cl_cycles: to_cycles(config.t_cl_ns),
+            t_rcd_cycles: to_cycles(config.t_rcd_ns),
+            t_rp_cycles: to_cycles(config.t_rp_ns),
+            transfer_cycles: to_cycles(config.transfer_time_ns()).max(1),
             config,
         }
     }
@@ -214,10 +225,6 @@ impl Dram {
         self.tracker.advance(cycle, &mut self.stats)
     }
 
-    fn ns_to_cycles(&self, ns: f64) -> u64 {
-        (ns * self.cycles_per_ns).round() as u64
-    }
-
     /// Issues one 64 B access at `cycle` and returns its completion cycle.
     /// `is_prefetch` only affects statistics.
     pub fn access(&mut self, line: LineAddr, cycle: u64, is_prefetch: bool) -> u64 {
@@ -228,10 +235,10 @@ impl Dram {
         let lines_per_row = (self.config.row_buffer_bytes / 64).max(1) as u64;
         let row = raw / (self.config.channels as u64 * banks * lines_per_row);
 
-        let t_cl = self.ns_to_cycles(self.config.t_cl_ns);
-        let t_rcd = self.ns_to_cycles(self.config.t_rcd_ns);
-        let t_rp = self.ns_to_cycles(self.config.t_rp_ns);
-        let transfer = self.ns_to_cycles(self.config.transfer_time_ns()).max(1);
+        let t_cl = self.t_cl_cycles;
+        let t_rcd = self.t_rcd_cycles;
+        let t_rp = self.t_rp_cycles;
+        let transfer = self.transfer_cycles;
 
         let channel = &mut self.channels[channel_index];
         let bank = &mut channel.banks[bank_index];

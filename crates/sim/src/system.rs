@@ -28,10 +28,12 @@ use crate::stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult
 use dspatch_prefetchers::{StrideConfig, StridePrefetcher};
 use dspatch_trace::{Trace, TraceRecord};
 use dspatch_types::{
-    CoreId, FillLevel, LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, Prefetcher,
+    CoreId, FillLevel, LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, PrefetchSink,
+    Prefetcher,
 };
+use fxhash::{FxHashMap, FxHashSet};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Extra cycles charged for traversing the on-die interconnect to DRAM on
 /// top of the cache probe latencies.
@@ -50,13 +52,26 @@ struct PendingFill {
     used_by_demand: bool,
 }
 
+/// A run of consecutive ROB slots sharing one completion cycle. Gap
+/// (non-memory) instructions allocated in the same cycle all complete one
+/// cycle later, so they compress into a single entry — the dominant ROB
+/// traffic shrinks by the allocation width.
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    completion: u64,
+    count: u32,
+}
+
 struct CoreState {
     id: usize,
     workload: String,
     records: Vec<TraceRecord>,
     next_record: usize,
     gap_remaining: u32,
-    rob: std::collections::VecDeque<u64>,
+    /// Run-length-compressed, in-order ROB; `rob_len` tracks the summed
+    /// instruction count (the occupancy the 224-entry bound applies to).
+    rob: std::collections::VecDeque<RobEntry>,
+    rob_len: usize,
     load_completions: BinaryHeap<Reverse<u64>>,
     l1: Cache,
     l2: Cache,
@@ -67,6 +82,34 @@ struct CoreState {
     finish_cycle: u64,
     finished: bool,
     last_memory_completion: u64,
+}
+
+impl CoreState {
+    /// Appends `count` instructions completing at `completion`, merging with
+    /// the newest run when the completion cycle matches.
+    #[inline]
+    fn rob_push(&mut self, completion: u64, count: u32) {
+        self.rob_len += count as usize;
+        if let Some(back) = self.rob.back_mut() {
+            if back.completion == completion {
+                back.count += count;
+                return;
+            }
+        }
+        self.rob.push_back(RobEntry { completion, count });
+    }
+
+    /// Drops load completions that have retired by `cycle`.
+    #[inline]
+    fn drain_load_completions(&mut self, cycle: u64) {
+        while let Some(&Reverse(completion)) = self.load_completions.peek() {
+            if completion <= cycle {
+                self.load_completions.pop();
+            } else {
+                break;
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for CoreState {
@@ -81,21 +124,37 @@ impl std::fmt::Debug for CoreState {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PollutionTracker {
-    victims: HashMap<u64, ()>,
+    /// Lines evicted from the LLC by a prefetch fill and not re-demanded
+    /// yet. A set, not a map: membership is the only state. Fx-hashed — this
+    /// is probed on every demand that leaves the L2.
+    victims: FxHashSet<u64>,
     counts: PollutionBreakdown,
+}
+
+impl Default for PollutionTracker {
+    fn default() -> Self {
+        Self {
+            // Pre-size past the typical victim population so common runs
+            // never pay a rehash. Pollution-heavy runs can still grow the
+            // set (up to POLLUTION_TRACK_CAP) and amortize rehashes then;
+            // pre-sizing to the full 1M cap would cost ~10 MB per machine.
+            victims: FxHashSet::with_capacity_and_hasher(1 << 16, Default::default()),
+            counts: PollutionBreakdown::default(),
+        }
+    }
 }
 
 impl PollutionTracker {
     fn record_prefetch_victim(&mut self, line: LineAddr) {
         if self.victims.len() < POLLUTION_TRACK_CAP {
-            self.victims.insert(line.as_u64(), ());
+            self.victims.insert(line.as_u64());
         }
     }
 
     fn observe_demand(&mut self, line: LineAddr, went_to_dram: bool) {
-        if self.victims.remove(&line.as_u64()).is_some() {
+        if self.victims.remove(&line.as_u64()) {
             if went_to_dram {
                 self.counts.bad_pollution += 1;
             } else {
@@ -155,9 +214,16 @@ pub struct Machine {
     cores: Vec<CoreState>,
     llc: Cache,
     dram: Dram,
-    pending: HashMap<u64, PendingFill>,
+    /// In-flight DRAM fills keyed by line address. Fx-hashed: probed at
+    /// least once per L2 miss and per prefetch issue.
+    pending: FxHashMap<u64, PendingFill>,
     ready_queue: BinaryHeap<Reverse<(u64, u64)>>,
     pollution: PollutionTracker,
+    /// Reusable request buffer for the L1 stride prefetcher (lives on the
+    /// machine so the per-access hot path never allocates in steady state).
+    l1_sink: PrefetchSink,
+    /// Reusable request buffer for the L2 prefetcher.
+    l2_sink: PrefetchSink,
 }
 
 impl Machine {
@@ -182,6 +248,7 @@ impl Machine {
                     next_record: 0,
                     gap_remaining: gap,
                     rob: std::collections::VecDeque::with_capacity(config.core.rob_entries),
+                    rob_len: 0,
                     load_completions: BinaryHeap::new(),
                     l1: Cache::new(config.l1.clone()),
                     l2: Cache::new(config.l2.clone()),
@@ -202,9 +269,11 @@ impl Machine {
             cores,
             llc: Cache::new(config.llc.clone()),
             dram: Dram::new(config.dram, config.core.clock_mhz),
-            pending: HashMap::new(),
-            ready_queue: BinaryHeap::new(),
+            pending: FxHashMap::with_capacity_and_hasher(4096, Default::default()),
+            ready_queue: BinaryHeap::with_capacity(4096),
             pollution: PollutionTracker::default(),
+            l1_sink: PrefetchSink::new(),
+            l2_sink: PrefetchSink::new(),
             config,
         }
     }
@@ -221,6 +290,7 @@ impl Machine {
                     }
                 }
             }
+            self.skip_idle_cycles();
         }
         let cycles = self.cycle;
         let cores = self
@@ -256,6 +326,217 @@ impl Machine {
         for index in 0..self.cores.len() {
             self.step_core(index, cycle);
         }
+    }
+
+    /// Fast-forwards over cycles whose effect on every core is either
+    /// nothing (idle stall) or closed-form (steady gap-instruction
+    /// allocation). This is exact, not approximate:
+    ///
+    /// * An idle core's per-cycle work is empty — the retire loop breaks at
+    ///   the ROB head and allocation is blocked — so skipping to the next
+    ///   event changes nothing.
+    /// * A core allocating only gap instructions evolves deterministically
+    ///   (`width` allocations per cycle, matching retirements when the ROB
+    ///   head is current, pure accumulation when it is blocked), so its
+    ///   state after `k` such cycles is computed directly.
+    /// * Pending DRAM fills only mutate caches, which no skipped core
+    ///   touches; they materialize, in ready order, at the next stepped
+    ///   cycle before any core runs — exactly the order the cycle-by-cycle
+    ///   loop produces. The DRAM bandwidth tracker advances by window
+    ///   arithmetic and is jump-safe.
+    ///
+    /// Memory-bound and compute-gap phases — where simulated time
+    /// concentrates — therefore cost wall-clock per *event*, not per cycle.
+    fn skip_idle_cycles(&mut self) {
+        if !self.config.cycle_skipping {
+            return;
+        }
+        let mut skip = u64::MAX;
+        for core in &self.cores {
+            skip = skip.min(self.core_skip_allowance(core));
+            if skip == 0 {
+                return; // a core does non-trivial work next cycle
+            }
+        }
+        if skip == u64::MAX {
+            return; // all cores finished; the run loop exits
+        }
+        if self.config.max_cycles > 0 {
+            // Never jump past the safety valve's trigger point.
+            skip = skip.min((self.config.max_cycles + 1).saturating_sub(self.cycle + 1));
+        }
+        if skip == 0 {
+            return;
+        }
+        let cycle = self.cycle;
+        let width = self.config.core.width;
+        let rob_entries = self.config.core.rob_entries;
+        for core in &mut self.cores {
+            Self::advance_core_closed_form(core, cycle, skip, width, rob_entries);
+        }
+        self.cycle += skip;
+    }
+
+    /// How many upcoming cycles (starting at `self.cycle + 1`) this core can
+    /// be advanced without stepping it, or `u64::MAX` if it is finished.
+    /// Zero means the next cycle must run normally. Mirrors the conditions
+    /// of `step_core` exactly.
+    fn core_skip_allowance(&self, core: &CoreState) -> u64 {
+        if core.finished {
+            return u64::MAX;
+        }
+        let cycle = self.cycle;
+        let width = self.config.core.width;
+        let rob_entries = self.config.core.rob_entries;
+        let head = core.rob.front().map(|e| e.completion);
+        let has_records = core.next_record < core.records.len();
+
+        if has_records && core.gap_remaining > 0 {
+            // Gap-allocation phase: closed-form for whole cycles of `width`
+            // gap instructions. The ROB front may hold already-completed
+            // instructions (the backlog) followed by a blocked run.
+            let gap_cycles = u64::from(core.gap_remaining) / width as u64;
+            if gap_cycles >= 1 {
+                let mut backlog = 0usize;
+                let mut next_blocked = u64::MAX;
+                for entry in core.rob.iter() {
+                    if entry.completion <= cycle + 1 {
+                        backlog += entry.count as usize;
+                    } else {
+                        next_blocked = entry.completion;
+                        break;
+                    }
+                }
+                if backlog >= width {
+                    // Backlog regime: every streak cycle retires exactly
+                    // `width` already-completed instructions and (with the
+                    // freed slots, if the ROB was full) allocates `width`
+                    // gap instructions — occupancy never grows and the
+                    // blocked run (if any) never reaches the head.
+                    return gap_cycles.min((backlog / width) as u64);
+                }
+                if core.rob_len < rob_entries {
+                    // Accumulation regime: the < `width`-deep current front
+                    // retires in the first cycle; afterwards allocations
+                    // pile up (blocked head) or retire steadily (no blocked
+                    // run at all).
+                    let space_cycles = ((rob_entries - core.rob_len + backlog) / width) as u64;
+                    let mut skip = gap_cycles.min(space_cycles);
+                    if next_blocked != u64::MAX {
+                        skip = skip.min(next_blocked - cycle - 1);
+                    }
+                    return skip;
+                }
+                // ROB full with a blocked (or shallow) head: idle until the
+                // head retires.
+                return head.map_or(0, |h| h.saturating_sub(cycle + 1));
+            }
+            // Partial gap (followed by the memory record within one cycle).
+            if core.rob_len < rob_entries {
+                return 0; // it allocates next cycle: step normally
+            }
+            return head.map_or(0, |h| h.saturating_sub(cycle + 1));
+        }
+        if has_records && core.rob_len < rob_entries {
+            // Next up is a memory record.
+            if core.load_completions.len() < self.config.core.load_buffer_entries {
+                return 0; // it issues next cycle
+            }
+            // Blocked on the load buffer: idle until a load completes (or
+            // the ROB head retires, whichever is earlier).
+            let load_head = core
+                .load_completions
+                .peek()
+                .map_or(u64::MAX, |&Reverse(c)| c);
+            return load_head
+                .min(head.unwrap_or(u64::MAX))
+                .saturating_sub(cycle + 1);
+        }
+        // Cannot allocate: either the trace is exhausted or the ROB is full.
+        match head {
+            // Exhausted trace, empty ROB: the core finishes next step.
+            None => 0,
+            // Idle until the head retires.
+            Some(h) => h.saturating_sub(cycle + 1),
+        }
+    }
+
+    /// Applies `skip` cycles' worth of closed-form evolution to `core`
+    /// (validated by `core_skip_allowance`): gap-phase cores allocate
+    /// `width * skip` instructions, idle cores are untouched (their lazy
+    /// load-completion drain happens at the next real step, identically to
+    /// the per-cycle loop's cumulative pops).
+    fn advance_core_closed_form(
+        core: &mut CoreState,
+        cycle: u64,
+        skip: u64,
+        width: usize,
+        rob_entries: usize,
+    ) {
+        // The guard must classify the core exactly as `core_skip_allowance`
+        // did: only a core in the gap-allocation phase evolves during a skip.
+        if core.finished || core.gap_remaining == 0 || core.next_record >= core.records.len() {
+            return;
+        }
+        let gap_cycles = u64::from(core.gap_remaining) / width as u64;
+        if gap_cycles == 0 {
+            return; // partial-gap core: it was idle (ROB full) or skip is 0
+        }
+        let mut backlog = 0usize;
+        for entry in core.rob.iter() {
+            if entry.completion > cycle + 1 {
+                break;
+            }
+            backlog += entry.count as usize;
+        }
+        if backlog < width && core.rob_len >= rob_entries {
+            return; // ROB-full idle core, untouched during the skip
+        }
+        debug_assert!(skip <= gap_cycles);
+        let allocated = skip * width as u64;
+        if backlog >= width {
+            // Backlog regime: retire `width` per streak cycle, count-wise
+            // from the front runs; every allocation stays in flight (it can
+            // only retire once it reaches the head, which the backlog and
+            // any blocked run prevent until after the streak).
+            let mut to_retire = allocated as usize;
+            debug_assert!(backlog >= to_retire);
+            while to_retire > 0 {
+                let front = core.rob.front_mut().expect("backlog covers retirement");
+                let take = to_retire.min(front.count as usize);
+                front.count -= take as u32;
+                core.rob_len -= take;
+                to_retire -= take;
+                if front.count == 0 {
+                    core.rob.pop_front();
+                }
+            }
+            core.rob_push(cycle + skip + 1, allocated as u32);
+        } else {
+            // Accumulation regime: the current front retires in the first
+            // streak cycle.
+            while let Some(front) = core.rob.front() {
+                if front.completion > cycle + 1 {
+                    break;
+                }
+                core.rob_len -= front.count as usize;
+                core.rob.pop_front();
+            }
+            if core.rob.is_empty() {
+                // Steady state: each cycle's `width` allocations retire the
+                // next cycle; only the final cycle's allocation remains.
+                core.rob_push(cycle + skip + 1, width as u32);
+            } else {
+                // Blocked head: allocations accumulate behind it. Their
+                // completions (cycle+2 ..= cycle+skip+1) all precede their
+                // earliest possible retirement, so a single run at the
+                // latest completion retires identically.
+                core.rob_push(cycle + skip + 1, allocated as u32);
+            }
+        }
+        core.gap_remaining -= allocated as u32;
+        core.instructions += allocated;
+        core.drain_load_completions(cycle + skip);
     }
 
     /// Materializes DRAM fills whose data has arrived.
@@ -296,7 +577,8 @@ impl Machine {
         let rob_entries = self.config.core.rob_entries;
         let load_buffer = self.config.core.load_buffer_entries;
 
-        // Retire completed instructions from the ROB head.
+        // Retire completed instructions from the ROB head (in order, up to
+        // `width` per cycle; compressed runs retire count-wise).
         {
             let core = &mut self.cores[index];
             if core.finished {
@@ -304,22 +586,21 @@ impl Machine {
             }
             let mut retired = 0;
             while retired < width {
-                match core.rob.front() {
-                    Some(&completion) if completion <= cycle => {
-                        core.rob.pop_front();
-                        retired += 1;
+                match core.rob.front_mut() {
+                    Some(entry) if entry.completion <= cycle => {
+                        let take = (width - retired).min(entry.count as usize);
+                        entry.count -= take as u32;
+                        core.rob_len -= take;
+                        retired += take;
+                        if entry.count == 0 {
+                            core.rob.pop_front();
+                        }
                     }
                     _ => break,
                 }
             }
-            while let Some(&Reverse(completion)) = core.load_completions.peek() {
-                if completion <= cycle {
-                    core.load_completions.pop();
-                } else {
-                    break;
-                }
-            }
-            if core.next_record >= core.records.len() && core.rob.is_empty() {
+            core.drain_load_completions(cycle);
+            if core.next_record >= core.records.len() && core.rob_len == 0 {
                 core.finished = true;
                 core.finish_cycle = cycle;
                 return;
@@ -330,15 +611,20 @@ impl Machine {
         let mut allocated = 0;
         while allocated < width {
             let core = &self.cores[index];
-            if core.rob.len() >= rob_entries || core.next_record >= core.records.len() {
+            if core.rob_len >= rob_entries || core.next_record >= core.records.len() {
                 break;
             }
             if core.gap_remaining > 0 {
+                // Batch every gap instruction this cycle can take: they all
+                // complete next cycle, so they form (or extend) one ROB run.
                 let core = &mut self.cores[index];
-                core.gap_remaining -= 1;
-                core.rob.push_back(cycle + 1);
-                core.instructions += 1;
-                allocated += 1;
+                let take = (width - allocated)
+                    .min(core.gap_remaining as usize)
+                    .min(rob_entries - core.rob_len);
+                core.rob_push(cycle + 1, take as u32);
+                core.gap_remaining -= take as u32;
+                core.instructions += take as u64;
+                allocated += take;
                 continue;
             }
             if core.load_completions.len() >= load_buffer {
@@ -355,7 +641,7 @@ impl Machine {
             let completion = self.demand_access(index, &record, issue_cycle);
             let core = &mut self.cores[index];
             core.last_memory_completion = completion;
-            core.rob.push_back(completion);
+            core.rob_push(completion, 1);
             core.load_completions.push(Reverse(completion));
             core.instructions += 1;
             core.next_record += 1;
@@ -375,17 +661,19 @@ impl Machine {
         let access =
             MemoryAccess::new(record.pc, record.addr, record.kind).with_core(CoreId(index));
 
-        // L1 prefetcher observes every demand access at the L1.
-        let l1_requests = {
+        // L1 prefetcher observes every demand access at the L1. The sink is
+        // taken out of `self` for the duration of the call (a pointer swap,
+        // not an allocation) so the borrow checker allows issuing through
+        // `&mut self` while iterating it.
+        let mut l1_sink = std::mem::take(&mut self.l1_sink);
+        l1_sink.clear();
+        {
             let core = &mut self.cores[index];
-            match core.l1_prefetcher.as_mut() {
-                Some(prefetcher) => {
-                    let ctx = PrefetchContext::at_cycle(cycle).with_bandwidth(bandwidth);
-                    prefetcher.on_access(&access, &ctx)
-                }
-                None => Vec::new(),
+            if let Some(prefetcher) = core.l1_prefetcher.as_mut() {
+                let ctx = PrefetchContext::at_cycle(cycle).with_bandwidth(bandwidth);
+                prefetcher.on_access(&access, &ctx, &mut l1_sink);
             }
-        };
+        }
 
         // L1 probe.
         let l1_hit = self.cores[index].l1.demand_lookup(line);
@@ -395,24 +683,28 @@ impl Machine {
             self.cores[index].accounting.l2_demand_accesses += 1;
             let (latency, l2_hit) = self.access_beyond_l1(index, line, cycle, true);
             // Train the L2 prefetcher on this L1 miss and issue its requests.
-            let requests = {
+            let mut l2_sink = std::mem::take(&mut self.l2_sink);
+            l2_sink.clear();
+            {
                 let core = &mut self.cores[index];
                 let ctx = PrefetchContext::at_cycle(cycle)
                     .with_cache_hit(l2_hit)
                     .with_bandwidth(bandwidth);
-                core.l2_prefetcher.on_access(&access, &ctx)
-            };
-            for request in requests {
-                self.issue_l2_prefetch(index, &request, cycle);
+                core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
             }
+            for request in l2_sink.requests() {
+                self.issue_l2_prefetch(index, request, cycle);
+            }
+            self.l2_sink = l2_sink;
             cycle + l1_latency + latency
         };
 
         // L1 prefetcher requests are handled after the demand so they never
         // shorten the triggering access itself.
-        for request in l1_requests {
-            self.issue_l1_prefetch(index, &request, cycle, l2_latency, llc_latency);
+        for request in l1_sink.requests() {
+            self.issue_l1_prefetch(index, request, cycle, l2_latency, llc_latency);
         }
+        self.l1_sink = l1_sink;
         completion
     }
 
@@ -464,62 +756,66 @@ impl Machine {
             return (l2_latency + llc_latency, false);
         }
 
-        // In-flight fill (an earlier prefetch or demand to the same line).
-        if self.pending.contains_key(&line.as_u64()) {
-            // A demand hitting an in-flight prefetch promotes it to demand
-            // priority (as an MSHR hit would): re-issue the request with
-            // demand priority and take whichever data return is earlier.
-            let issue_cycle = cycle + l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD;
-            let fill = self.pending.get_mut(&line.as_u64()).expect("checked above");
-            let was_prefetch = fill.is_prefetch && !fill.used_by_demand;
-            fill.used_by_demand = true;
-            fill.fill_l1 = true;
-            fill.fill_l2 = true;
-            fill.core = index;
-            let old_ready = fill.ready;
-            let promoted_ready = if was_prefetch && old_ready > issue_cycle {
-                let reissued = self.dram.access(line, issue_cycle, false);
-                let fill = self.pending.get_mut(&line.as_u64()).expect("still pending");
-                fill.ready = fill.ready.min(reissued);
-                self.ready_queue.push(Reverse((fill.ready, line.as_u64())));
-                fill.ready
-            } else {
-                old_ready
-            };
-            if count_coverage && was_prefetch {
-                let core = &mut self.cores[index];
-                core.accounting.covered += 1;
-                core.accounting.prefetches_used += 1;
-            }
-            self.pollution.observe_demand(line, false);
-            let wait = promoted_ready.saturating_sub(cycle).max(1);
-            return (l2_latency + llc_latency + wait, false);
-        }
-
-        // DRAM access.
-        if count_coverage {
-            self.cores[index].accounting.uncovered += 1;
-        }
-        self.pollution.observe_demand(line, true);
+        // In-flight fill (an earlier prefetch or demand to the same line) or
+        // DRAM access — resolved with a single hash probe.
         let issue_cycle = cycle + l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD;
-        let ready = self.dram.access(line, issue_cycle, false);
-        self.pending.insert(
-            line.as_u64(),
-            PendingFill {
-                ready,
-                core: index,
-                is_prefetch: false,
-                fill_l1: true,
-                fill_l2: true,
-                low_priority: false,
-                used_by_demand: true,
-            },
-        );
-        self.ready_queue.push(Reverse((ready, line.as_u64())));
-        (
-            l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD + ready.saturating_sub(issue_cycle),
-            false,
-        )
+        match self.pending.entry(line.as_u64()) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                // A demand hitting an in-flight prefetch promotes it to
+                // demand priority (as an MSHR hit would): re-issue the
+                // request with demand priority and take whichever data
+                // return is earlier.
+                let fill = occupied.get_mut();
+                let was_prefetch = fill.is_prefetch && !fill.used_by_demand;
+                fill.used_by_demand = true;
+                fill.fill_l1 = true;
+                fill.fill_l2 = true;
+                fill.core = index;
+                let old_ready = fill.ready;
+                let promoted_ready = if was_prefetch && old_ready > issue_cycle {
+                    let reissued = self.dram.access(line, issue_cycle, false);
+                    let fill = occupied.get_mut();
+                    fill.ready = fill.ready.min(reissued);
+                    self.ready_queue.push(Reverse((fill.ready, line.as_u64())));
+                    fill.ready
+                } else {
+                    old_ready
+                };
+                if count_coverage && was_prefetch {
+                    let core = &mut self.cores[index];
+                    core.accounting.covered += 1;
+                    core.accounting.prefetches_used += 1;
+                }
+                self.pollution.observe_demand(line, false);
+                let wait = promoted_ready.saturating_sub(cycle).max(1);
+                (l2_latency + llc_latency + wait, false)
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                // DRAM access.
+                if count_coverage {
+                    self.cores[index].accounting.uncovered += 1;
+                }
+                self.pollution.observe_demand(line, true);
+                let ready = self.dram.access(line, issue_cycle, false);
+                vacant.insert(PendingFill {
+                    ready,
+                    core: index,
+                    is_prefetch: false,
+                    fill_l1: true,
+                    fill_l2: true,
+                    low_priority: false,
+                    used_by_demand: true,
+                });
+                self.ready_queue.push(Reverse((ready, line.as_u64())));
+                (
+                    l2_latency
+                        + llc_latency
+                        + DRAM_REQUEST_OVERHEAD
+                        + ready.saturating_sub(issue_cycle),
+                    false,
+                )
+            }
+        }
     }
 
     /// Issues one request from the L2 prefetcher.
@@ -533,42 +829,27 @@ impl Machine {
                 return; // already resident where it would be filled
             }
         }
-        if self.pending.contains_key(&key) {
+        // One hash probe decides in-flight filtering and books the fill.
+        let std::collections::hash_map::Entry::Vacant(vacant) = self.pending.entry(key) else {
             return;
-        }
+        };
         self.cores[index].accounting.prefetches_issued += 1;
-        if self.llc.prefetch_lookup(line) {
+        let ready = if self.llc.prefetch_lookup(line) {
             // The line is on-die already: pull it into the L2 without DRAM
             // traffic; model it as arriving after an LLC round trip.
-            let ready = cycle + self.config.llc.latency;
-            self.pending.insert(
-                key,
-                PendingFill {
-                    ready,
-                    core: index,
-                    is_prefetch: true,
-                    fill_l1: false,
-                    fill_l2,
-                    low_priority: request.low_priority,
-                    used_by_demand: false,
-                },
-            );
-            self.ready_queue.push(Reverse((ready, key)));
-            return;
-        }
-        let ready = self.dram.access(line, cycle + DRAM_REQUEST_OVERHEAD, true);
-        self.pending.insert(
-            key,
-            PendingFill {
-                ready,
-                core: index,
-                is_prefetch: true,
-                fill_l1: false,
-                fill_l2,
-                low_priority: request.low_priority,
-                used_by_demand: false,
-            },
-        );
+            cycle + self.config.llc.latency
+        } else {
+            self.dram.access(line, cycle + DRAM_REQUEST_OVERHEAD, true)
+        };
+        vacant.insert(PendingFill {
+            ready,
+            core: index,
+            is_prefetch: true,
+            fill_l1: false,
+            fill_l2,
+            low_priority: request.low_priority,
+            used_by_demand: false,
+        });
         self.ready_queue.push(Reverse((ready, key)));
     }
 
@@ -596,16 +877,21 @@ impl Machine {
         let access = MemoryAccess::new(pc, line.to_addr(), dspatch_types::AccessKind::Load)
             .with_core(CoreId(index));
         let (_, l2_hit) = self.access_beyond_l1(index, line, cycle, false);
-        let requests = {
+        // `demand_access` has already put the L2 sink back before iterating
+        // the L1 requests, so taking it again here never aliases.
+        let mut l2_sink = std::mem::take(&mut self.l2_sink);
+        l2_sink.clear();
+        {
             let core = &mut self.cores[index];
             let ctx = PrefetchContext::at_cycle(cycle)
                 .with_cache_hit(l2_hit)
                 .with_bandwidth(bandwidth);
-            core.l2_prefetcher.on_access(&access, &ctx)
-        };
-        for request in requests {
-            self.issue_l2_prefetch(index, &request, cycle);
+            core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
         }
+        for request in l2_sink.requests() {
+            self.issue_l2_prefetch(index, request, cycle);
+        }
+        self.l2_sink = l2_sink;
         // Fill the line into the L1 as a prefetch.
         self.cores[index].l1.fill(line, true, false);
     }

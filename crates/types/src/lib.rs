@@ -35,4 +35,6 @@ pub use address::{
     SEGMENT_BYTES,
 };
 pub use bandwidth::BandwidthQuartile;
-pub use prefetch::{FillLevel, NullPrefetcher, PrefetchContext, PrefetchRequest, Prefetcher};
+pub use prefetch::{
+    FillLevel, NullPrefetcher, PrefetchContext, PrefetchRequest, PrefetchSink, Prefetcher,
+};

@@ -7,8 +7,15 @@
 //! prefetch — exactly as in the paper's methodology, Section 4.1), passing a
 //! [`PrefetchContext`] that carries the current cycle, whether the access hit
 //! in the cache, and the broadcast [`BandwidthQuartile`]. The prefetcher
-//! returns zero or more [`PrefetchRequest`]s; the hierarchy filters ones that
-//! are already resident or in flight and issues the rest.
+//! appends zero or more [`PrefetchRequest`]s to the caller-owned
+//! [`PrefetchSink`]; the hierarchy filters ones that are already resident or
+//! in flight and issues the rest.
+//!
+//! The sink is the hot-path contract: the simulator observes hundreds of
+//! millions of accesses per run, so `on_access` must not allocate. The
+//! caller keeps one `PrefetchSink` alive across calls (clearing it between
+//! accesses) and its buffer reaches a steady-state capacity after warm-up,
+//! after which the whole train-predict-issue path is allocation-free.
 
 use crate::access::MemoryAccess;
 use crate::address::LineAddr;
@@ -122,6 +129,107 @@ impl PrefetchContext {
     }
 }
 
+/// A reusable, caller-owned buffer prefetchers append their requests to.
+///
+/// The sink exists so the per-access hot path performs no heap allocation in
+/// steady state: the simulator keeps one sink per hook point alive for the
+/// whole run and [`clear`](PrefetchSink::clear)s it between accesses, so the
+/// backing buffer is allocated once during warm-up and then only reused.
+///
+/// # Example
+///
+/// ```
+/// use dspatch_types::{LineAddr, PrefetchRequest, PrefetchSink};
+/// let mut sink = PrefetchSink::new();
+/// sink.push(PrefetchRequest::new(LineAddr::new(3)));
+/// assert_eq!(sink.len(), 1);
+/// assert_eq!(sink.requests()[0].line, LineAddr::new(3));
+/// sink.clear();
+/// assert!(sink.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchSink {
+    requests: Vec<PrefetchRequest>,
+}
+
+impl PrefetchSink {
+    /// Creates an empty sink (no allocation until the first push).
+    pub const fn new() -> Self {
+        Self {
+            requests: Vec::new(),
+        }
+    }
+
+    /// Creates a sink with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            requests: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one request.
+    #[inline]
+    pub fn push(&mut self, request: PrefetchRequest) {
+        self.requests.push(request);
+    }
+
+    /// Removes all requests, keeping the allocated capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.requests.clear();
+    }
+
+    /// Number of buffered requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the sink holds no requests.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The buffered requests, in push order.
+    #[inline]
+    pub fn requests(&self) -> &[PrefetchRequest] {
+        &self.requests
+    }
+
+    /// Truncates the buffer to at most `len` requests.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.requests.truncate(len);
+    }
+
+    /// Current capacity of the backing buffer (steady-state allocation
+    /// checks in tests observe this).
+    pub fn capacity(&self) -> usize {
+        self.requests.capacity()
+    }
+
+    /// Consumes the sink, returning the backing vector.
+    pub fn into_vec(self) -> Vec<PrefetchRequest> {
+        self.requests
+    }
+}
+
+impl Extend<PrefetchRequest> for PrefetchSink {
+    fn extend<T: IntoIterator<Item = PrefetchRequest>>(&mut self, iter: T) {
+        self.requests.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a PrefetchSink {
+    type Item = &'a PrefetchRequest;
+    type IntoIter = std::slice::Iter<'a, PrefetchRequest>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.iter()
+    }
+}
+
 /// A hardware prefetching algorithm.
 ///
 /// Implementations must be deterministic functions of the access stream they
@@ -130,10 +238,28 @@ pub trait Prefetcher {
     /// Human-readable name used in reports ("SPP", "DSPatch+SPP", ...).
     fn name(&self) -> &str;
 
-    /// Observes one access at the attached cache level and returns prefetch
-    /// candidates. Candidates may duplicate lines that are already cached;
-    /// the hierarchy is responsible for filtering them.
-    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext) -> Vec<PrefetchRequest>;
+    /// Observes one access at the attached cache level and **appends**
+    /// prefetch candidates to `out` (implementations never clear the sink —
+    /// the caller decides when a fresh set starts). Candidates may duplicate
+    /// lines that are already cached; the hierarchy is responsible for
+    /// filtering them.
+    ///
+    /// Implementations must not allocate per call in steady state: all
+    /// request construction goes through the caller-owned sink.
+    fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext, out: &mut PrefetchSink);
+
+    /// Convenience wrapper collecting one access's requests into a fresh
+    /// `Vec`. For tests, examples and one-shot introspection only — the
+    /// simulator hot path reuses a sink instead.
+    fn collect_requests(
+        &mut self,
+        access: &MemoryAccess,
+        ctx: &PrefetchContext,
+    ) -> Vec<PrefetchRequest> {
+        let mut sink = PrefetchSink::new();
+        self.on_access(access, ctx, &mut sink);
+        sink.into_vec()
+    }
 
     /// Notifies the prefetcher that `line` was filled into the attached
     /// cache. `was_prefetch` distinguishes prefetch fills from demand fills.
@@ -168,8 +294,8 @@ impl Prefetcher for NullPrefetcher {
         &mut self,
         _access: &MemoryAccess,
         _ctx: &PrefetchContext,
-    ) -> Vec<PrefetchRequest> {
-        Vec::new()
+        _out: &mut PrefetchSink,
+    ) {
     }
 
     fn storage_bits(&self) -> u64 {
@@ -187,9 +313,34 @@ mod tests {
     fn null_prefetcher_is_silent_and_free() {
         let mut p = NullPrefetcher::new();
         let access = MemoryAccess::new(Pc::new(1), Addr::new(0x1000), AccessKind::Load);
-        assert!(p.on_access(&access, &PrefetchContext::default()).is_empty());
+        let mut sink = PrefetchSink::new();
+        p.on_access(&access, &PrefetchContext::default(), &mut sink);
+        assert!(sink.is_empty());
+        assert!(p
+            .collect_requests(&access, &PrefetchContext::default())
+            .is_empty());
         assert_eq!(p.storage_bits(), 0);
         assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn sink_accumulates_and_clears_without_losing_capacity() {
+        let mut sink = PrefetchSink::with_capacity(4);
+        for i in 0..4u64 {
+            sink.push(PrefetchRequest::new(LineAddr::new(i)));
+        }
+        assert_eq!(sink.len(), 4);
+        let capacity = sink.capacity();
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.capacity(), capacity, "clear must keep the buffer");
+        sink.extend((0..2u64).map(|i| PrefetchRequest::new(LineAddr::new(i))));
+        assert_eq!(sink.requests().len(), 2);
+        sink.truncate(1);
+        assert_eq!(sink.len(), 1);
+        let lines: Vec<u64> = (&sink).into_iter().map(|r| r.line.as_u64()).collect();
+        assert_eq!(lines, vec![0]);
+        assert_eq!(sink.into_vec().len(), 1);
     }
 
     #[test]
@@ -218,8 +369,11 @@ mod tests {
     fn prefetcher_trait_is_object_safe() {
         let mut boxed: Box<dyn Prefetcher> = Box::new(NullPrefetcher::new());
         let access = MemoryAccess::new(Pc::new(1), Addr::new(0), AccessKind::Load);
+        let mut sink = PrefetchSink::new();
+        boxed.on_access(&access, &PrefetchContext::default(), &mut sink);
+        assert!(sink.is_empty());
         assert!(boxed
-            .on_access(&access, &PrefetchContext::default())
+            .collect_requests(&access, &PrefetchContext::default())
             .is_empty());
     }
 }

@@ -27,14 +27,14 @@ fn main() {
         for offset in order {
             let addr = Addr::new(page * 4096 + offset * 64);
             let access = MemoryAccess::new(trigger_pc, addr, AccessKind::Load);
-            let _ = prefetcher.on_access(&access, &ctx);
+            let _ = prefetcher.collect_requests(&access, &ctx);
         }
     }
 
     // A brand-new page triggered by the same PC: DSPatch replays the learnt
     // coverage-biased pattern.
     let trigger = MemoryAccess::new(trigger_pc, Addr::new(10_000 * 4096), AccessKind::Load);
-    let low_bw = prefetcher.on_access(&trigger, &ctx);
+    let low_bw = prefetcher.collect_requests(&trigger, &ctx);
     println!(
         "low bandwidth utilization  -> {} prefetches (coverage-biased)",
         low_bw.len()
@@ -47,7 +47,7 @@ fn main() {
     // accuracy-biased pattern (or throttles completely).
     let busy = PrefetchContext::default().with_bandwidth(BandwidthQuartile::Q3);
     let trigger = MemoryAccess::new(trigger_pc, Addr::new(10_001 * 4096), AccessKind::Load);
-    let high_bw = prefetcher.on_access(&trigger, &busy);
+    let high_bw = prefetcher.collect_requests(&trigger, &busy);
     println!(
         "high bandwidth utilization -> {} prefetches (accuracy-biased)",
         high_bw.len()

@@ -116,14 +116,16 @@ proptest! {
         stream in proptest::collection::vec((0u64..32, 0u64..64, 0u64..8, 0u8..4), 1..400),
     ) {
         let mut prefetcher = DsPatch::new(DsPatchConfig::default());
+        let mut sink = dspatch_types::PrefetchSink::new();
         for (page, offset, pc, bw) in stream {
             let addr = Addr::new(page * 4096 + offset * 64);
             let access = MemoryAccess::new(Pc::new(0x400 + pc * 8), addr, AccessKind::Load);
             let ctx = PrefetchContext::default()
                 .with_bandwidth(BandwidthQuartile::from_bits(bw));
-            let requests = prefetcher.on_access(&access, &ctx);
-            prop_assert!(requests.len() < 64);
-            for request in requests {
+            sink.clear();
+            prefetcher.on_access(&access, &ctx, &mut sink);
+            prop_assert!(sink.len() < 64);
+            for request in sink.requests() {
                 prop_assert_eq!(request.line.page(), addr.page());
                 prop_assert_ne!(request.line, addr.line());
             }

@@ -1,0 +1,137 @@
+//! Verifies the sink API's core promise: after warm-up, `on_access` performs
+//! **zero heap allocations** for every prefetcher, with a reused sink.
+//!
+//! A counting global allocator tallies allocation calls; each prefetcher is
+//! warmed on a deterministic access stream (filling its tables and growing
+//! the sink to steady-state capacity) and then driven through a second pass
+//! during which the allocation count must not move.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent test
+//! thread can allocate while a measurement window is open.
+
+use dspatch_prefetchers::{
+    AdjunctPrefetcher, AmpmConfig, AmpmPrefetcher, BopConfig, BopPrefetcher, SmsConfig,
+    SmsPrefetcher, SppConfig, SppPrefetcher, StreamConfig, StreamPrefetcher, StrideConfig,
+    StridePrefetcher,
+};
+use dspatch_types::{
+    AccessKind, Addr, MemoryAccess, Pc, PrefetchContext, PrefetchSink, Prefetcher, CACHE_LINE_BYTES,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A deterministic mixed access stream: strided streams, repeated spatial
+/// layouts across pages and a bandwidth level that varies — enough to fill
+/// every prefetcher's tables and trigger real predictions.
+fn stream(len: usize) -> Vec<(MemoryAccess, PrefetchContext)> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    for i in 0..len {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let page = (i as u64 / 5) % 4096;
+        let offset = match i % 5 {
+            0 => 0,
+            1 => 3,
+            2 => 6,
+            3 => 9,
+            _ => (state >> 58) % 64,
+        };
+        let pc = 0x400000 + (i as u64 % 7) * 4;
+        let access = MemoryAccess::new(
+            Pc::new(pc),
+            Addr::new(page * 4096 + offset * CACHE_LINE_BYTES as u64),
+            AccessKind::Load,
+        );
+        let ctx = PrefetchContext::at_cycle(i as u64)
+            .with_bandwidth(dspatch_types::BandwidthQuartile::from_bits((i % 4) as u8));
+        out.push((access, ctx));
+    }
+    out
+}
+
+fn assert_steady_state_alloc_free(prefetcher: &mut dyn Prefetcher, name: &str) {
+    let warmup = stream(6_000);
+    // Start at steady-state capacity (a page holds at most 64 lines, so no
+    // single access can push more than ~2×64 merged requests); buffer growth
+    // is an amortized warm-up cost by design, per-access allocation is not.
+    let mut sink = PrefetchSink::with_capacity(256);
+    for (access, ctx) in &warmup {
+        sink.clear();
+        prefetcher.on_access(access, ctx, &mut sink);
+    }
+    // Steady state: the same stream again must not allocate at all.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut issued = 0usize;
+    for (access, ctx) in &warmup {
+        sink.clear();
+        prefetcher.on_access(access, ctx, &mut sink);
+        issued += sink.len();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: on_access allocated in steady state ({} allocations over {} accesses, {} requests)",
+        after - before,
+        warmup.len(),
+        issued
+    );
+}
+
+#[test]
+fn prefetcher_hot_path_is_allocation_free_in_steady_state() {
+    let mut prefetchers: Vec<(&str, Box<dyn Prefetcher>)> = vec![
+        (
+            "stride",
+            Box::new(StridePrefetcher::new(StrideConfig::default())),
+        ),
+        (
+            "stream",
+            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+        ),
+        ("ampm", Box::new(AmpmPrefetcher::new(AmpmConfig::default()))),
+        ("bop", Box::new(BopPrefetcher::new(BopConfig::default()))),
+        ("sms", Box::new(SmsPrefetcher::new(SmsConfig::default()))),
+        ("spp", Box::new(SppPrefetcher::new(SppConfig::default()))),
+        (
+            "dspatch",
+            Box::new(dspatch::DsPatch::new(dspatch::DsPatchConfig::default())),
+        ),
+        (
+            "dspatch+spp",
+            Box::new(AdjunctPrefetcher::new(
+                SppPrefetcher::new(SppConfig::default()),
+                dspatch::DsPatch::new(dspatch::DsPatchConfig::default()),
+            )),
+        ),
+        ("null", Box::new(dspatch_types::NullPrefetcher::new())),
+    ];
+    for (name, prefetcher) in &mut prefetchers {
+        assert_steady_state_alloc_free(prefetcher.as_mut(), name);
+    }
+}

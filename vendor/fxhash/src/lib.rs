@@ -1,0 +1,159 @@
+//! Minimal stand-in for the [rustc-hash](https://crates.io/crates/rustc-hash)
+//! / [fxhash](https://crates.io/crates/fxhash) crates, vendored because this
+//! build environment has no network access to a Cargo registry.
+//!
+//! `FxHasher` is the multiply-rotate hash used by the Rust compiler's
+//! internal hash tables: not cryptographic, not DoS-resistant, but several
+//! times faster than the standard library's SipHash for small keys. The
+//! simulator uses it for the pending-DRAM-fill and pollution-victim tables
+//! keyed by 64-bit line addresses, which sit on the per-access hot path.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` specialized to [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` specialized to [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx (Firefox/rustc) hasher: `hash = (hash.rotl(5) ^ word) * SEED` per
+/// input word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Hashes a single value with [`FxHasher`] (convenience for tests and
+/// standalone index computations).
+pub fn hash64<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_input_same_hash() {
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_eq!(hash64(&"spatial"), hash64(&"spatial"));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        // Not a strong guarantee in general, but these must differ for the
+        // hash to be at all useful.
+        assert_ne!(hash64(&1u64), hash64(&2u64));
+        assert_ne!(hash64(&0x1000u64), hash64(&0x2000u64));
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let full = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        h2.write(&[9, 10, 11]);
+        assert_ne!(full, 0);
+        let _ = h2.finish();
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u64, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(9));
+        assert!(!set.insert(9));
+        assert!(set.contains(&9));
+    }
+
+    #[test]
+    fn sequential_line_addresses_spread() {
+        // Cache-line addresses are sequential integers; the hash must spread
+        // them across low bits (what a HashMap actually indexes by).
+        let mut low_bits = FxHashSet::default();
+        for line in 0..1024u64 {
+            low_bits.insert(hash64(&line) & 0x7f);
+        }
+        assert!(
+            low_bits.len() > 100,
+            "sequential keys collapsed onto {} of 128 buckets",
+            low_bits.len()
+        );
+    }
+}

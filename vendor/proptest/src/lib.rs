@@ -25,7 +25,7 @@ pub mod test_runner;
 pub mod prelude {
     //! The glob-importable surface, mirroring `proptest::prelude`.
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, StrategyExt};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
@@ -97,6 +97,16 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
             stringify!($left),
             stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
             left,
             right
         );

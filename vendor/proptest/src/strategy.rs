@@ -85,3 +85,35 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4);
     (A.0, B.1, C.2, D.3, E.4, F.5);
 }
+
+/// A strategy producing values derived from another strategy's output, the
+/// subset of real proptest's `Strategy::prop_map` this workspace uses.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: std::fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Extension trait adding `prop_map` to every strategy (real proptest has it
+/// on `Strategy` itself; an extension trait keeps the shim's core trait
+/// object-safe and minimal).
+pub trait StrategyExt: Strategy + Sized {
+    fn prop_map<T: std::fmt::Debug, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F> {
+        Map { source: self, map }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
