@@ -1,7 +1,7 @@
 //! Regenerates Figure 16: coverage and mispredictions at reduced scale and benchmarks its unit of work.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dspatch_bench::{bench_scale, experiments, measured_scale, runner, PrefetcherKind};
+use dspatch_bench::{bench_scale, figures, measured_scale, runner, PrefetcherKind};
 use dspatch_harness::runner::run_workload;
 use dspatch_sim::SystemConfig;
 use dspatch_trace::workloads::suite;
@@ -9,7 +9,7 @@ use dspatch_trace::workloads::suite;
 #[allow(unused_variables)]
 fn regenerate_figure() {
     let scale = bench_scale();
-    let table = experiments::fig16_coverage(&scale).to_table();
+    let table = figures::FigureId::Fig16.run(&scale);
     println!("\n{table}");
 }
 

@@ -1,7 +1,7 @@
 //! Regenerates Table 3: prefetcher storage at reduced scale and benchmarks its unit of work.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dspatch_bench::{bench_scale, experiments, measured_scale, runner, PrefetcherKind};
+use dspatch_bench::{bench_scale, figures, measured_scale, runner, PrefetcherKind};
 use dspatch_harness::runner::run_workload;
 use dspatch_sim::SystemConfig;
 use dspatch_trace::workloads::suite;
@@ -9,7 +9,7 @@ use dspatch_trace::workloads::suite;
 #[allow(unused_variables)]
 fn regenerate_figure() {
     let scale = bench_scale();
-    let table = experiments::table3_prefetcher_storage();
+    let table = figures::FigureId::Table3.run(&scale);
     println!("\n{table}");
 }
 

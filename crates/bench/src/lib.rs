@@ -1,22 +1,24 @@
 //! Shared helpers for the per-figure Criterion benchmark targets.
 //!
 //! Every bench target in `benches/` regenerates one table or figure of the
-//! paper at a reduced [`RunScale`] (printing the resulting table to stdout)
+//! paper at a reduced [`RunScale`] through the named-figure registry
+//! ([`figures::FigureId`], which routes through the shared campaign engine)
 //! and then registers a Criterion measurement of the experiment's core unit
 //! of work, so `cargo bench` both reproduces the evaluation data and tracks
 //! the simulator's performance over time.
 
 pub use dspatch_harness::runner::{PrefetcherKind, RunScale};
-pub use dspatch_harness::{experiments, runner, Table};
+pub use dspatch_harness::{experiments, figures, runner, Table};
 
 /// The scale used by the benchmark targets: one workload per category and
-/// short traces, so the full set of figures regenerates in minutes.
+/// short traces, so the full set of figures regenerates in minutes. Worker
+/// threads follow the machine (`available_parallelism`).
 pub fn bench_scale() -> RunScale {
     RunScale {
         accesses_per_workload: 4_000,
         workloads_per_category: 1,
         mixes: 2,
-        threads: 8,
+        threads: dspatch_harness::runner::default_threads(),
     }
 }
 

@@ -1,0 +1,175 @@
+//! `dspatch-lab`: run any paper figure or a custom campaign spec file.
+//!
+//! Usage:
+//!
+//! ```text
+//! dspatch-lab --figure fig12 [--scale smoke|quick|full] [--format table|json|csv]
+//! dspatch-lab --spec my_campaign.json [--scale ...] [--format ...] [--threads N]
+//! dspatch-lab --list        # named figures
+//! dspatch-lab --template    # print an example spec file
+//! ```
+//!
+//! Figures render their paper-shaped table; spec files render the raw
+//! campaign rows. `--out PATH` writes the report to a file instead of
+//! stdout. `--scale` beats a spec file's embedded `"scale"`; the default is
+//! `smoke`. `--threads` overrides the worker count (presets default to the
+//! machine's available parallelism).
+
+use dspatch_harness::campaign::run_campaign;
+use dspatch_harness::figures::FigureId;
+use dspatch_harness::runner::RunScale;
+use dspatch_harness::CampaignSpec;
+
+enum Format {
+    Table,
+    Json,
+    Csv,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dspatch-lab (--figure NAME | --spec FILE.json | --list | --template)\n\
+         \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
+         \x20                [--threads N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("dspatch-lab: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut figure: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut scale_name: Option<String> = None;
+    let mut format = Format::Table;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut list = false;
+    let mut template = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--figure" => figure = Some(value("--figure")),
+            "--spec" => spec_path = Some(value("--spec")),
+            "--scale" => scale_name = Some(value("--scale")),
+            "--format" => {
+                format = match value("--format").as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => fail(&format!("unknown format '{other}' (table/json/csv)")),
+                }
+            }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--threads must be an integer")),
+                )
+            }
+            "--out" => out = Some(value("--out")),
+            "--list" => list = true,
+            "--template" => template = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    // --list and --template produce their document through the same `out`
+    // sink as the run modes, so `--template --out spec.json` works.
+    if (list || template) && (figure.is_some() || spec_path.is_some()) {
+        fail("--list/--template cannot be combined with --figure/--spec");
+    }
+    if list && template {
+        fail("--list and --template are mutually exclusive");
+    }
+    let report = if list {
+        let mut listing = String::new();
+        for id in FigureId::ALL {
+            listing.push_str(&format!("{:8} {}\n", id.name(), id.description()));
+        }
+        listing
+    } else if template {
+        CampaignSpec::template().to_json().render()
+    } else {
+        match (&figure, &spec_path) {
+            (Some(_), Some(_)) => fail("--figure and --spec are mutually exclusive"),
+            (None, None) => usage(),
+            (Some(name), None) => {
+                let id = FigureId::parse(name)
+                    .unwrap_or_else(|| fail(&format!("unknown figure '{name}' (see --list)")));
+                let scale = resolve_scale(scale_name.as_deref(), None, threads);
+                let table = id.run(&scale);
+                match format {
+                    Format::Table => table.render(),
+                    Format::Json => table.to_json().render(),
+                    Format::Csv => table.to_csv(),
+                }
+            }
+            (None, Some(path)) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                let spec = CampaignSpec::parse(&text)
+                    .unwrap_or_else(|e| fail(&format!("invalid spec {path}: {e}")));
+                let scale = resolve_scale(scale_name.as_deref(), spec.scale.as_ref(), threads);
+                let result = run_campaign(&spec, &scale)
+                    .unwrap_or_else(|e| fail(&format!("spec error: {e}")));
+                eprintln!(
+                    "campaign '{}': {} rows from {} simulations ({} baselines, {} memo hits), {} threads",
+                    result.name,
+                    result.rows.len(),
+                    result.stats.sims_run,
+                    result.stats.baseline_sims,
+                    result.stats.memo_hits,
+                    result.stats.threads,
+                );
+                match format {
+                    Format::Table => result.to_table().render(),
+                    Format::Json => result.to_json().render(),
+                    Format::Csv => result.to_csv(),
+                }
+            }
+        }
+    };
+
+    match out {
+        None => print!("{report}"),
+        Some(path) => {
+            std::fs::write(&path, report)
+                .unwrap_or_else(|e| fail(&format!("failed to write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// `--scale` wins, then a spec file's embedded scale, then smoke.
+/// `--threads` overrides whichever was chosen.
+fn resolve_scale(
+    flag: Option<&str>,
+    embedded: Option<&dspatch_harness::campaign::ScaleSpec>,
+    threads: Option<usize>,
+) -> RunScale {
+    let mut scale = match (flag, embedded) {
+        (Some(name), _) => RunScale::preset(name)
+            .unwrap_or_else(|| fail(&format!("unknown scale '{name}' (smoke/quick/full)"))),
+        (None, Some(spec)) => spec
+            .resolve()
+            .unwrap_or_else(|e| fail(&format!("spec scale: {e}"))),
+        (None, None) => RunScale::smoke(),
+    };
+    if let Some(threads) = threads {
+        scale = scale.with_threads(threads);
+    }
+    scale
+}

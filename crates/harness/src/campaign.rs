@@ -1,0 +1,1694 @@
+//! The declarative Campaign API: one experiment engine behind every figure.
+//!
+//! A campaign is a grid of [`CellSpec`]s — each a cross-product of targets
+//! (workloads or multi-programmed mixes), prefetcher selections and a system
+//! configuration — described by a JSON-serializable [`CampaignSpec`] and
+//! executed by [`run_campaign`]. The executor
+//!
+//! * **deduplicates simulations**: each unique (target, prefetcher, config)
+//!   triple simulates exactly once per campaign, however many cells request
+//!   it — in particular the no-L2-prefetcher **baseline is memoized**, so a
+//!   figure with K prefetcher columns runs each (workload, config) baseline
+//!   once instead of K times;
+//! * runs the deduplicated job list on a **self-scheduling worker pool**: a shared
+//!   atomic cursor over a cost-sorted job queue, drained by scoped threads
+//!   (`RunScale::threads` workers, which presets default to
+//!   `std::thread::available_parallelism`), so long mix simulations no
+//!   longer serialize behind short single-core ones;
+//! * returns a [`CampaignResult`] holding every [`SimResult`] plus one row
+//!   per (cell, target, prefetcher), renderable as an ASCII table, JSON or
+//!   CSV, and queryable by the figure-specific aggregations in
+//!   [`crate::experiments`].
+//!
+//! Every `fig*`/`table*` function in [`crate::experiments`] is a thin spec
+//! over this engine, and the `dspatch-lab` binary runs either a named figure
+//! or a custom spec file (see `CampaignSpec::from_json`).
+
+use crate::json::Json;
+use crate::report::{percent, Table};
+use crate::runner::{default_threads, PrefetcherKind, RunScale};
+use dspatch_prefetchers::{SmsConfig, SmsPrefetcher};
+use dspatch_sim::{DramSpeedGrade, SimResult, SimulationBuilder, SystemConfig};
+use dspatch_trace::workloads::{category_suite, memory_intensive_suite, suite, WorkloadCategory};
+use dspatch_trace::{heterogeneous_mixes, homogeneous_mixes, WorkloadMix, WorkloadSpec};
+use dspatch_types::Prefetcher;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rejects unrecognized keys in a spec-file object so a misspelled override
+/// (e.g. `"llcbytes"`) errors instead of silently running the defaults.
+fn reject_unknown_keys(json: &Json, allowed: &[&str], context: &str) -> Result<(), String> {
+    if let Some(entries) = json.as_obj() {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "{context}: unknown key '{key}' (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A prefetcher selection for one campaign column: either one of the named
+/// paper configurations or a parameterized variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherSel {
+    /// One of the paper's named prefetcher configurations.
+    Kind(PrefetcherKind),
+    /// SMS with a custom pattern-history-table size (the Figure 5 sweep).
+    SmsPht(usize),
+}
+
+impl PrefetcherSel {
+    /// Display label for tables and legends.
+    pub fn label(&self) -> String {
+        match self {
+            PrefetcherSel::Kind(kind) => kind.label().to_owned(),
+            PrefetcherSel::SmsPht(entries) => format!("SMS(pht={entries})"),
+        }
+    }
+
+    /// Whether this selection is the no-L2-prefetcher baseline.
+    pub fn is_baseline(&self) -> bool {
+        matches!(self, PrefetcherSel::Kind(PrefetcherKind::Baseline))
+    }
+
+    /// Checks parameter bounds that would otherwise assert deep inside a
+    /// prefetcher constructor (e.g. SMS requires a non-empty PHT).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PrefetcherSel::Kind(_) => Ok(()),
+            PrefetcherSel::SmsPht(0) => {
+                Err("sms_pht needs at least one pattern-history-table entry".to_owned())
+            }
+            PrefetcherSel::SmsPht(_) => Ok(()),
+        }
+    }
+
+    /// Builds a fresh prefetcher instance.
+    pub fn build(&self) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherSel::Kind(kind) => kind.build(),
+            PrefetcherSel::SmsPht(entries) => {
+                Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(*entries)))
+            }
+        }
+    }
+
+    /// JSON form: the kind's spec name as a string, or `{"sms_pht": N}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            PrefetcherSel::Kind(kind) => Json::str(kind.spec_name()),
+            PrefetcherSel::SmsPht(entries) => Json::obj([("sms_pht", Json::num(*entries as f64))]),
+        }
+    }
+
+    /// Parses the JSON form accepted by spec files.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown prefetcher or malformed entry.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(name) = json.as_str() {
+            return PrefetcherKind::parse(name)
+                .map(PrefetcherSel::Kind)
+                .ok_or_else(|| format!("unknown prefetcher '{name}'"));
+        }
+        reject_unknown_keys(json, &["sms_pht"], "prefetcher selection")?;
+        if let Some(entries) = json.get("sms_pht").and_then(Json::as_u64) {
+            return Ok(PrefetcherSel::SmsPht(entries as usize));
+        }
+        Err(format!("malformed prefetcher selection: {json}"))
+    }
+}
+
+impl From<PrefetcherKind> for PrefetcherSel {
+    fn from(kind: PrefetcherKind) -> Self {
+        PrefetcherSel::Kind(kind)
+    }
+}
+
+/// The base system configuration a cell starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfigBase {
+    /// [`SystemConfig::single_thread`]: 1 core, 2 MB LLC, 1× DDR4-2133.
+    SingleThread,
+    /// [`SystemConfig::multi_programmed`]: 4 cores, 8 MB LLC, 2× DDR4-2133.
+    MultiProgrammed,
+}
+
+/// A declarative, hashable system-configuration variant: a base plus the
+/// overrides the paper's figures use (DRAM geometry, LLC capacity). The
+/// executor keys baseline memoization on this, so two cells asking for the
+/// same variant share every simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigSpec {
+    /// Base configuration.
+    pub base: ConfigBase,
+    /// Optional DRAM override as (channels, speed grade).
+    pub dram: Option<(usize, DramSpeedGrade)>,
+    /// Optional LLC capacity override in bytes.
+    pub llc_bytes: Option<usize>,
+}
+
+impl ConfigSpec {
+    /// The paper's single-thread configuration.
+    pub fn single_thread() -> Self {
+        Self {
+            base: ConfigBase::SingleThread,
+            dram: None,
+            llc_bytes: None,
+        }
+    }
+
+    /// The paper's 4-core multi-programmed configuration.
+    pub fn multi_programmed() -> Self {
+        Self {
+            base: ConfigBase::MultiProgrammed,
+            dram: None,
+            llc_bytes: None,
+        }
+    }
+
+    /// Overrides the DRAM geometry.
+    pub fn with_dram(mut self, channels: usize, speed: DramSpeedGrade) -> Self {
+        self.dram = Some((channels, speed));
+        self
+    }
+
+    /// Overrides the LLC capacity.
+    pub fn with_llc_bytes(mut self, bytes: usize) -> Self {
+        self.llc_bytes = Some(bytes);
+        self
+    }
+
+    /// Builds the concrete [`SystemConfig`].
+    pub fn build(&self) -> SystemConfig {
+        let mut config = match self.base {
+            ConfigBase::SingleThread => SystemConfig::single_thread(),
+            ConfigBase::MultiProgrammed => SystemConfig::multi_programmed(),
+        };
+        if let Some((channels, speed)) = self.dram {
+            config = config.with_dram(channels, speed);
+        }
+        if let Some(bytes) = self.llc_bytes {
+            config = config.with_llc_capacity(bytes);
+        }
+        config
+    }
+
+    /// Short label such as "1T" or "4P/2ch-2400/llc=4MiB".
+    pub fn label(&self) -> String {
+        let mut label = match self.base {
+            ConfigBase::SingleThread => "1T".to_owned(),
+            ConfigBase::MultiProgrammed => "4P".to_owned(),
+        };
+        if let Some((channels, speed)) = self.dram {
+            label.push_str(&format!("/{}ch-{}", channels, speed.label()));
+        }
+        if let Some(bytes) = self.llc_bytes {
+            label.push_str(&format!("/llc={}MiB", bytes >> 20));
+        }
+        label
+    }
+
+    /// JSON form, e.g. `{"base": "single_thread", "dram": {...}}`.
+    pub fn to_json(&self) -> Json {
+        let mut entries = vec![(
+            "base".to_owned(),
+            Json::str(match self.base {
+                ConfigBase::SingleThread => "single_thread",
+                ConfigBase::MultiProgrammed => "multi_programmed",
+            }),
+        )];
+        if let Some((channels, speed)) = self.dram {
+            entries.push((
+                "dram".to_owned(),
+                Json::obj([
+                    ("channels", Json::num(channels as f64)),
+                    ("speed", Json::str(speed.label())),
+                ]),
+            ));
+        }
+        if let Some(bytes) = self.llc_bytes {
+            entries.push(("llc_bytes".to_owned(), Json::num(bytes as f64)));
+        }
+        Json::Obj(entries)
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        // Every field is optional, so a non-object would otherwise silently
+        // become the default config.
+        if json.as_obj().is_none() {
+            return Err(format!("config must be an object, got {json}"));
+        }
+        reject_unknown_keys(json, &["base", "dram", "llc_bytes"], "config")?;
+        let base = match json.get("base") {
+            None => ConfigBase::SingleThread,
+            Some(base) => match base.as_str() {
+                Some("single_thread") => ConfigBase::SingleThread,
+                Some("multi_programmed") => ConfigBase::MultiProgrammed,
+                Some(other) => return Err(format!("unknown config base '{other}'")),
+                None => return Err(format!("config 'base' must be a string, got {base}")),
+            },
+        };
+        let dram = match json.get("dram") {
+            None | Some(Json::Null) => None,
+            Some(dram) => {
+                reject_unknown_keys(dram, &["channels", "speed"], "dram override")?;
+                let channels = dram
+                    .get("channels")
+                    .and_then(Json::as_u64)
+                    .ok_or("dram override needs integer 'channels'")?
+                    as usize;
+                let speed_label = dram
+                    .get("speed")
+                    .and_then(Json::as_str)
+                    .ok_or("dram override needs 'speed'")?;
+                Some((channels, parse_speed(speed_label)?))
+            }
+        };
+        let llc_bytes = match json.get("llc_bytes") {
+            None | Some(Json::Null) => None,
+            Some(bytes) => Some(
+                bytes
+                    .as_u64()
+                    .ok_or("'llc_bytes' must be a non-negative integer")? as usize,
+            ),
+        };
+        Ok(Self {
+            base,
+            dram,
+            llc_bytes,
+        })
+    }
+}
+
+fn parse_speed(label: &str) -> Result<DramSpeedGrade, String> {
+    DramSpeedGrade::ALL
+        .into_iter()
+        .find(|grade| grade.label() == label)
+        .ok_or_else(|| format!("unknown DRAM speed grade '{label}' (use 1600/2133/2400)"))
+}
+
+fn parse_category(label: &str) -> Result<WorkloadCategory, String> {
+    WorkloadCategory::ALL
+        .into_iter()
+        .find(|category| category.label().eq_ignore_ascii_case(label))
+        .ok_or_else(|| format!("unknown workload category '{label}'"))
+}
+
+/// Selects the targets (workloads or mixes) of one cell. Group selectors
+/// honour the [`RunScale`] caps; explicit name lists do not.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetSelector {
+    /// Explicit workloads by suite name (no scale cap applied).
+    Workloads(Vec<String>),
+    /// Every workload of one category, capped by the scale.
+    Category(WorkloadCategory),
+    /// The full 75-workload suite, capped per category by the scale.
+    Suite,
+    /// The 42-workload memory-intensive subset, capped by the scale.
+    MemoryIntensive,
+    /// The homogeneous 4-copies-per-workload mixes, capped by the scale.
+    HomogeneousMixes {
+        /// Cores (copies) per mix.
+        cores: usize,
+    },
+    /// Seed-deterministic random heterogeneous mixes, capped by the scale.
+    HeterogeneousMixes {
+        /// Mixes generated before the scale cap.
+        count: usize,
+        /// Cores per mix.
+        cores: usize,
+        /// Draw seed. Spec files carry it as a JSON number up to 2^53 and
+        /// as a decimal string above that, so every value round-trips
+        /// exactly.
+        seed: u64,
+    },
+}
+
+impl TargetSelector {
+    /// Resolves the selector into concrete targets under `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown workload.
+    pub fn resolve(&self, scale: &RunScale) -> Result<Vec<Target>, String> {
+        let workloads = |all: Vec<WorkloadSpec>| {
+            scale
+                .select_workloads(all)
+                .into_iter()
+                .map(Target::Workload)
+                .collect::<Vec<_>>()
+        };
+        Ok(match self {
+            TargetSelector::Workloads(names) => {
+                // A repeated name would double-weight that workload in
+                // every aggregation, so duplicates are rejected like
+                // duplicate prefetchers and cell labels.
+                let mut seen = std::collections::HashSet::new();
+                for name in names {
+                    if !seen.insert(name.as_str()) {
+                        return Err(format!("duplicate workload '{name}' in target list"));
+                    }
+                }
+                let pool = suite();
+                names
+                    .iter()
+                    .map(|name| {
+                        pool.iter()
+                            .find(|w| &w.name == name)
+                            .cloned()
+                            .map(Target::Workload)
+                            .ok_or_else(|| format!("unknown workload '{name}'"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            TargetSelector::Category(category) => workloads(category_suite(*category)),
+            TargetSelector::Suite => workloads(suite()),
+            TargetSelector::MemoryIntensive => workloads(memory_intensive_suite()),
+            TargetSelector::HomogeneousMixes { cores } => scale
+                .select_mixes(homogeneous_mixes(*cores))
+                .into_iter()
+                .map(Target::Mix)
+                .collect(),
+            TargetSelector::HeterogeneousMixes { count, cores, seed } => scale
+                .select_mixes(heterogeneous_mixes(*count, *cores, *seed))
+                .into_iter()
+                .map(Target::Mix)
+                .collect(),
+        })
+    }
+
+    /// JSON form (see the README's spec-file documentation).
+    pub fn to_json(&self) -> Json {
+        match self {
+            TargetSelector::Workloads(names) => {
+                Json::obj([("workloads", Json::arr(names.iter().map(Json::str)))])
+            }
+            TargetSelector::Category(category) => {
+                Json::obj([("category", Json::str(category.label()))])
+            }
+            TargetSelector::Suite => Json::str("suite"),
+            TargetSelector::MemoryIntensive => Json::str("memory_intensive"),
+            TargetSelector::HomogeneousMixes { cores } => Json::obj([(
+                "homogeneous_mixes",
+                Json::obj([("cores", Json::num(*cores as f64))]),
+            )]),
+            TargetSelector::HeterogeneousMixes { count, cores, seed } => {
+                // Seeds above 2^53 are not exact as JSON doubles, so they
+                // serialize as decimal strings (the parser accepts both).
+                let seed_json = if *seed < (1u64 << 53) {
+                    Json::num(*seed as f64)
+                } else {
+                    Json::str(seed.to_string())
+                };
+                Json::obj([(
+                    "heterogeneous_mixes",
+                    Json::obj([
+                        ("count", Json::num(*count as f64)),
+                        ("cores", Json::num(*cores as f64)),
+                        ("seed", seed_json),
+                    ]),
+                )])
+            }
+        }
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed selector.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(name) = json.as_str() {
+            return match name {
+                "suite" => Ok(TargetSelector::Suite),
+                "memory_intensive" => Ok(TargetSelector::MemoryIntensive),
+                other => Err(format!(
+                    "unknown target selector '{other}' (use \"suite\" or \"memory_intensive\")"
+                )),
+            };
+        }
+        reject_unknown_keys(
+            json,
+            &[
+                "workloads",
+                "category",
+                "homogeneous_mixes",
+                "heterogeneous_mixes",
+            ],
+            "target selector",
+        )?;
+        if json.as_obj().is_some_and(|entries| entries.len() != 1) {
+            return Err(format!(
+                "target selector must have exactly one key, got {json}"
+            ));
+        }
+        if let Some(names) = json.get("workloads").and_then(Json::as_arr) {
+            let names = names
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("workload names must be strings, got {n}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(TargetSelector::Workloads(names));
+        }
+        if let Some(label) = json.get("category").and_then(Json::as_str) {
+            return Ok(TargetSelector::Category(parse_category(label)?));
+        }
+        if let Some(homogeneous) = json.get("homogeneous_mixes") {
+            reject_unknown_keys(homogeneous, &["cores"], "homogeneous_mixes")?;
+            let cores = homogeneous
+                .get("cores")
+                .and_then(Json::as_u64)
+                .ok_or("homogeneous_mixes needs integer 'cores'")? as usize;
+            return Ok(TargetSelector::HomogeneousMixes { cores });
+        }
+        if let Some(heterogeneous) = json.get("heterogeneous_mixes") {
+            reject_unknown_keys(
+                heterogeneous,
+                &["count", "cores", "seed"],
+                "heterogeneous_mixes",
+            )?;
+            let count = heterogeneous
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("heterogeneous_mixes needs integer 'count'")?
+                as usize;
+            let cores = heterogeneous
+                .get("cores")
+                .and_then(Json::as_u64)
+                .ok_or("heterogeneous_mixes needs integer 'cores'")?
+                as usize;
+            let seed = match heterogeneous.get("seed") {
+                None => 0xD5,
+                // Number form is exact up to 2^53; larger seeds arrive as
+                // decimal strings (matching what to_json emits).
+                Some(seed) => match seed.as_str() {
+                    Some(text) => text.parse::<u64>().map_err(|_| {
+                        format!("heterogeneous_mixes 'seed' string is not a u64: '{text}'")
+                    })?,
+                    None => seed.as_u64().ok_or(
+                        "heterogeneous_mixes 'seed' must be a non-negative integer or a decimal string",
+                    )?,
+                },
+            };
+            return Ok(TargetSelector::HeterogeneousMixes { count, cores, seed });
+        }
+        Err(format!("malformed target selector: {json}"))
+    }
+}
+
+/// One cell of the campaign grid: targets × prefetchers under one config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Cell label, used as the first table column (e.g. a category name).
+    pub label: String,
+    /// Target selection.
+    pub targets: TargetSelector,
+    /// Prefetcher columns.
+    pub prefetchers: Vec<PrefetcherSel>,
+    /// System configuration variant.
+    pub config: ConfigSpec,
+    /// Whether to simulate the no-L2-prefetcher baseline for each target
+    /// (memoized per (target, config)) so rows carry speedups. Cells that
+    /// only need raw statistics (coverage, pollution) turn this off.
+    pub baseline: bool,
+}
+
+impl CellSpec {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            ("targets", self.targets.to_json()),
+            (
+                "prefetchers",
+                Json::arr(self.prefetchers.iter().map(PrefetcherSel::to_json)),
+            ),
+            ("config", self.config.to_json()),
+            ("baseline", Json::Bool(self.baseline)),
+        ])
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        reject_unknown_keys(
+            json,
+            &["label", "targets", "prefetchers", "config", "baseline"],
+            "cell",
+        )?;
+        // Labels are mandatory: report rows are grouped by them, so two
+        // silently-defaulted labels would merge unrelated cells.
+        let label = json
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("cell needs a string 'label'")?
+            .to_owned();
+        let targets = TargetSelector::from_json(
+            json.get("targets")
+                .ok_or("cell needs a 'targets' selector")?,
+        )?;
+        let prefetchers = json
+            .get("prefetchers")
+            .and_then(Json::as_arr)
+            .ok_or("cell needs a 'prefetchers' array")?
+            .iter()
+            .map(PrefetcherSel::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = match json.get("config") {
+            None | Some(Json::Null) => ConfigSpec::single_thread(),
+            Some(config) => ConfigSpec::from_json(config)?,
+        };
+        let baseline = match json.get("baseline") {
+            None => true,
+            Some(baseline) => baseline
+                .as_bool()
+                .ok_or("cell 'baseline' must be a boolean")?,
+        };
+        Ok(Self {
+            label,
+            targets,
+            prefetchers,
+            config,
+            baseline,
+        })
+    }
+}
+
+/// The run scale carried by a spec file: a named preset or explicit knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleSpec {
+    /// One of "smoke", "quick" or "full".
+    Preset(String),
+    /// Explicit knobs; `threads: None` means `available_parallelism`.
+    Custom {
+        /// Memory accesses per workload.
+        accesses_per_workload: usize,
+        /// Per-category workload cap (0 = all).
+        workloads_per_category: usize,
+        /// Mix cap (0 = all).
+        mixes: usize,
+        /// Worker threads; `None` defaults to the machine's parallelism.
+        threads: Option<usize>,
+    },
+}
+
+impl ScaleSpec {
+    /// Resolves into a concrete [`RunScale`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown preset name.
+    pub fn resolve(&self) -> Result<RunScale, String> {
+        match self {
+            ScaleSpec::Preset(name) => RunScale::preset(name)
+                .ok_or_else(|| format!("unknown scale preset '{name}' (smoke/quick/full)")),
+            ScaleSpec::Custom {
+                accesses_per_workload,
+                workloads_per_category,
+                mixes,
+                threads,
+            } => Ok(RunScale {
+                accesses_per_workload: *accesses_per_workload,
+                workloads_per_category: *workloads_per_category,
+                mixes: *mixes,
+                threads: threads.unwrap_or_else(default_threads).max(1),
+            }),
+        }
+    }
+
+    /// JSON form: a preset string or an object of knobs.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ScaleSpec::Preset(name) => Json::str(name),
+            ScaleSpec::Custom {
+                accesses_per_workload,
+                workloads_per_category,
+                mixes,
+                threads,
+            } => {
+                let mut entries = vec![
+                    (
+                        "accesses_per_workload".to_owned(),
+                        Json::num(*accesses_per_workload as f64),
+                    ),
+                    (
+                        "workloads_per_category".to_owned(),
+                        Json::num(*workloads_per_category as f64),
+                    ),
+                    ("mixes".to_owned(), Json::num(*mixes as f64)),
+                ];
+                if let Some(threads) = threads {
+                    entries.push(("threads".to_owned(), Json::num(*threads as f64)));
+                }
+                Json::Obj(entries)
+            }
+        }
+    }
+
+    /// Parses the JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(name) = json.as_str() {
+            return Ok(ScaleSpec::Preset(name.to_owned()));
+        }
+        reject_unknown_keys(
+            json,
+            &[
+                "accesses_per_workload",
+                "workloads_per_category",
+                "mixes",
+                "threads",
+            ],
+            "custom scale",
+        )?;
+        let field = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("custom scale needs integer '{key}'"))
+        };
+        Ok(ScaleSpec::Custom {
+            accesses_per_workload: field("accesses_per_workload")?,
+            workloads_per_category: field("workloads_per_category")?,
+            mixes: field("mixes")?,
+            threads: match json.get("threads") {
+                None | Some(Json::Null) => None,
+                Some(threads) => Some(
+                    threads
+                        .as_u64()
+                        .ok_or("custom scale 'threads' must be a non-negative integer")?
+                        as usize,
+                ),
+            },
+        })
+    }
+}
+
+/// A complete campaign description, loadable from a JSON spec file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name, used as the report title.
+    pub name: String,
+    /// Optional embedded scale (the CLI's `--scale` flag overrides it).
+    pub scale: Option<ScaleSpec>,
+    /// The grid cells.
+    pub cells: Vec<CellSpec>,
+}
+
+impl CampaignSpec {
+    /// A single-cell campaign, the common case for programmatic use.
+    pub fn single_cell(name: impl Into<String>, cell: CellSpec) -> Self {
+        Self {
+            name: name.into(),
+            scale: None,
+            cells: vec![cell],
+        }
+    }
+
+    /// JSON form (the spec-file format).
+    pub fn to_json(&self) -> Json {
+        let mut entries = vec![("name".to_owned(), Json::str(&self.name))];
+        if let Some(scale) = &self.scale {
+            entries.push(("scale".to_owned(), scale.to_json()));
+        }
+        entries.push((
+            "cells".to_owned(),
+            Json::arr(self.cells.iter().map(CellSpec::to_json)),
+        ));
+        Json::Obj(entries)
+    }
+
+    /// Parses a spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        reject_unknown_keys(json, &["name", "scale", "cells"], "campaign spec")?;
+        let name = json
+            .get("name")
+            .map(|name| {
+                name.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("campaign 'name' must be a string, got {name}"))
+            })
+            .transpose()?
+            .unwrap_or_else(|| "campaign".to_owned());
+        let scale = match json.get("scale") {
+            None | Some(Json::Null) => None,
+            Some(scale) => Some(ScaleSpec::from_json(scale)?),
+        };
+        let cells = json
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("campaign spec needs a 'cells' array")?
+            .iter()
+            .map(CellSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { name, scale, cells })
+    }
+
+    /// Parses a spec file's text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// An example spec exercising every selector family, used by the README
+    /// and `dspatch-lab --template`.
+    pub fn template() -> Self {
+        Self {
+            name: "example campaign".to_owned(),
+            scale: Some(ScaleSpec::Preset("smoke".to_owned())),
+            cells: vec![
+                CellSpec {
+                    label: "cloud single-thread".to_owned(),
+                    targets: TargetSelector::Category(WorkloadCategory::Cloud),
+                    prefetchers: vec![
+                        PrefetcherSel::Kind(PrefetcherKind::Spp),
+                        PrefetcherSel::Kind(PrefetcherKind::DspatchPlusSpp),
+                        PrefetcherSel::SmsPht(1024),
+                    ],
+                    config: ConfigSpec::single_thread(),
+                    baseline: true,
+                },
+                CellSpec {
+                    label: "mixes low-bandwidth".to_owned(),
+                    targets: TargetSelector::HomogeneousMixes { cores: 4 },
+                    prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::DspatchPlusSpp)],
+                    config: ConfigSpec::multi_programmed().with_dram(1, DramSpeedGrade::Ddr4_1600),
+                    baseline: true,
+                },
+            ],
+        }
+    }
+}
+
+/// A concrete simulation target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// One single-core workload.
+    Workload(WorkloadSpec),
+    /// One multi-programmed mix (one workload per core).
+    Mix(WorkloadMix),
+}
+
+impl Target {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Target::Workload(workload) => &workload.name,
+            Target::Mix(mix) => &mix.name,
+        }
+    }
+
+    /// Simulated cores.
+    pub fn cores(&self) -> usize {
+        match self {
+            Target::Workload(_) => 1,
+            Target::Mix(mix) => mix.cores(),
+        }
+    }
+
+    /// Memoization identity. The full `WorkloadSpec` (generator included)
+    /// participates so two targets that share a name and seed but differ in
+    /// generator parameters never alias to one simulation.
+    fn key(&self) -> String {
+        let workload_key = |w: &WorkloadSpec| format!("{}:{:x}:{:?}", w.name, w.seed, w.generator);
+        match self {
+            Target::Workload(workload) => format!("w:{}", workload_key(workload)),
+            Target::Mix(mix) => {
+                let cores: Vec<String> = mix.workloads.iter().map(workload_key).collect();
+                format!("m:{}:{}", mix.name, cores.join("+"))
+            }
+        }
+    }
+}
+
+/// A resolved cell: concrete targets, ready for the executor. Figure code
+/// that starts from explicit [`WorkloadSpec`]s (rather than suite names)
+/// builds these directly and calls [`run_cells`].
+#[derive(Debug, Clone)]
+pub struct ResolvedCell {
+    /// Cell label.
+    pub label: String,
+    /// Concrete targets.
+    pub targets: Vec<Target>,
+    /// Prefetcher columns.
+    pub prefetchers: Vec<PrefetcherSel>,
+    /// Concrete system configuration.
+    pub config: SystemConfig,
+    /// Config label shown in reports.
+    pub config_label: String,
+    /// Whether to simulate (memoized) baselines for speedup rows.
+    pub baseline: bool,
+}
+
+/// Executor accounting, the observable proof of memoization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Deduplicated simulations actually run.
+    pub sims_run: usize,
+    /// How many of those were no-L2-prefetcher baselines.
+    pub baseline_sims: usize,
+    /// Requests served from the memo table instead of a fresh simulation
+    /// (baseline and candidate alike).
+    pub memo_hits: usize,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// One output row: a (cell, target, prefetcher) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Cell label.
+    pub cell: String,
+    /// Target (workload or mix) name.
+    pub target: String,
+    /// Config label.
+    pub config: String,
+    /// Prefetcher label ([`PrefetcherSel::label`] of the column selection).
+    pub prefetcher: String,
+    /// Index of the candidate simulation in [`CampaignResult::sims`].
+    pub sim: usize,
+    /// Index of the memoized baseline simulation, if the cell requested one.
+    pub baseline: Option<usize>,
+}
+
+/// Everything a campaign produced: deduplicated simulation results, one row
+/// per grid point, and executor statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Campaign name (report title).
+    pub name: String,
+    /// One row per (cell, target, prefetcher), in spec order.
+    pub rows: Vec<CampaignRow>,
+    /// Deduplicated simulation results the rows index into.
+    pub sims: Vec<SimResult>,
+    /// Executor accounting.
+    pub stats: ExecStats,
+}
+
+impl CampaignResult {
+    /// The candidate simulation behind a row.
+    pub fn sim_of(&self, row: &CampaignRow) -> &SimResult {
+        &self.sims[row.sim]
+    }
+
+    /// The memoized baseline simulation behind a row, if any.
+    pub fn baseline_of(&self, row: &CampaignRow) -> Option<&SimResult> {
+        row.baseline.map(|i| &self.sims[i])
+    }
+
+    /// Speedup of a row's candidate over its baseline.
+    pub fn speedup(&self, row: &CampaignRow) -> Option<f64> {
+        self.baseline_of(row)
+            .map(|baseline| self.sim_of(row).speedup_over(baseline))
+    }
+
+    /// Rows of one cell, in target-major spec order.
+    pub fn rows_for_cell<'a>(
+        &'a self,
+        cell: &'a str,
+    ) -> impl Iterator<Item = &'a CampaignRow> + 'a {
+        self.rows.iter().filter(move |row| row.cell == cell)
+    }
+
+    /// Per-target speedups of one (cell, prefetcher label) column, in target
+    /// order. Rows without a baseline are skipped.
+    pub fn speedups(&self, cell: &str, prefetcher: &str) -> Vec<f64> {
+        self.rows_for_cell(cell)
+            .filter(|row| row.prefetcher == prefetcher)
+            .filter_map(|row| self.speedup(row))
+            .collect()
+    }
+
+    /// Mean per-core IPC of a row's candidate simulation (the single IPC
+    /// aggregation both report renderers use).
+    pub fn row_ipc(&self, row: &CampaignRow) -> f64 {
+        let sim = self.sim_of(row);
+        sim.cores
+            .iter()
+            .map(dspatch_sim::CoreResult::ipc)
+            .sum::<f64>()
+            / sim.cores.len().max(1) as f64
+    }
+
+    /// Renders every row as an aligned ASCII table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            self.name.clone(),
+            vec![
+                "Cell".into(),
+                "Target".into(),
+                "Config".into(),
+                "Prefetcher".into(),
+                "IPC".into(),
+                "Speedup".into(),
+                "Delta".into(),
+            ],
+        );
+        for row in &self.rows {
+            let ipc = self.row_ipc(row);
+            let (speedup, delta) = match self.speedup(row) {
+                Some(speedup) => (format!("{speedup:.4}x"), percent(speedup - 1.0)),
+                None => ("-".to_owned(), "-".to_owned()),
+            };
+            table.add_row(vec![
+                row.cell.clone(),
+                row.target.clone(),
+                row.config.clone(),
+                row.prefetcher.clone(),
+                format!("{ipc:.3}"),
+                speedup,
+                delta,
+            ]);
+        }
+        table
+    }
+
+    /// Renders the result as a JSON document (one emitter: [`crate::json`]).
+    pub fn to_json(&self) -> Json {
+        let rows = self.rows.iter().map(|row| {
+            let ipc = self.row_ipc(row);
+            let mut entries = vec![
+                ("cell".to_owned(), Json::str(&row.cell)),
+                ("target".to_owned(), Json::str(&row.target)),
+                ("config".to_owned(), Json::str(&row.config)),
+                ("prefetcher".to_owned(), Json::str(&row.prefetcher)),
+                ("ipc".to_owned(), Json::num(round6(ipc))),
+            ];
+            match self.speedup(row) {
+                Some(speedup) => {
+                    entries.push(("speedup".to_owned(), Json::num(round6(speedup))));
+                    entries.push(("delta".to_owned(), Json::num(round6(speedup - 1.0))));
+                }
+                None => {
+                    entries.push(("speedup".to_owned(), Json::Null));
+                    entries.push(("delta".to_owned(), Json::Null));
+                }
+            }
+            Json::Obj(entries)
+        });
+        Json::obj([
+            ("campaign", Json::str(&self.name)),
+            (
+                "stats",
+                Json::obj([
+                    ("sims_run", Json::num(self.stats.sims_run as f64)),
+                    ("baseline_sims", Json::num(self.stats.baseline_sims as f64)),
+                    ("memo_hits", Json::num(self.stats.memo_hits as f64)),
+                    ("threads", Json::num(self.stats.threads as f64)),
+                ]),
+            ),
+            ("rows", Json::Arr(rows.collect())),
+        ])
+    }
+
+    /// Renders the rows as CSV with **raw numeric values** (six decimals,
+    /// like the JSON form) rather than the display strings of
+    /// [`CampaignResult::to_table`], so the file loads as numbers in
+    /// spreadsheet/pandas pipelines. Baseline-less rows leave the speedup
+    /// and delta fields empty.
+    pub fn to_csv(&self) -> String {
+        let mut table = Table::new(
+            self.name.clone(),
+            vec![
+                "Cell".into(),
+                "Target".into(),
+                "Config".into(),
+                "Prefetcher".into(),
+                "IPC".into(),
+                "Speedup".into(),
+                "Delta".into(),
+            ],
+        );
+        for row in &self.rows {
+            let (speedup, delta) = match self.speedup(row) {
+                Some(speedup) => (
+                    round6(speedup).to_string(),
+                    round6(speedup - 1.0).to_string(),
+                ),
+                None => (String::new(), String::new()),
+            };
+            table.add_row(vec![
+                row.cell.clone(),
+                row.target.clone(),
+                row.config.clone(),
+                row.prefetcher.clone(),
+                round6(self.row_ipc(row)).to_string(),
+                speedup,
+                delta,
+            ]);
+        }
+        table.to_csv()
+    }
+}
+
+fn round6(value: f64) -> f64 {
+    crate::json::rounded(value, 1e6)
+}
+
+struct Job {
+    target: Target,
+    sel: PrefetcherSel,
+    config: SystemConfig,
+}
+
+impl Job {
+    fn run(&self, scale: &RunScale) -> SimResult {
+        let mut builder = SimulationBuilder::new(self.config.clone());
+        match &self.target {
+            Target::Workload(workload) => {
+                builder = builder.with_core(
+                    workload.generate(scale.accesses_per_workload),
+                    self.sel.build(),
+                );
+            }
+            Target::Mix(mix) => {
+                for workload in &mix.workloads {
+                    builder = builder.with_core(
+                        workload.generate(scale.accesses_per_workload),
+                        self.sel.build(),
+                    );
+                }
+            }
+        }
+        builder.run()
+    }
+}
+
+/// Resolves a declarative spec against the workload suite and runs it.
+///
+/// The scale passed here wins over `spec.scale`; callers that want the
+/// spec's embedded scale resolve it first (the CLI does).
+///
+/// # Errors
+///
+/// Returns a message for unknown workload names in the spec.
+pub fn run_campaign(spec: &CampaignSpec, scale: &RunScale) -> Result<CampaignResult, String> {
+    // Report rows and per-cell queries (rows_for_cell / speedups) key on the
+    // label, so duplicates would silently pool unrelated cells.
+    let mut labels = std::collections::HashSet::new();
+    for cell in &spec.cells {
+        if !labels.insert(cell.label.as_str()) {
+            return Err(format!(
+                "duplicate cell label '{}': every cell needs a unique label",
+                cell.label
+            ));
+        }
+    }
+    let cells = spec
+        .cells
+        .iter()
+        .map(|cell| {
+            let targets = cell.targets.resolve(scale)?;
+            let config = cell.config.build();
+            config
+                .validate()
+                .map_err(|e| format!("cell '{}': invalid config: {e}", cell.label))?;
+            if cell.prefetchers.is_empty() {
+                return Err(format!(
+                    "cell '{}': needs at least one prefetcher (an empty cell would \
+                     simulate baselines but produce no rows)",
+                    cell.label
+                ));
+            }
+            let mut seen_sels = std::collections::HashSet::new();
+            for sel in &cell.prefetchers {
+                sel.validate()
+                    .map_err(|e| format!("cell '{}': {e}", cell.label))?;
+                // A repeated column would emit duplicate rows under one
+                // label, double-weighting that prefetcher in aggregations.
+                if !seen_sels.insert(*sel) {
+                    return Err(format!(
+                        "cell '{}': duplicate prefetcher '{}'",
+                        cell.label,
+                        sel.label()
+                    ));
+                }
+            }
+            // Catch core-count mismatches here, where they are a clean spec
+            // error, instead of panicking inside an executor worker.
+            for target in &targets {
+                if target.cores() == 0 {
+                    return Err(format!(
+                        "cell '{}': target '{}' has no cores",
+                        cell.label,
+                        target.name()
+                    ));
+                }
+                if target.cores() > config.cores {
+                    return Err(format!(
+                        "cell '{}': target '{}' needs {} cores but config '{}' provides {}",
+                        cell.label,
+                        target.name(),
+                        target.cores(),
+                        cell.config.label(),
+                        config.cores
+                    ));
+                }
+            }
+            Ok(ResolvedCell {
+                label: cell.label.clone(),
+                targets,
+                prefetchers: cell.prefetchers.clone(),
+                config,
+                config_label: cell.config.label(),
+                baseline: cell.baseline,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(run_cells(&spec.name, &cells, scale))
+}
+
+/// Executes resolved cells: deduplicates (target, prefetcher, config) jobs,
+/// memoizes baselines, and drains the job queue with a pool of workers that
+/// each claim the next job from a shared atomic cursor (self-scheduling,
+/// not per-worker deques).
+///
+/// # Panics
+///
+/// Panics if two cells share a label: [`CampaignResult::rows_for_cell`] and
+/// [`CampaignResult::speedups`] key on the label, so duplicates would
+/// silently pool unrelated cells. (Spec files get the same condition as a
+/// clean error from [`run_campaign`] before any work happens.)
+pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> CampaignResult {
+    let mut labels = std::collections::HashSet::new();
+    for cell in cells {
+        assert!(
+            labels.insert(cell.label.as_str()),
+            "duplicate cell label '{}': every cell needs a unique label",
+            cell.label
+        );
+    }
+
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut job_index: HashMap<String, usize> = HashMap::new();
+    let mut configs: Vec<SystemConfig> = Vec::new();
+    let mut memo_hits = 0usize;
+    let mut rows: Vec<CampaignRow> = Vec::new();
+
+    for cell in cells {
+        // Deduplicated config index, part of each job's memoization key.
+        let cfg = configs
+            .iter()
+            .position(|c| c == &cell.config)
+            .unwrap_or_else(|| {
+                configs.push(cell.config.clone());
+                configs.len() - 1
+            });
+        for target in &cell.targets {
+            let target_key = target.key();
+            let ensure = |jobs: &mut Vec<Job>,
+                          job_index: &mut HashMap<String, usize>,
+                          memo_hits: &mut usize,
+                          sel: PrefetcherSel| {
+                let key = format!("{target_key}|c{cfg}|{sel:?}");
+                if let Some(&existing) = job_index.get(&key) {
+                    *memo_hits += 1;
+                    return existing;
+                }
+                let index = jobs.len();
+                job_index.insert(key, index);
+                jobs.push(Job {
+                    target: target.clone(),
+                    sel,
+                    config: cell.config.clone(),
+                });
+                index
+            };
+            let baseline = cell.baseline.then(|| {
+                ensure(
+                    &mut jobs,
+                    &mut job_index,
+                    &mut memo_hits,
+                    PrefetcherSel::Kind(PrefetcherKind::Baseline),
+                )
+            });
+            for sel in &cell.prefetchers {
+                let sim = ensure(&mut jobs, &mut job_index, &mut memo_hits, *sel);
+                rows.push(CampaignRow {
+                    cell: cell.label.clone(),
+                    target: target.name().to_owned(),
+                    config: cell.config_label.clone(),
+                    prefetcher: sel.label(),
+                    sim,
+                    baseline,
+                });
+            }
+        }
+    }
+
+    let baseline_sims = jobs.iter().filter(|job| job.sel.is_baseline()).count();
+
+    // Cost-sorted execution order: multi-core mixes first so the longest
+    // simulations never strand at the tail of the queue.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].target.cores()));
+
+    let threads = scale.threads.clamp(1, jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut sims: Vec<Option<SimResult>> = Vec::new();
+    sims.resize_with(jobs.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let jobs = &jobs;
+            let order = &order;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    if next >= order.len() {
+                        break;
+                    }
+                    let job = order[next];
+                    local.push((job, jobs[job].run(scale)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (job, result) in handle.join().expect("campaign worker panicked") {
+                sims[job] = Some(result);
+            }
+        }
+    });
+
+    CampaignResult {
+        name: name.to_owned(),
+        rows,
+        sims: sims
+            .into_iter()
+            .map(|sim| sim.expect("every job slot filled"))
+            .collect(),
+        stats: ExecStats {
+            sims_run: jobs.len(),
+            baseline_sims,
+            memo_hits,
+            threads,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunScale {
+        RunScale {
+            accesses_per_workload: 600,
+            workloads_per_category: 1,
+            mixes: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn baselines_are_memoized_across_prefetcher_columns() {
+        let spec = CampaignSpec::single_cell(
+            "memo",
+            CellSpec {
+                label: "cloud".to_owned(),
+                targets: TargetSelector::Category(WorkloadCategory::Cloud),
+                prefetchers: vec![
+                    PrefetcherSel::Kind(PrefetcherKind::Bop),
+                    PrefetcherSel::Kind(PrefetcherKind::Spp),
+                    PrefetcherSel::Kind(PrefetcherKind::Sms),
+                ],
+                config: ConfigSpec::single_thread(),
+                baseline: true,
+            },
+        );
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        // 1 workload (smoke cap) × (1 baseline + 3 candidates).
+        assert_eq!(result.stats.sims_run, 4);
+        assert_eq!(result.stats.baseline_sims, 1);
+        assert_eq!(result.rows.len(), 3);
+        assert!(result.rows.iter().all(|row| row.baseline.is_some()));
+        for row in &result.rows {
+            assert!(result.speedup(row).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_cells_share_candidate_simulations() {
+        let cell = CellSpec {
+            label: "a".to_owned(),
+            targets: TargetSelector::Category(WorkloadCategory::Hpc),
+            prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+            config: ConfigSpec::single_thread(),
+            baseline: true,
+        };
+        let mut twin = cell.clone();
+        twin.label = "b".to_owned();
+        let spec = CampaignSpec {
+            name: "dedup".to_owned(),
+            scale: None,
+            cells: vec![cell, twin],
+        };
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        // Cell b's baseline and candidate both come from the memo table.
+        assert_eq!(result.stats.sims_run, 2);
+        assert_eq!(result.stats.memo_hits, 2);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0].sim, result.rows[1].sim);
+    }
+
+    #[test]
+    fn distinct_configs_do_not_share_baselines() {
+        let base = CellSpec {
+            label: "2133".to_owned(),
+            targets: TargetSelector::Category(WorkloadCategory::Hpc),
+            prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+            config: ConfigSpec::single_thread(),
+            baseline: true,
+        };
+        let mut faster = base.clone();
+        faster.label = "2400".to_owned();
+        faster.config = ConfigSpec::single_thread().with_dram(2, DramSpeedGrade::Ddr4_2400);
+        let spec = CampaignSpec {
+            name: "configs".to_owned(),
+            scale: None,
+            cells: vec![base, faster],
+        };
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        assert_eq!(result.stats.sims_run, 4);
+        assert_eq!(result.stats.baseline_sims, 2);
+        assert_eq!(result.stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn cells_without_baseline_run_candidates_only() {
+        let spec = CampaignSpec::single_cell(
+            "raw",
+            CellSpec {
+                label: "pollution".to_owned(),
+                targets: TargetSelector::Category(WorkloadCategory::Server),
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Streamer)],
+                config: ConfigSpec::single_thread().with_llc_bytes(2 << 20),
+                baseline: false,
+            },
+        );
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        assert_eq!(result.stats.sims_run, 1);
+        assert_eq!(result.stats.baseline_sims, 0);
+        assert!(result.rows[0].baseline.is_none());
+        assert!(result.speedup(&result.rows[0]).is_none());
+        assert!(result.to_table().render().contains("-"));
+    }
+
+    #[test]
+    fn mixes_resolve_and_run_in_parallel() {
+        let spec = CampaignSpec::single_cell(
+            "mixes",
+            CellSpec {
+                label: "homogeneous".to_owned(),
+                targets: TargetSelector::HomogeneousMixes { cores: 4 },
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+                config: ConfigSpec::multi_programmed(),
+                baseline: true,
+            },
+        );
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        assert_eq!(result.rows.len(), 1, "mix cap of 1 at tiny scale");
+        let sim = result.sim_of(&result.rows[0]);
+        assert_eq!(sim.cores.len(), 4);
+        assert!(result.speedup(&result.rows[0]).is_some());
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = CampaignSpec::template();
+        let text = spec.to_json().render();
+        let reparsed = CampaignSpec::parse(&text).expect("template parses");
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        assert!(CampaignSpec::parse("{\"cells\": 3}").is_err());
+        assert!(CampaignSpec::parse("not json").is_err());
+        let unknown_workload = CampaignSpec::single_cell(
+            "bad",
+            CellSpec {
+                label: "x".to_owned(),
+                targets: TargetSelector::Workloads(vec!["no-such-workload".to_owned()]),
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+                config: ConfigSpec::single_thread(),
+                baseline: true,
+            },
+        );
+        let err = run_campaign(&unknown_workload, &tiny()).unwrap_err();
+        assert!(err.contains("no-such-workload"));
+        assert!(PrefetcherSel::from_json(&Json::str("warp-drive")).is_err());
+        assert!(TargetSelector::from_json(&Json::str("everything")).is_err());
+        assert!(ConfigSpec::from_json(&Json::obj([("base", Json::str("dual"))])).is_err());
+    }
+
+    #[test]
+    fn mistyped_spec_fields_error_instead_of_defaulting() {
+        // A wrongly-typed field must never silently fall back to a default.
+        let bad_seed = r#"{"heterogeneous_mixes": {"count": 5, "cores": 4, "seed": "big"}}"#;
+        let err = TargetSelector::from_json(&Json::parse(bad_seed).unwrap()).unwrap_err();
+        assert!(err.contains("seed"));
+
+        // Decimal-string seeds are the exact encoding for values over 2^53.
+        let big_seed =
+            r#"{"heterogeneous_mixes": {"count": 5, "cores": 4, "seed": "18446744073709551615"}}"#;
+        assert_eq!(
+            TargetSelector::from_json(&Json::parse(big_seed).unwrap()).unwrap(),
+            TargetSelector::HeterogeneousMixes {
+                count: 5,
+                cores: 4,
+                seed: u64::MAX
+            }
+        );
+
+        let negative_seed = r#"{"heterogeneous_mixes": {"count": 5, "cores": 4, "seed": -5}}"#;
+        assert!(TargetSelector::from_json(&Json::parse(negative_seed).unwrap()).is_err());
+
+        let bad_cell =
+            r#"{"label": "x", "targets": "suite", "prefetchers": ["spp"], "baseline": "yes"}"#;
+        let err = CellSpec::from_json(&Json::parse(bad_cell).unwrap()).unwrap_err();
+        assert!(err.contains("baseline"));
+
+        let unlabeled = r#"{"targets": "suite", "prefetchers": ["spp"]}"#;
+        let err = CellSpec::from_json(&Json::parse(unlabeled).unwrap()).unwrap_err();
+        assert!(err.contains("label"));
+
+        let bad_base = r#"{"base": 5}"#;
+        assert!(ConfigSpec::from_json(&Json::parse(bad_base).unwrap()).is_err());
+
+        let bad_threads = r#"{"accesses_per_workload": 1, "workloads_per_category": 1, "mixes": 1, "threads": "four"}"#;
+        let err = ScaleSpec::from_json(&Json::parse(bad_threads).unwrap()).unwrap_err();
+        assert!(err.contains("threads"));
+
+        let bad_name = r#"{"name": 7, "cells": []}"#;
+        assert!(CampaignSpec::parse(bad_name).is_err());
+    }
+
+    #[test]
+    fn misspelled_spec_keys_error_instead_of_being_ignored() {
+        let typo_config = r#"{"base": "single_thread", "llcbytes": 1048576}"#;
+        let err = ConfigSpec::from_json(&Json::parse(typo_config).unwrap()).unwrap_err();
+        assert!(err.contains("llcbytes"), "got: {err}");
+
+        // A non-object config must error, not silently become the default.
+        let err = ConfigSpec::from_json(&Json::str("multi_programmed")).unwrap_err();
+        assert!(err.contains("must be an object"), "got: {err}");
+
+        let typo_cell = r#"{"label": "x", "targets": "suite", "prefetcher": ["spp"]}"#;
+        let err = CellSpec::from_json(&Json::parse(typo_cell).unwrap()).unwrap_err();
+        assert!(err.contains("prefetcher"), "got: {err}");
+
+        let typo_scale =
+            r#"{"accesses_per_workload": 1, "workloads_per_category": 1, "mixes": 1, "thread": 2}"#;
+        assert!(ScaleSpec::from_json(&Json::parse(typo_scale).unwrap()).is_err());
+
+        let typo_selector = r#"{"categories": "cloud"}"#;
+        assert!(TargetSelector::from_json(&Json::parse(typo_selector).unwrap()).is_err());
+
+        let two_selectors = r#"{"category": "cloud", "workloads": ["x"]}"#;
+        let err = TargetSelector::from_json(&Json::parse(two_selectors).unwrap()).unwrap_err();
+        assert!(err.contains("exactly one"), "got: {err}");
+
+        let typo_campaign = r#"{"name": "x", "cell": []}"#;
+        assert!(CampaignSpec::parse(typo_campaign).is_err());
+    }
+
+    #[test]
+    fn csv_carries_raw_numeric_values() {
+        let spec = CampaignSpec::single_cell(
+            "csv",
+            CellSpec {
+                label: "hpc".to_owned(),
+                targets: TargetSelector::Category(WorkloadCategory::Hpc),
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+                config: ConfigSpec::single_thread(),
+                baseline: true,
+            },
+        );
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        let csv = result.to_csv();
+        let data_row = csv.lines().nth(1).expect("one data row");
+        let fields: Vec<&str> = data_row.split(',').collect();
+        assert_eq!(fields.len(), 7);
+        for numeric in &fields[4..7] {
+            assert!(
+                numeric.parse::<f64>().is_ok(),
+                "field '{numeric}' should be a raw number in: {data_row}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_targets_under_a_single_core_config_are_a_spec_error() {
+        let spec = CampaignSpec::single_cell(
+            "mismatch",
+            CellSpec {
+                label: "mixes".to_owned(),
+                targets: TargetSelector::HomogeneousMixes { cores: 4 },
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+                config: ConfigSpec::single_thread(),
+                baseline: true,
+            },
+        );
+        let err = run_campaign(&spec, &tiny()).unwrap_err();
+        assert!(err.contains("4 cores"), "got: {err}");
+    }
+
+    #[test]
+    fn degenerate_spec_parameters_are_clean_errors_not_worker_panics() {
+        let mut cell = CellSpec {
+            label: "bad".to_owned(),
+            targets: TargetSelector::Category(WorkloadCategory::Hpc),
+            prefetchers: vec![PrefetcherSel::SmsPht(0)],
+            config: ConfigSpec::single_thread(),
+            baseline: false,
+        };
+        let spec = CampaignSpec::single_cell("zero-pht", cell.clone());
+        let err = run_campaign(&spec, &tiny()).unwrap_err();
+        assert!(err.contains("sms_pht"), "got: {err}");
+
+        let mut empty = cell.clone();
+        empty.prefetchers = Vec::new();
+        let spec = CampaignSpec::single_cell("no-prefetchers", empty);
+        let err = run_campaign(&spec, &tiny()).unwrap_err();
+        assert!(err.contains("at least one prefetcher"), "got: {err}");
+
+        let mut doubled = cell.clone();
+        doubled.prefetchers = vec![
+            PrefetcherSel::Kind(PrefetcherKind::Spp),
+            PrefetcherSel::Kind(PrefetcherKind::Spp),
+        ];
+        let spec = CampaignSpec::single_cell("doubled", doubled);
+        let err = run_campaign(&spec, &tiny()).unwrap_err();
+        assert!(err.contains("duplicate prefetcher"), "got: {err}");
+
+        cell.prefetchers = vec![PrefetcherSel::Kind(PrefetcherKind::Spp)];
+        cell.targets = TargetSelector::HomogeneousMixes { cores: 0 };
+        let spec = CampaignSpec::single_cell("zero-cores", cell);
+        let err = run_campaign(&spec, &tiny()).unwrap_err();
+        assert!(err.contains("no cores"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicate_cell_labels_are_rejected() {
+        let cell = CellSpec {
+            label: "same".to_owned(),
+            targets: TargetSelector::Category(WorkloadCategory::Hpc),
+            prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+            config: ConfigSpec::single_thread(),
+            baseline: true,
+        };
+        let spec = CampaignSpec {
+            name: "dupes".to_owned(),
+            scale: None,
+            cells: vec![cell.clone(), cell],
+        };
+        let err = run_campaign(&spec, &tiny()).unwrap_err();
+        assert!(err.contains("duplicate cell label"), "got: {err}");
+    }
+
+    #[test]
+    fn explicit_workload_names_resolve_without_caps() {
+        let pool = suite();
+        let names = vec![pool[0].name.clone(), pool[1].name.clone()];
+        let targets = TargetSelector::Workloads(names.clone())
+            .resolve(&tiny())
+            .expect("known names");
+        assert_eq!(targets.len(), 2);
+        assert_eq!(targets[0].name(), names[0]);
+
+        let doubled = vec![pool[0].name.clone(), pool[0].name.clone()];
+        let err = TargetSelector::Workloads(doubled)
+            .resolve(&tiny())
+            .unwrap_err();
+        assert!(err.contains("duplicate workload"), "got: {err}");
+    }
+
+    #[test]
+    fn config_spec_builds_the_requested_variant() {
+        let spec = ConfigSpec::multi_programmed()
+            .with_dram(1, DramSpeedGrade::Ddr4_1600)
+            .with_llc_bytes(4 << 20);
+        let config = spec.build();
+        assert_eq!(config.cores, 4);
+        assert_eq!(config.dram.channels, 1);
+        assert_eq!(config.llc.size_bytes, 4 << 20);
+        assert_eq!(spec.label(), "4P/1ch-1600/llc=4MiB");
+    }
+
+    #[test]
+    fn campaign_renders_table_json_and_csv() {
+        let spec = CampaignSpec::single_cell(
+            "render",
+            CellSpec {
+                label: "hpc".to_owned(),
+                targets: TargetSelector::Category(WorkloadCategory::Hpc),
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Spp)],
+                config: ConfigSpec::single_thread(),
+                baseline: true,
+            },
+        );
+        let result = run_campaign(&spec, &tiny()).expect("valid spec");
+        let table = result.to_table().render();
+        assert!(table.contains("SPP") && table.contains("Speedup"));
+        let json = result.to_json();
+        assert_eq!(json.get("campaign").and_then(Json::as_str), Some("render"));
+        assert!(Json::parse(&json.render()).is_ok());
+        let csv = result.to_csv();
+        assert!(csv.starts_with("Cell,Target,Config,Prefetcher"));
+    }
+}

@@ -2,21 +2,34 @@
 //!
 //! Every function takes a [`RunScale`] and returns a structured result with
 //! a `to_table()` (or `render()`) method producing the same rows or series
-//! the paper plots. The absolute numbers come from the synthetic-workload
-//! substitution documented in `DESIGN.md`; `EXPERIMENTS.md` records the
-//! measured values next to the paper's.
+//! the paper plots. Since the Campaign API redesign each simulation-backed
+//! figure is a *thin declarative spec* over [`crate::campaign`]: the
+//! function builds a [`CampaignSpec`] grid, the shared executor runs it
+//! (shared-queue parallelism, baselines memoized per (target, config)),
+//! and the function aggregates the resulting speedups into its
+//! figure-shaped report. The absolute numbers come from the
+//! synthetic-workload substitution documented in `DESIGN.md`;
+//! `EXPERIMENTS.md` records the measured values next to the paper's.
 
-use crate::report::{percent, Table};
-use crate::runner::{
-    geomean, perf_delta, run_mix, run_workload, speedups_over_baseline, PrefetcherKind, RunScale,
+use crate::campaign::{
+    run_campaign, CampaignResult, CampaignSpec, CellSpec, ConfigSpec, PrefetcherSel, TargetSelector,
 };
+use crate::report::{percent, Table};
+use crate::runner::{geomean, PrefetcherKind, RunScale};
 use dspatch::{CompressedPattern, DsPatch, DsPatchConfig, SpatialPattern, StorageBreakdown};
 use dspatch_sim::{DramConfig, DramSpeedGrade, SystemConfig};
-use dspatch_trace::workloads::{category_suite, memory_intensive_suite, suite, WorkloadCategory};
-use dspatch_trace::{heterogeneous_mixes, homogeneous_mixes};
+use dspatch_trace::workloads::{category_suite, suite, WorkloadCategory};
 use dspatch_types::{Prefetcher, LINES_PER_PAGE};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+fn sels(kinds: &[PrefetcherKind]) -> Vec<PrefetcherSel> {
+    kinds.iter().copied().map(PrefetcherSel::Kind).collect()
+}
+
+fn run_figure_spec(spec: &CampaignSpec, scale: &RunScale) -> CampaignResult {
+    run_campaign(spec, scale).expect("built-in figure specs are valid")
+}
 
 /// Performance of several prefetchers per workload category plus the
 /// geometric mean (the shape of Figures 4, 12, 14 and 17).
@@ -55,22 +68,38 @@ impl CategoryPerformance {
     }
 }
 
+/// One campaign cell per category; the engine memoizes each workload's
+/// baseline across all `kinds` columns (previously simulated once per kind).
 fn category_performance(
     figure: &str,
     kinds: &[PrefetcherKind],
-    config: &SystemConfig,
+    config: ConfigSpec,
     scale: &RunScale,
 ) -> CategoryPerformance {
+    let spec = CampaignSpec {
+        name: figure.to_owned(),
+        scale: None,
+        cells: WorkloadCategory::ALL
+            .into_iter()
+            .map(|category| CellSpec {
+                label: category.label().to_owned(),
+                targets: TargetSelector::Category(category),
+                prefetchers: sels(kinds),
+                config,
+                baseline: true,
+            })
+            .collect(),
+    };
+    let result = run_figure_spec(&spec, scale);
     let mut rows = Vec::new();
     let mut per_kind_all: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
     for category in WorkloadCategory::ALL {
-        let workloads = scale.select_workloads(category_suite(category));
-        if workloads.is_empty() {
+        if result.rows_for_cell(category.label()).next().is_none() {
             continue;
         }
         let mut deltas = Vec::with_capacity(kinds.len());
         for (k, kind) in kinds.iter().enumerate() {
-            let speedups = speedups_over_baseline(&workloads, *kind, config, scale);
+            let speedups = result.speedups(category.label(), kind.label());
             per_kind_all[k].extend(speedups.iter().copied());
             deltas.push(geomean(&speedups) - 1.0);
         }
@@ -95,7 +124,7 @@ pub fn fig4_baseline_prefetchers(scale: &RunScale) -> CategoryPerformance {
             PrefetcherKind::Sms,
             PrefetcherKind::Spp,
         ],
-        &SystemConfig::single_thread(),
+        ConfigSpec::single_thread(),
         scale,
     )
 }
@@ -106,7 +135,7 @@ pub fn fig12_single_thread(scale: &RunScale) -> CategoryPerformance {
     category_performance(
         "Figure 12: single-thread performance delta over baseline",
         &PrefetcherKind::standalone_lineup(),
-        &SystemConfig::single_thread(),
+        ConfigSpec::single_thread(),
         scale,
     )
 }
@@ -116,7 +145,7 @@ pub fn fig14_adjuncts(scale: &RunScale) -> CategoryPerformance {
     category_performance(
         "Figure 14: adjunct prefetchers to SPP",
         &PrefetcherKind::adjunct_lineup(),
-        &SystemConfig::single_thread(),
+        ConfigSpec::single_thread(),
         scale,
     )
 }
@@ -171,22 +200,44 @@ impl BandwidthScaling {
     }
 }
 
+/// One cell per DRAM configuration over the memory-intensive subset. The
+/// engine memoizes each (workload, DRAM config) baseline across all kinds.
 fn bandwidth_scaling(figure: &str, kinds: &[PrefetcherKind], scale: &RunScale) -> BandwidthScaling {
-    let workloads = scale.select_workloads(memory_intensive_suite());
-    let mut points = Vec::new();
-    for (channels, speed) in SystemConfig::bandwidth_sweep() {
-        let config = SystemConfig::single_thread().with_dram(channels, speed);
-        let dram = DramConfig::with_speed(channels, speed);
-        let deltas = kinds
+    let sweep = SystemConfig::bandwidth_sweep();
+    let spec = CampaignSpec {
+        name: figure.to_owned(),
+        scale: None,
+        cells: sweep
             .iter()
-            .map(|kind| (*kind, perf_delta(&workloads, *kind, &config, scale)))
-            .collect();
-        points.push(BandwidthPoint {
-            dram: dram.label(),
-            peak_gbps: dram.peak_bandwidth_gbps(),
-            deltas,
-        });
-    }
+            .map(|&(channels, speed)| CellSpec {
+                label: DramConfig::with_speed(channels, speed).label(),
+                targets: TargetSelector::MemoryIntensive,
+                prefetchers: sels(kinds),
+                config: ConfigSpec::single_thread().with_dram(channels, speed),
+                baseline: true,
+            })
+            .collect(),
+    };
+    let result = run_figure_spec(&spec, scale);
+    let mut points: Vec<BandwidthPoint> = sweep
+        .iter()
+        .map(|&(channels, speed)| {
+            let dram = DramConfig::with_speed(channels, speed);
+            let label = dram.label();
+            let deltas = kinds
+                .iter()
+                .map(|kind| {
+                    let speedups = result.speedups(&label, kind.label());
+                    (*kind, geomean(&speedups) - 1.0)
+                })
+                .collect();
+            BandwidthPoint {
+                dram: label,
+                peak_gbps: dram.peak_bandwidth_gbps(),
+                deltas,
+            }
+        })
+        .collect();
     points.sort_by(|a, b| {
         a.peak_gbps
             .partial_cmp(&b.peak_gbps)
@@ -270,33 +321,32 @@ impl SmsStorageSweep {
     }
 }
 
-/// Figure 5: sweep the SMS PHT from 16 K entries down to 256.
+/// Figure 5: sweep the SMS PHT from 16 K entries down to 256. One campaign
+/// cell whose four columns are parameterized [`PrefetcherSel::SmsPht`]
+/// variants; each workload's baseline simulates once for all four sweep
+/// points (previously once per point).
 pub fn fig5_sms_storage_sweep(scale: &RunScale) -> SmsStorageSweep {
     use dspatch_prefetchers::{SmsConfig, SmsPrefetcher};
-    let workloads = scale.select_workloads(suite());
-    let config = SystemConfig::single_thread();
-    let rows = [16 * 1024, 4 * 1024, 1024, 256]
+    const PHT_SIZES: [usize; 4] = [16 * 1024, 4 * 1024, 1024, 256];
+    let spec = CampaignSpec::single_cell(
+        "Figure 5: SMS storage sweep",
+        CellSpec {
+            label: "suite".to_owned(),
+            targets: TargetSelector::Suite,
+            prefetchers: PHT_SIZES.into_iter().map(PrefetcherSel::SmsPht).collect(),
+            config: ConfigSpec::single_thread(),
+            baseline: true,
+        },
+    );
+    let result = run_figure_spec(&spec, scale);
+    let rows = PHT_SIZES
         .into_iter()
         .map(|entries| {
             let storage_kb = SmsPrefetcher::new(SmsConfig::with_pht_entries(entries)).storage_bits()
                 as f64
                 / 8.0
                 / 1024.0;
-            // Run SMS with this PHT size on every selected workload.
-            let speedups: Vec<f64> = workloads
-                .iter()
-                .map(|w| {
-                    let baseline = run_workload(w, PrefetcherKind::Baseline, &config, scale);
-                    let trace = w.generate(scale.accesses_per_workload);
-                    let result = dspatch_sim::SimulationBuilder::new(config.clone())
-                        .with_core(
-                            trace,
-                            Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(entries))),
-                        )
-                        .run();
-                    result.speedup_over(&baseline)
-                })
-                .collect();
+            let speedups = result.speedups("suite", &PrefetcherSel::SmsPht(entries).label());
             (entries, storage_kb, geomean(&speedups) - 1.0)
         })
         .collect();
@@ -343,7 +393,8 @@ impl DeltaCompressionStudy {
     }
 }
 
-/// Figure 11: pure trace analysis, no simulation.
+/// Figure 11: pure trace analysis, no simulation (and therefore the one
+/// figure that bypasses the campaign executor — there are no sims to run).
 pub fn fig11_delta_and_compression(scale: &RunScale) -> DeltaCompressionStudy {
     let workloads = scale.select_workloads(suite());
     let mut delta_total = 0u64;
@@ -436,18 +487,32 @@ pub fn fig13_memory_intensive(scale: &RunScale) -> MemoryIntensiveLine {
         PrefetcherKind::Spp,
         PrefetcherKind::DspatchPlusSpp,
     ];
-    let workloads = scale.select_workloads(memory_intensive_suite());
-    let config = SystemConfig::single_thread();
+    let spec = CampaignSpec::single_cell(
+        "Figure 13: memory-intensive workloads",
+        CellSpec {
+            label: "memory-intensive".to_owned(),
+            targets: TargetSelector::MemoryIntensive,
+            prefetchers: sels(&kinds),
+            config: ConfigSpec::single_thread(),
+            baseline: true,
+        },
+    );
+    let result = run_figure_spec(&spec, scale);
+    let names: Vec<String> = result
+        .rows_for_cell("memory-intensive")
+        .filter(|row| row.prefetcher == kinds[0].label())
+        .map(|row| row.target.clone())
+        .collect();
     let per_kind: Vec<Vec<f64>> = kinds
         .iter()
-        .map(|kind| speedups_over_baseline(&workloads, *kind, &config, scale))
+        .map(|kind| result.speedups("memory-intensive", kind.label()))
         .collect();
-    let mut rows: Vec<(String, Vec<f64>)> = workloads
-        .iter()
+    let mut rows: Vec<(String, Vec<f64>)> = names
+        .into_iter()
         .enumerate()
-        .map(|(i, w)| {
+        .map(|(i, name)| {
             (
-                w.name.clone(),
+                name,
                 per_kind.iter().map(|speedups| speedups[i] - 1.0).collect(),
             )
         })
@@ -505,7 +570,8 @@ impl CoverageReport {
 }
 
 /// Figure 16: coverage and misprediction fractions per category for the
-/// standalone line-up plus DSPatch+SPP.
+/// standalone line-up plus DSPatch+SPP. Coverage needs raw statistics, not
+/// speedups, so the cells run without baselines.
 pub fn fig16_coverage(scale: &RunScale) -> CoverageReport {
     let kinds = [
         PrefetcherKind::Bop,
@@ -513,15 +579,30 @@ pub fn fig16_coverage(scale: &RunScale) -> CoverageReport {
         PrefetcherKind::Spp,
         PrefetcherKind::DspatchPlusSpp,
     ];
-    let config = SystemConfig::single_thread();
+    let spec = CampaignSpec {
+        name: "Figure 16: coverage and mispredictions".to_owned(),
+        scale: None,
+        cells: WorkloadCategory::ALL
+            .into_iter()
+            .map(|category| CellSpec {
+                label: category.label().to_owned(),
+                targets: TargetSelector::Category(category),
+                prefetchers: sels(&kinds),
+                config: ConfigSpec::single_thread(),
+                baseline: false,
+            })
+            .collect(),
+    };
+    let result = run_figure_spec(&spec, scale);
     let mut rows = Vec::new();
     for category in WorkloadCategory::ALL {
-        let workloads = scale.select_workloads(category_suite(category));
         for kind in kinds {
             let mut acc = dspatch_sim::PrefetchAccounting::default();
-            for workload in &workloads {
-                let result = run_workload(workload, kind, &config, scale);
-                acc.merge(&result.total_accounting());
+            for row in result
+                .rows_for_cell(category.label())
+                .filter(|row| row.prefetcher == kind.label())
+            {
+                acc.merge(&result.sim_of(row).total_accounting());
             }
             rows.push((
                 category.label().to_owned(),
@@ -572,29 +653,25 @@ impl MultiProgrammedReport {
     }
 }
 
-fn multi_programmed(
-    label: &str,
-    mixes: &[dspatch_trace::WorkloadMix],
+/// Aggregates one mix cell of a multi-programmed campaign into the
+/// per-kind geomean rows of Figures 17/18.
+fn mix_rows(
+    result: &CampaignResult,
+    cell: &str,
     kinds: &[PrefetcherKind],
-    config: &SystemConfig,
-    scale: &RunScale,
 ) -> Vec<(String, PrefetcherKind, f64)> {
     kinds
         .iter()
         .map(|kind| {
-            let speedups: Vec<f64> = mixes
-                .iter()
-                .map(|mix| {
-                    let baseline = run_mix(mix, PrefetcherKind::Baseline, config, scale);
-                    run_mix(mix, *kind, config, scale).speedup_over(&baseline)
-                })
-                .collect();
-            (label.to_owned(), *kind, geomean(&speedups) - 1.0)
+            let speedups = result.speedups(cell, kind.label());
+            (cell.to_owned(), *kind, geomean(&speedups) - 1.0)
         })
         .collect()
 }
 
 /// Figure 17: homogeneous 4-core mixes on the dual-channel DDR4-2133 system.
+/// Mixes run through the same shared-queue parallel executor as single-thread
+/// workloads (they were fully serial before the Campaign redesign).
 pub fn fig17_homogeneous(scale: &RunScale) -> MultiProgrammedReport {
     let kinds = [
         PrefetcherKind::Bop,
@@ -602,10 +679,20 @@ pub fn fig17_homogeneous(scale: &RunScale) -> MultiProgrammedReport {
         PrefetcherKind::Spp,
         PrefetcherKind::DspatchPlusSpp,
     ];
-    let mixes = scale.select_mixes(homogeneous_mixes(4));
-    let config = SystemConfig::multi_programmed();
+    let label = "homogeneous DDR4-2133";
+    let spec = CampaignSpec::single_cell(
+        "Figure 17: homogeneous multi-programmed mixes",
+        CellSpec {
+            label: label.to_owned(),
+            targets: TargetSelector::HomogeneousMixes { cores: 4 },
+            prefetchers: sels(&kinds),
+            config: ConfigSpec::multi_programmed(),
+            baseline: true,
+        },
+    );
+    let result = run_figure_spec(&spec, scale);
     MultiProgrammedReport {
-        rows: multi_programmed("homogeneous DDR4-2133", &mixes, &kinds, &config, scale),
+        rows: mix_rows(&result, label, &kinds),
     }
 }
 
@@ -617,25 +704,38 @@ pub fn fig18_mixes_and_bandwidth(scale: &RunScale) -> MultiProgrammedReport {
         PrefetcherKind::Spp,
         PrefetcherKind::DspatchPlusSpp,
     ];
-    let homogeneous = scale.select_mixes(homogeneous_mixes(4));
-    let heterogeneous = scale.select_mixes(heterogeneous_mixes(75, 4, 0xD5));
+    let speeds = [DramSpeedGrade::Ddr4_2133, DramSpeedGrade::Ddr4_2400];
+    let mut cells = Vec::new();
+    for speed in speeds {
+        let config = ConfigSpec::multi_programmed().with_dram(2, speed);
+        cells.push(CellSpec {
+            label: format!("homogeneous DDR4-{}", speed.label()),
+            targets: TargetSelector::HomogeneousMixes { cores: 4 },
+            prefetchers: sels(&kinds),
+            config,
+            baseline: true,
+        });
+        cells.push(CellSpec {
+            label: format!("heterogeneous DDR4-{}", speed.label()),
+            targets: TargetSelector::HeterogeneousMixes {
+                count: 75,
+                cores: 4,
+                seed: 0xD5,
+            },
+            prefetchers: sels(&kinds),
+            config,
+            baseline: true,
+        });
+    }
+    let spec = CampaignSpec {
+        name: "Figure 18: mixes across DRAM speeds".to_owned(),
+        scale: None,
+        cells,
+    };
+    let result = run_figure_spec(&spec, scale);
     let mut rows = Vec::new();
-    for speed in [DramSpeedGrade::Ddr4_2133, DramSpeedGrade::Ddr4_2400] {
-        let config = SystemConfig::multi_programmed().with_dram(2, speed);
-        rows.extend(multi_programmed(
-            &format!("homogeneous DDR4-{}", speed.label()),
-            &homogeneous,
-            &kinds,
-            &config,
-            scale,
-        ));
-        rows.extend(multi_programmed(
-            &format!("heterogeneous DDR4-{}", speed.label()),
-            &heterogeneous,
-            &kinds,
-            &config,
-            scale,
-        ));
+    for cell in &spec.cells {
+        rows.extend(mix_rows(&result, &cell.label, &kinds));
     }
     MultiProgrammedReport { rows }
 }
@@ -675,11 +775,23 @@ pub fn fig19_ablation(scale: &RunScale) -> AblationReport {
         PrefetcherKind::AlwaysCovpPlusSpp,
         PrefetcherKind::ModCovpPlusSpp,
     ];
-    let workloads = scale.select_workloads(memory_intensive_suite());
-    let config = SystemConfig::single_thread().with_dram(1, DramSpeedGrade::Ddr4_1600);
+    let spec = CampaignSpec::single_cell(
+        "Figure 19: accuracy-biased-pattern ablation",
+        CellSpec {
+            label: "ablation".to_owned(),
+            targets: TargetSelector::MemoryIntensive,
+            prefetchers: sels(&kinds),
+            config: ConfigSpec::single_thread().with_dram(1, DramSpeedGrade::Ddr4_1600),
+            baseline: true,
+        },
+    );
+    let result = run_figure_spec(&spec, scale);
     let rows = kinds
         .iter()
-        .map(|kind| (*kind, perf_delta(&workloads, *kind, &config, scale)))
+        .map(|kind| {
+            let speedups = result.speedups("ablation", kind.label());
+            (*kind, geomean(&speedups) - 1.0)
+        })
         .collect();
     AblationReport { rows }
 }
@@ -712,22 +824,39 @@ impl PollutionReport {
 }
 
 /// Figure 20: run the streamer on the workload suite with 8, 4 and 2 MB LLCs
-/// and classify the victims of its prefetch fills.
+/// and classify the victims of its prefetch fills. Pure-statistics cells:
+/// no baselines are simulated.
 pub fn fig20_pollution(scale: &RunScale) -> PollutionReport {
-    let workloads = scale.select_workloads(memory_intensive_suite());
-    let mut rows = Vec::new();
-    for (label, bytes) in [("8MB", 8 << 20), ("4MB", 4 << 20), ("2MB", 2 << 20)] {
-        let config = SystemConfig::single_thread().with_llc_capacity(bytes);
-        let mut totals = dspatch_sim::PollutionBreakdown::default();
-        for workload in &workloads {
-            let result = run_workload(workload, PrefetcherKind::Streamer, &config, scale);
-            totals.no_reuse += result.pollution.no_reuse;
-            totals.prefetched_before_use += result.pollution.prefetched_before_use;
-            totals.bad_pollution += result.pollution.bad_pollution;
-        }
-        let (a, b, c) = totals.fractions();
-        rows.push((label.to_owned(), a, b, c));
-    }
+    const LLC_SIZES: [(&str, usize); 3] = [("8MB", 8 << 20), ("4MB", 4 << 20), ("2MB", 2 << 20)];
+    let spec = CampaignSpec {
+        name: "Figure 20: prefetch pollution".to_owned(),
+        scale: None,
+        cells: LLC_SIZES
+            .into_iter()
+            .map(|(label, bytes)| CellSpec {
+                label: label.to_owned(),
+                targets: TargetSelector::MemoryIntensive,
+                prefetchers: vec![PrefetcherSel::Kind(PrefetcherKind::Streamer)],
+                config: ConfigSpec::single_thread().with_llc_bytes(bytes),
+                baseline: false,
+            })
+            .collect(),
+    };
+    let result = run_figure_spec(&spec, scale);
+    let rows = LLC_SIZES
+        .into_iter()
+        .map(|(label, _)| {
+            let mut totals = dspatch_sim::PollutionBreakdown::default();
+            for row in result.rows_for_cell(label) {
+                let pollution = &result.sim_of(row).pollution;
+                totals.no_reuse += pollution.no_reuse;
+                totals.prefetched_before_use += pollution.prefetched_before_use;
+                totals.bad_pollution += pollution.bad_pollution;
+            }
+            let (a, b, c) = totals.fractions();
+            (label.to_owned(), a, b, c)
+        })
+        .collect();
     PollutionReport { rows }
 }
 
@@ -894,6 +1023,14 @@ mod tests {
             let sum = a + b + c;
             assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn fig5_sweeps_four_pht_sizes_with_one_baseline_each() {
+        let sweep = fig5_sms_storage_sweep(&tiny());
+        assert_eq!(sweep.rows.len(), 4);
+        // Rows are ordered largest PHT first and storage shrinks with it.
+        assert!(sweep.rows[0].1 > sweep.rows[3].1);
     }
 
     #[test]

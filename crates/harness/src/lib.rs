@@ -1,15 +1,17 @@
 //! Experiment harness reproducing every table and figure of the DSPatch
 //! paper's evaluation.
 //!
-//! Each `figNN_*` / `tableN_*` function in [`experiments`] regenerates the
-//! data behind one figure or table: it builds the workload suite
-//! (`dspatch-trace`), runs the simulator (`dspatch-sim`) with the relevant
-//! prefetcher line-up (`dspatch-prefetchers`, `dspatch`), and returns a
-//! structured result that renders to an ASCII table via
-//! [`report::Table`]. The [`runner::RunScale`] parameter controls how many
-//! workloads and how many accesses per workload are simulated, so the same
-//! code scales from a seconds-long smoke run (`RunScale::quick()`) to a
-//! laptop-scale full sweep (`RunScale::full()`).
+//! The heart of the crate is the [`campaign`] module: a declarative
+//! [`CampaignSpec`] describes a grid of (workload-or-mix × prefetcher ×
+//! system-config) cells, and one shared-queue parallel executor runs the grid with
+//! every baseline simulation **memoized** per (target, config). Each
+//! `figNN_*` / `tableN_*` function in [`experiments`] is a thin spec over
+//! that engine preserving its original signature, the [`figures`] registry
+//! names them all, and the `dspatch-lab` binary runs any named figure or a
+//! custom JSON spec file. The [`runner::RunScale`] parameter controls how
+//! many workloads and how many accesses per workload are simulated, so the
+//! same code scales from a seconds-long smoke run (`RunScale::smoke()`) to
+//! a laptop-scale full sweep (`RunScale::full()`).
 //!
 //! # Example
 //!
@@ -23,10 +25,16 @@
 //! assert!(fig11.plus_minus_one_fraction > 0.0);
 //! ```
 
+pub mod campaign;
 pub mod experiments;
+pub mod figures;
+pub mod json;
 pub mod perf;
 pub mod report;
 pub mod runner;
 
+pub use campaign::{CampaignResult, CampaignSpec, CellSpec};
+pub use figures::FigureId;
+pub use json::Json;
 pub use report::Table;
 pub use runner::{PrefetcherKind, RunScale};

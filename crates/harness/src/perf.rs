@@ -21,6 +21,7 @@
 //! trajectory. Numbers are comparable only within one machine/build
 //! environment; the JSON exists to catch *relative* regressions over time.
 
+use crate::json::Json;
 use dspatch_sim::{SimulationBuilder, SystemConfig};
 use dspatch_trace::{
     PatternGenerator, PointerChaseGen, SpatialPatternGen, StreamGen, Trace, TraceRecord,
@@ -63,28 +64,35 @@ pub struct SnapshotReport {
 }
 
 impl SnapshotReport {
-    /// Renders the report as the `BENCH_sim_throughput.json` document.
+    /// Renders the report as the `BENCH_sim_throughput.json` document,
+    /// through the workspace's single JSON emitter ([`crate::json`]).
     pub fn to_json(&self) -> String {
-        fn scenario(s: &ScenarioThroughput) -> String {
-            format!(
-                "{{\"accesses\": {}, \"cycles\": {}, \"wall_seconds\": {:.6}, \
-                 \"accesses_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}}}",
-                s.accesses,
-                s.cycles,
-                s.wall_seconds,
-                s.accesses_per_sec(),
-                s.cycles_per_sec()
-            )
+        fn scenario(s: &ScenarioThroughput) -> Json {
+            let round = crate::json::rounded;
+            Json::obj([
+                ("accesses", Json::num(s.accesses as f64)),
+                ("cycles", Json::num(s.cycles as f64)),
+                ("wall_seconds", Json::num(round(s.wall_seconds, 1e6))),
+                (
+                    "accesses_per_sec",
+                    Json::num(round(s.accesses_per_sec(), 10.0)),
+                ),
+                ("cycles_per_sec", Json::num(round(s.cycles_per_sec(), 10.0))),
+            ])
         }
-        format!(
-            "{{\n  \"benchmark\": \"sim_throughput\",\n  \
-             \"baseline_single_thread\": {},\n  \
-             \"dspatch_spp_single_thread\": {},\n  \
-             \"four_core\": {}\n}}\n",
-            scenario(&self.baseline_single_thread),
-            scenario(&self.dspatch_spp_single_thread),
-            scenario(&self.four_core)
-        )
+        Json::obj([
+            ("benchmark", Json::str("sim_throughput")),
+            (
+                "baseline_single_thread",
+                scenario(&self.baseline_single_thread),
+            ),
+            (
+                "dspatch_spp_single_thread",
+                scenario(&self.dspatch_spp_single_thread),
+            ),
+            ("four_core", scenario(&self.four_core)),
+        ])
+        .render()
     }
 
     /// One-line human-readable summary.
@@ -258,6 +266,14 @@ mod tests {
         assert!(json.contains("\"accesses_per_sec\""));
         assert!(json.contains("\"baseline_single_thread\""));
         assert!(json.contains("\"four_core\""));
+        let parsed = Json::parse(&json).expect("snapshot JSON is valid");
+        assert_eq!(
+            parsed
+                .get("baseline_single_thread")
+                .and_then(|s| s.get("accesses"))
+                .and_then(Json::as_u64),
+            Some(400)
+        );
         assert!(!report.summary().is_empty());
     }
 }

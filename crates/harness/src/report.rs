@@ -1,8 +1,10 @@
-//! Plain-text table rendering for experiment reports.
+//! Report rendering: aligned ASCII tables, CSV and JSON (through the
+//! workspace's single JSON emitter, [`crate::json`]).
 
+use crate::json::Json;
 use std::fmt;
 
-/// A simple column-aligned ASCII table.
+/// A simple column-aligned table renderable as plain text, CSV or JSON.
 ///
 /// # Example
 ///
@@ -12,6 +14,7 @@ use std::fmt;
 /// table.add_row(vec!["mcf".into(), "1.26".into()]);
 /// let text = table.render();
 /// assert!(text.contains("mcf") && text.contains("1.26"));
+/// assert!(table.to_csv().contains("mcf,1.26"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
@@ -49,19 +52,25 @@ impl Table {
         self.rows.push(row);
     }
 
-    /// Renders the table as aligned plain text.
+    /// Renders the table as aligned plain text. Column widths count
+    /// characters, not bytes, so multi-byte labels ("≥", "µ") do not skew
+    /// the alignment.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let width_of = |cell: &String| cell.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(width_of).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(width_of(cell));
             }
         }
         let render_row = |cells: &[String]| {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .map(|(i, c)| {
+                    let pad = widths[i].saturating_sub(c.chars().count());
+                    format!("{}{}", c, " ".repeat(pad))
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
@@ -79,6 +88,42 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+
+    /// Renders the table as RFC 4180 CSV: a header row then the data rows,
+    /// with fields containing commas, quotes or newlines quoted and embedded
+    /// quotes doubled. The title is not part of the CSV payload.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &String| {
+            if cell.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.clone()
+            }
+        };
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            out.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The table as a JSON document: `{"title", "headers", "rows"}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::str(&self.title)),
+            ("headers", Json::arr(self.headers.iter().map(Json::str))),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Json::arr(row.iter().map(Json::str)))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -113,6 +158,26 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_labels_do_not_skew_alignment() {
+        // "≥128B" is 5 characters but 7 bytes; byte-based widths used to pad
+        // the following column two cells too far right.
+        let mut t = Table::new("Align", vec!["range".into(), "v".into()]);
+        t.add_row(vec!["≥128B".into(), "1".into()]);
+        t.add_row(vec!["<128B".into(), "2".into()]);
+        let lines: Vec<String> = t.render().lines().skip(1).map(str::to_owned).collect();
+        let col_of = |line: &str| {
+            line.chars()
+                .rev()
+                .position(|c| !c.is_whitespace())
+                .map(|from_end| line.chars().count() - 1 - from_end)
+                .unwrap()
+        };
+        // The last column's single-character cells land on the same
+        // character column in every row.
+        assert_eq!(col_of(&lines[1]), col_of(&lines[2]));
+    }
+
+    #[test]
     #[should_panic(expected = "row width")]
     fn mismatched_row_is_rejected() {
         let mut t = Table::new("Demo", vec!["a".into()]);
@@ -129,5 +194,27 @@ mod tests {
     fn display_matches_render() {
         let t = Table::new("T", vec!["h".into()]);
         assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn csv_escapes_delimiters_and_quotes() {
+        let mut t = Table::new("CSV", vec!["name".into(), "value".into()]);
+        t.add_row(vec!["plain".into(), "1".into()]);
+        t.add_row(vec!["with,comma".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_form_parses_back() {
+        let mut t = Table::new("J", vec!["k".into()]);
+        t.add_row(vec!["v".into()]);
+        let json = t.to_json();
+        assert_eq!(json.get("title").and_then(Json::as_str), Some("J"));
+        let reparsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(reparsed, json);
     }
 }

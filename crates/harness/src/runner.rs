@@ -98,6 +98,55 @@ impl PrefetcherKind {
         }
     }
 
+    /// Stable lower-case spec-file name, accepted by [`PrefetcherKind::parse`]
+    /// and emitted when a campaign spec is serialized.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            PrefetcherKind::Baseline => "baseline",
+            PrefetcherKind::Bop => "bop",
+            PrefetcherKind::Ebop => "ebop",
+            PrefetcherKind::Sms => "sms",
+            PrefetcherKind::SmsIso => "sms_iso",
+            PrefetcherKind::Spp => "spp",
+            PrefetcherKind::Espp => "espp",
+            PrefetcherKind::Dspatch => "dspatch",
+            PrefetcherKind::DspatchPlusSpp => "dspatch_plus_spp",
+            PrefetcherKind::BopPlusSpp => "bop_plus_spp",
+            PrefetcherKind::EbopPlusSpp => "ebop_plus_spp",
+            PrefetcherKind::SmsIsoPlusSpp => "sms_iso_plus_spp",
+            PrefetcherKind::AlwaysCovpPlusSpp => "always_covp_plus_spp",
+            PrefetcherKind::ModCovpPlusSpp => "mod_covp_plus_spp",
+            PrefetcherKind::Streamer => "streamer",
+        }
+    }
+
+    /// Parses a kind from its spec name or display label (ASCII
+    /// case-insensitive), e.g. `"dspatch_plus_spp"` or `"DSPatch+SPP"`.
+    pub fn parse(name: &str) -> Option<PrefetcherKind> {
+        PrefetcherKind::ALL.into_iter().find(|kind| {
+            kind.spec_name().eq_ignore_ascii_case(name) || kind.label().eq_ignore_ascii_case(name)
+        })
+    }
+
+    /// Every kind, in the order they are documented above.
+    pub const ALL: [PrefetcherKind; 15] = [
+        PrefetcherKind::Baseline,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Ebop,
+        PrefetcherKind::Sms,
+        PrefetcherKind::SmsIso,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Espp,
+        PrefetcherKind::Dspatch,
+        PrefetcherKind::DspatchPlusSpp,
+        PrefetcherKind::BopPlusSpp,
+        PrefetcherKind::EbopPlusSpp,
+        PrefetcherKind::SmsIsoPlusSpp,
+        PrefetcherKind::AlwaysCovpPlusSpp,
+        PrefetcherKind::ModCovpPlusSpp,
+        PrefetcherKind::Streamer,
+    ];
+
     /// The standalone line-up of Figure 12.
     pub fn standalone_lineup() -> Vec<PrefetcherKind> {
         vec![
@@ -141,7 +190,7 @@ impl RunScale {
             accesses_per_workload: 1_200,
             workloads_per_category: 1,
             mixes: 2,
-            threads: 4,
+            threads: default_threads(),
         }
     }
 
@@ -152,7 +201,7 @@ impl RunScale {
             accesses_per_workload: 6_000,
             workloads_per_category: 2,
             mixes: 4,
-            threads: 8,
+            threads: default_threads(),
         }
     }
 
@@ -162,8 +211,25 @@ impl RunScale {
             accesses_per_workload: 40_000,
             workloads_per_category: 0,
             mixes: 0,
-            threads: 8,
+            threads: default_threads(),
         }
+    }
+
+    /// Looks up a preset by name ("smoke", "quick" or "full").
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "quick" => Some(Self::quick()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// Overrides the worker-thread count (presets default to
+    /// [`default_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Applies the per-category workload cap to a workload list.
@@ -218,46 +284,45 @@ pub fn run_mix(
     builder.run()
 }
 
+/// The default worker-thread count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Per-workload speedups of `kind` over the no-L2-prefetcher baseline, in
-/// workload order. Workloads are distributed across `scale.threads` threads.
+/// workload order.
+///
+/// This is a thin wrapper over the campaign executor
+/// ([`crate::campaign::run_cells`]): the (workload, baseline) and
+/// (workload, kind) simulations are deduplicated, memoized and drained by a
+/// self-scheduling pool of `scale.threads` workers.
 pub fn speedups_over_baseline(
     workloads: &[WorkloadSpec],
     kind: PrefetcherKind,
     config: &SystemConfig,
     scale: &RunScale,
 ) -> Vec<f64> {
-    let threads = scale.threads.max(1);
-    let chunk_size = workloads.len().div_ceil(threads).max(1);
-    let results: Vec<(usize, f64)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_index, chunk) in workloads.chunks(chunk_size).enumerate() {
-            let config = config.clone();
-            let scale = *scale;
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, workload)| {
-                        let baseline =
-                            run_workload(workload, PrefetcherKind::Baseline, &config, &scale);
-                        let candidate = run_workload(workload, kind, &config, &scale);
-                        (
-                            chunk_index * chunk_size + i,
-                            candidate.speedup_over(&baseline),
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        let mut all = Vec::new();
-        for handle in handles {
-            all.extend(handle.join().expect("worker thread panicked"));
-        }
-        all
-    });
-    let mut ordered = results;
-    ordered.sort_by_key(|(i, _)| *i);
-    ordered.into_iter().map(|(_, s)| s).collect()
+    use crate::campaign::{run_cells, PrefetcherSel, ResolvedCell, Target};
+    let cell = ResolvedCell {
+        label: "all".to_owned(),
+        targets: workloads.iter().cloned().map(Target::Workload).collect(),
+        prefetchers: vec![PrefetcherSel::Kind(kind)],
+        config: config.clone(),
+        config_label: String::new(),
+        baseline: true,
+    };
+    let result = run_cells("speedups_over_baseline", &[cell], scale);
+    result
+        .rows
+        .iter()
+        .map(|row| {
+            result
+                .speedup(row)
+                .expect("baseline cells always carry speedups")
+        })
+        .collect()
 }
 
 /// Geometric mean of a slice of speedups.
@@ -286,27 +351,13 @@ mod tests {
     use dspatch_trace::workloads::suite;
 
     #[test]
-    fn every_kind_builds_a_prefetcher() {
-        for kind in [
-            PrefetcherKind::Baseline,
-            PrefetcherKind::Bop,
-            PrefetcherKind::Ebop,
-            PrefetcherKind::Sms,
-            PrefetcherKind::SmsIso,
-            PrefetcherKind::Spp,
-            PrefetcherKind::Espp,
-            PrefetcherKind::Dspatch,
-            PrefetcherKind::DspatchPlusSpp,
-            PrefetcherKind::BopPlusSpp,
-            PrefetcherKind::EbopPlusSpp,
-            PrefetcherKind::SmsIsoPlusSpp,
-            PrefetcherKind::AlwaysCovpPlusSpp,
-            PrefetcherKind::ModCovpPlusSpp,
-            PrefetcherKind::Streamer,
-        ] {
+    fn every_kind_builds_a_prefetcher_and_parses_back() {
+        for kind in PrefetcherKind::ALL {
             let prefetcher = kind.build();
             assert!(!kind.label().is_empty());
             assert!(!prefetcher.name().is_empty());
+            assert_eq!(PrefetcherKind::parse(kind.spec_name()), Some(kind));
+            assert_eq!(PrefetcherKind::parse(kind.label()), Some(kind));
         }
     }
 

@@ -43,4 +43,4 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 pub use config::{CoreConfig, DramConfig, DramSpeedGrade, SystemConfig};
 pub use dram::{BandwidthTracker, Dram, DramStats};
 pub use stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult};
-pub use system::{Machine, SimulationBuilder};
+pub use system::{simulations_started, Machine, SimulationBuilder};

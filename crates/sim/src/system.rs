@@ -202,9 +202,21 @@ impl SimulationBuilder {
     /// Panics if no cores were added, more cores were added than the
     /// configuration allows, or the configuration is invalid.
     pub fn run(self) -> SimResult {
+        SIMULATIONS_STARTED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut machine = Machine::new(self.config, self.cores);
         machine.run()
     }
+}
+
+/// Process-wide count of simulations started, see [`simulations_started`].
+static SIMULATIONS_STARTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide count of [`SimulationBuilder::run`] invocations since the
+/// process started. Purely diagnostic: the experiment harness's tests use
+/// the delta across a campaign to prove baseline runs are memoized rather
+/// than re-simulated per prefetcher column.
+pub fn simulations_started() -> u64 {
+    SIMULATIONS_STARTED.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// The simulated machine.

@@ -1,0 +1,99 @@
+//! End-to-end tests of the `dspatch-lab` binary: a paper figure and a
+//! custom spec file, in all three output formats.
+
+use dspatch_harness::Json;
+use std::process::Command;
+
+fn dspatch_lab(args: &[&str]) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "dspatch-harness",
+            "--bin",
+            "dspatch-lab",
+            "--",
+        ])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn dspatch-lab {args:?}: {e}"));
+    assert!(
+        output.status.success(),
+        "dspatch-lab {args:?} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn runs_a_paper_figure_in_every_format() {
+    // Table 1 and Figure 11 need no simulation, keeping the test quick while
+    // still exercising the figure registry end to end.
+    let table = dspatch_lab(&["--figure", "table1", "--format", "table"]);
+    assert!(table.contains("SPT"));
+
+    let json = dspatch_lab(&["--figure", "table1", "--format", "json"]);
+    let parsed = Json::parse(&json).expect("figure JSON is valid");
+    assert_eq!(
+        parsed.get("title").and_then(Json::as_str),
+        Some("Table 1: DSPatch storage overhead")
+    );
+
+    let csv = dspatch_lab(&["--figure", "fig11", "--format", "csv"]);
+    assert!(csv.lines().next().unwrap().contains("Metric,Value"));
+}
+
+#[test]
+fn runs_a_custom_spec_file_in_every_format() {
+    let spec = r#"{
+        "name": "cli smoke",
+        "scale": {"accesses_per_workload": 500, "workloads_per_category": 1, "mixes": 1, "threads": 2},
+        "cells": [{
+            "label": "cloud",
+            "targets": {"category": "cloud"},
+            "prefetchers": ["spp", "dspatch_plus_spp"],
+            "config": {"base": "single_thread"},
+            "baseline": true
+        }]
+    }"#;
+    let dir = std::env::temp_dir().join("dspatch-lab-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("spec.json");
+    std::fs::write(&path, spec).expect("write spec");
+    let path = path.to_str().expect("utf-8 temp path");
+
+    let json = dspatch_lab(&["--spec", path, "--format", "json"]);
+    let parsed = Json::parse(&json).expect("campaign JSON is valid");
+    assert_eq!(
+        parsed.get("campaign").and_then(Json::as_str),
+        Some("cli smoke")
+    );
+    // 1 workload × (1 memoized baseline + 2 candidates).
+    assert_eq!(
+        parsed
+            .get("stats")
+            .and_then(|s| s.get("sims_run"))
+            .and_then(Json::as_u64),
+        Some(3)
+    );
+
+    let csv = dspatch_lab(&["--spec", path, "--format", "csv"]);
+    assert!(csv.starts_with("Cell,Target,Config,Prefetcher"));
+    assert_eq!(csv.lines().count(), 3, "header + one row per prefetcher");
+
+    let table = dspatch_lab(&["--spec", path, "--format", "table"]);
+    assert!(table.contains("DSPatch+SPP") && table.contains("Speedup"));
+}
+
+#[test]
+fn template_spec_round_trips_through_the_parser() {
+    let template = dspatch_lab(&["--template"]);
+    let spec = dspatch_harness::CampaignSpec::parse(&template).expect("template parses");
+    assert_eq!(spec.name, "example campaign");
+    assert_eq!(spec.cells.len(), 2);
+}

@@ -49,3 +49,8 @@ fn bandwidth_adaptive_runs_to_completion() {
 fn multicore_mix_runs_to_completion() {
     run_example("multicore_mix");
 }
+
+#[test]
+fn custom_campaign_runs_to_completion() {
+    run_example("custom_campaign");
+}
