@@ -1,24 +1,33 @@
-//! `dspatch-lab`: run any paper figure or a custom campaign spec file.
+//! `dspatch-lab`: run any paper figure, a custom campaign spec file, or an
+//! external trace file.
 //!
 //! Usage:
 //!
 //! ```text
 //! dspatch-lab --figure fig12 [--scale smoke|quick|full] [--format table|json|csv]
 //! dspatch-lab --spec my_campaign.json [--scale ...] [--format ...] [--threads N]
-//! dspatch-lab --list        # named figures
+//! dspatch-lab --trace-file foo.champsim.txt [--prefetchers spp,dspatch_plus_spp]
+//! dspatch-lab --list        # figures, workloads and scale presets
 //! dspatch-lab --template    # print an example spec file
 //! ```
 //!
 //! Figures render their paper-shaped table; spec files render the raw
-//! campaign rows. `--out PATH` writes the report to a file instead of
-//! stdout. `--scale` beats a spec file's embedded `"scale"`; the default is
-//! `smoke`. `--threads` overrides the worker count (presets default to the
-//! machine's available parallelism).
+//! campaign rows. `--trace-file` replays an external trace (native `DSPT`
+//! binary or ChampSim-style text, auto-detected from the magic bytes)
+//! through the single-thread configuration under the baseline plus every
+//! requested prefetcher — the file streams through the simulator with O(1)
+//! memory, so multi-gigabyte traces are fine. `--out PATH` writes the
+//! report to a file instead of stdout. `--scale` beats a spec file's
+//! embedded `"scale"`; the default is `smoke`. `--threads` overrides the
+//! worker count (presets default to the machine's available parallelism).
 
 use dspatch_harness::campaign::run_campaign;
 use dspatch_harness::figures::FigureId;
-use dspatch_harness::runner::RunScale;
-use dspatch_harness::CampaignSpec;
+use dspatch_harness::runner::{PrefetcherKind, RunScale};
+use dspatch_harness::{CampaignSpec, Table};
+use dspatch_sim::{SimulationBuilder, SystemConfig};
+use dspatch_trace::io::open_trace_source;
+use dspatch_trace::suite;
 
 enum Format {
     Table,
@@ -28,9 +37,9 @@ enum Format {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dspatch-lab (--figure NAME | --spec FILE.json | --list | --template)\n\
+        "usage: dspatch-lab (--figure NAME | --spec FILE.json | --trace-file FILE | --list | --template)\n\
          \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
-         \x20                [--threads N] [--out PATH]"
+         \x20                [--threads N] [--prefetchers KIND[,KIND...]] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -43,6 +52,8 @@ fn fail(message: &str) -> ! {
 fn main() {
     let mut figure: Option<String> = None;
     let mut spec_path: Option<String> = None;
+    let mut trace_file: Option<String> = None;
+    let mut prefetchers: Option<String> = None;
     let mut scale_name: Option<String> = None;
     let mut format = Format::Table;
     let mut threads: Option<usize> = None;
@@ -59,6 +70,8 @@ fn main() {
         match arg.as_str() {
             "--figure" => figure = Some(value("--figure")),
             "--spec" => spec_path = Some(value("--spec")),
+            "--trace-file" => trace_file = Some(value("--trace-file")),
+            "--prefetchers" => prefetchers = Some(value("--prefetchers")),
             "--scale" => scale_name = Some(value("--scale")),
             "--format" => {
                 format = match value("--format").as_str() {
@@ -86,25 +99,41 @@ fn main() {
         }
     }
 
+    let run_modes = usize::from(figure.is_some())
+        + usize::from(spec_path.is_some())
+        + usize::from(trace_file.is_some());
     // --list and --template produce their document through the same `out`
     // sink as the run modes, so `--template --out spec.json` works.
-    if (list || template) && (figure.is_some() || spec_path.is_some()) {
-        fail("--list/--template cannot be combined with --figure/--spec");
+    if (list || template) && run_modes > 0 {
+        fail("--list/--template cannot be combined with --figure/--spec/--trace-file");
     }
     if list && template {
         fail("--list and --template are mutually exclusive");
     }
+    if run_modes > 1 {
+        fail("--figure, --spec and --trace-file are mutually exclusive");
+    }
+    if prefetchers.is_some() && trace_file.is_none() {
+        fail("--prefetchers only applies to --trace-file");
+    }
+    // Replay always runs the whole file once per prefetcher on one thread,
+    // so silently accepting these flags would mislead.
+    if trace_file.is_some() && (scale_name.is_some() || threads.is_some()) {
+        fail("--scale/--threads do not apply to --trace-file (the whole trace replays once per prefetcher)");
+    }
     let report = if list {
-        let mut listing = String::new();
-        for id in FigureId::ALL {
-            listing.push_str(&format!("{:8} {}\n", id.name(), id.description()));
-        }
-        listing
+        inventory()
     } else if template {
         CampaignSpec::template().to_json().render()
+    } else if let Some(path) = &trace_file {
+        let table = replay_trace_file(path, prefetchers.as_deref());
+        match format {
+            Format::Table => table.render(),
+            Format::Json => table.to_json().render(),
+            Format::Csv => table.to_csv(),
+        }
     } else {
         match (&figure, &spec_path) {
-            (Some(_), Some(_)) => fail("--figure and --spec are mutually exclusive"),
             (None, None) => usage(),
             (Some(name), None) => {
                 let id = FigureId::parse(name)
@@ -140,6 +169,7 @@ fn main() {
                     Format::Csv => result.to_csv(),
                 }
             }
+            (Some(_), Some(_)) => unreachable!("mutual exclusion checked above"),
         }
     };
 
@@ -151,6 +181,123 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
+}
+
+/// The `--list` inventory: figures, workloads and scale presets, so a typo
+/// in `--figure fig12` or a spec file's workload name has somewhere to look.
+fn inventory() -> String {
+    let mut listing = String::from("Figures:\n");
+    for id in FigureId::ALL {
+        listing.push_str(&format!("  {:8} {}\n", id.name(), id.description()));
+    }
+    listing.push_str("\nWorkloads (by category; * = memory-intensive subset):\n");
+    let workloads = suite();
+    for category in dspatch_trace::WorkloadCategory::ALL {
+        let names: Vec<String> = workloads
+            .iter()
+            .filter(|w| w.category == category)
+            .map(|w| {
+                if w.memory_intensive {
+                    format!("{}*", w.name)
+                } else {
+                    w.name.clone()
+                }
+            })
+            .collect();
+        listing.push_str(&format!("  {:8} {}\n", category.label(), names.join(", ")));
+    }
+    listing.push_str("\nScale presets:\n");
+    for name in ["smoke", "quick", "full"] {
+        let scale = RunScale::preset(name).expect("preset names are fixed");
+        let per_category = match scale.workloads_per_category {
+            0 => "all workloads/category".to_owned(),
+            n => format!("{n} workload(s)/category"),
+        };
+        let mixes = match scale.mixes {
+            0 => "all mixes".to_owned(),
+            n => format!("{n} mixes"),
+        };
+        listing.push_str(&format!(
+            "  {:8} {} accesses/workload, {per_category}, {mixes}\n",
+            name, scale.accesses_per_workload
+        ));
+    }
+    listing.push_str("\nPrefetchers (for --prefetchers and spec files):\n  ");
+    let kinds: Vec<&str> = PrefetcherKind::ALL.iter().map(|k| k.spec_name()).collect();
+    listing.push_str(&kinds.join(", "));
+    listing.push('\n');
+    listing
+}
+
+/// Replays an external trace file under the baseline and every requested
+/// prefetcher, streaming the file once per run via `TraceSource::fork`.
+fn replay_trace_file(path: &str, prefetchers: Option<&str>) -> Table {
+    let source = open_trace_source(std::path::Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot open trace {path}: {e}")));
+    let meta = source.meta();
+    let kinds: Vec<PrefetcherKind> = prefetchers
+        .unwrap_or("dspatch_plus_spp")
+        .split(',')
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
+        .map(|name| {
+            PrefetcherKind::parse(name)
+                .unwrap_or_else(|| fail(&format!("unknown prefetcher '{name}' (see --list)")))
+        })
+        .collect();
+    if kinds.is_empty() {
+        fail("--prefetchers needs at least one prefetcher name");
+    }
+    let config = SystemConfig::single_thread();
+    let run = |kind: PrefetcherKind| {
+        SimulationBuilder::new(config.clone())
+            .with_core(source.fork(), kind.build())
+            .run()
+    };
+    eprintln!(
+        "replaying '{}' ({} accesses{}) under {} prefetcher(s) + baseline",
+        meta.name,
+        meta.accesses.value(),
+        if meta.accesses.is_exact() {
+            ""
+        } else {
+            ", estimated"
+        },
+        kinds.len(),
+    );
+    let baseline = run(PrefetcherKind::Baseline);
+    let mut table = Table::new(
+        format!(
+            "External trace replay: {} ({} accesses)",
+            meta.name,
+            meta.accesses.value()
+        ),
+        vec![
+            "Prefetcher".into(),
+            "IPC".into(),
+            "Speedup".into(),
+            "Coverage".into(),
+            "Accuracy".into(),
+        ],
+    );
+    let mut add_row = |label: &str, result: &dspatch_sim::SimResult| {
+        let accounting = result.total_accounting();
+        table.add_row(vec![
+            label.to_owned(),
+            format!("{:.3}", result.cores[0].ipc()),
+            format!("{:.4}x", result.speedup_over(&baseline)),
+            format!("{:.1}%", accounting.coverage() * 100.0),
+            format!("{:.1}%", accounting.accuracy() * 100.0),
+        ]);
+    };
+    add_row(PrefetcherKind::Baseline.label(), &baseline);
+    for kind in kinds {
+        if kind == PrefetcherKind::Baseline {
+            continue; // already the reference row
+        }
+        add_row(kind.label(), &run(kind));
+    }
+    table
 }
 
 /// `--scale` wins, then a spec file's embedded scale, then smoke.

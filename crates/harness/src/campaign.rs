@@ -1085,18 +1085,21 @@ struct Job {
 
 impl Job {
     fn run(&self, scale: &RunScale) -> SimResult {
+        // Workloads stream into the machine as lazy sources: a campaign's
+        // resident memory is independent of `accesses_per_workload`, however
+        // many workers run concurrently.
         let mut builder = SimulationBuilder::new(self.config.clone());
         match &self.target {
             Target::Workload(workload) => {
                 builder = builder.with_core(
-                    workload.generate(scale.accesses_per_workload),
+                    workload.source(scale.accesses_per_workload),
                     self.sel.build(),
                 );
             }
             Target::Mix(mix) => {
                 for workload in &mix.workloads {
                     builder = builder.with_core(
-                        workload.generate(scale.accesses_per_workload),
+                        workload.source(scale.accesses_per_workload),
                         self.sel.build(),
                     );
                 }

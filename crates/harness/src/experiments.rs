@@ -19,6 +19,7 @@ use crate::runner::{geomean, PrefetcherKind, RunScale};
 use dspatch::{CompressedPattern, DsPatch, DsPatchConfig, SpatialPattern, StorageBreakdown};
 use dspatch_sim::{DramConfig, DramSpeedGrade, SystemConfig};
 use dspatch_trace::workloads::{category_suite, suite, WorkloadCategory};
+use dspatch_trace::TraceSource;
 use dspatch_types::{Prefetcher, LINES_PER_PAGE};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -403,11 +404,13 @@ pub fn fig11_delta_and_compression(scale: &RunScale) -> DeltaCompressionStudy {
     let mut buckets = [0u64; 6];
     let mut pages_total = 0u64;
     for workload in &workloads {
-        let trace = workload.generate(scale.accesses_per_workload);
+        // The analysis is a single forward pass, so the workload streams
+        // through it record by record — no trace is materialized.
+        let mut source = workload.source(scale.accesses_per_workload);
         // Per-page delta statistics and access patterns.
         let mut last_offset: BTreeMap<u64, usize> = BTreeMap::new();
         let mut patterns: BTreeMap<u64, SpatialPattern> = BTreeMap::new();
-        for record in &trace {
+        while let Some(record) = source.next_record() {
             let page = record.addr.page().as_u64();
             let offset = record.addr.page_line_offset();
             if let Some(previous) = last_offset.insert(page, offset) {
@@ -921,11 +924,11 @@ pub fn table3_prefetcher_storage() -> Table {
 pub fn dspatch_introspection(scale: &RunScale) -> Table {
     let workloads = scale.select_workloads(category_suite(WorkloadCategory::Cloud));
     let workload = &workloads[0];
-    let trace = workload.generate(scale.accesses_per_workload);
+    let mut source = workload.source(scale.accesses_per_workload);
     let mut prefetcher = DsPatch::new(DsPatchConfig::default());
     let ctx = dspatch_types::PrefetchContext::default();
     let mut sink = dspatch_types::PrefetchSink::new();
-    for record in &trace {
+    while let Some(record) = source.next_record() {
         sink.clear();
         prefetcher.on_access(&record.to_access(), &ctx, &mut sink);
     }

@@ -24,7 +24,8 @@
 use crate::json::Json;
 use dspatch_sim::{SimulationBuilder, SystemConfig};
 use dspatch_trace::{
-    PatternGenerator, PointerChaseGen, SpatialPatternGen, StreamGen, Trace, TraceRecord,
+    ChainSource, GeneratorSpec, IntoTraceSource, PatternGenerator, PointerChaseGen,
+    SpatialPatternGen, StreamGen, SynthSource, Trace, TraceSource,
 };
 use dspatch_types::Prefetcher;
 use std::time::Instant;
@@ -52,13 +53,19 @@ impl ScenarioThroughput {
     }
 }
 
-/// The result of one snapshot run: all three fixed scenarios.
+/// The result of one snapshot run: all four fixed scenarios.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SnapshotReport {
     /// One core, baseline configuration (no L2 prefetcher).
     pub baseline_single_thread: ScenarioThroughput,
-    /// One core running DSPatch+SPP.
+    /// One core running DSPatch+SPP over a **materialized** trace.
     pub dspatch_spp_single_thread: ScenarioThroughput,
+    /// The same workload and prefetcher as `dspatch_spp_single_thread`, fed
+    /// through the **streaming** `TraceSource` path (records generated
+    /// lazily, O(1) trace memory). Comparing the two rows prices the
+    /// streaming layer directly: same records, same machine, different
+    /// delivery.
+    pub streaming_single_thread: ScenarioThroughput,
     /// Four cores (DSPatch+SPP each) sharing LLC and DRAM.
     pub four_core: ScenarioThroughput,
 }
@@ -90,6 +97,10 @@ impl SnapshotReport {
                 "dspatch_spp_single_thread",
                 scenario(&self.dspatch_spp_single_thread),
             ),
+            (
+                "streaming_single_thread",
+                scenario(&self.streaming_single_thread),
+            ),
             ("four_core", scenario(&self.four_core)),
         ])
         .render()
@@ -98,11 +109,13 @@ impl SnapshotReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "baseline 1T: {:.0} acc/s ({:.2} Mcyc/s) | DSPatch+SPP 1T: {:.0} acc/s ({:.2} Mcyc/s) | 4-core: {:.0} acc/s ({:.2} Mcyc/s)",
+            "baseline 1T: {:.0} acc/s ({:.2} Mcyc/s) | DSPatch+SPP 1T: {:.0} acc/s ({:.2} Mcyc/s) | streaming 1T: {:.0} acc/s ({:.2} Mcyc/s) | 4-core: {:.0} acc/s ({:.2} Mcyc/s)",
             self.baseline_single_thread.accesses_per_sec(),
             self.baseline_single_thread.cycles_per_sec() / 1e6,
             self.dspatch_spp_single_thread.accesses_per_sec(),
             self.dspatch_spp_single_thread.cycles_per_sec() / 1e6,
+            self.streaming_single_thread.accesses_per_sec(),
+            self.streaming_single_thread.cycles_per_sec() / 1e6,
             self.four_core.accesses_per_sec(),
             self.four_core.cycles_per_sec() / 1e6,
         )
@@ -117,35 +130,55 @@ impl SnapshotReport {
 /// snapshot's compute-to-memory ratio is representative of the figures'
 /// experiments rather than an artificially access-dense stress test.
 pub fn snapshot_single_trace(accesses: usize) -> Trace {
+    dspatch_trace::collect_source(&mut snapshot_single_source(accesses))
+}
+
+/// The streaming form of [`snapshot_single_trace`] — which is defined as
+/// this source collected, so the two agree bit for bit and the phase knobs
+/// live in exactly one place. Feeding this to the simulator prices the
+/// streaming layer against the materialized path.
+pub fn snapshot_single_source(accesses: usize) -> ChainSource {
     let third = accesses / 3;
-    let mut records: Vec<TraceRecord> = Vec::with_capacity(accesses);
-    records.extend(
-        StreamGen {
-            streams: 2,
-            gap: 48,
-            store_percent: 10,
-        }
-        .generate_records(0xD5, third),
-    );
-    records.extend(
-        SpatialPatternGen {
-            layouts: 8,
-            density: 12,
-            reorder_window: 4,
-            working_set_pages: 1 << 16,
-            gap: 40,
-        }
-        .generate_records(0xD5 + 1, third),
-    );
-    records.extend(
-        PointerChaseGen {
-            nodes: 1 << 14,
-            node_bytes: 192,
-            gap: 36,
-        }
-        .generate_records(0xD5 + 2, accesses - 2 * third),
-    );
-    Trace::new("perf-snapshot-single", records)
+    let phases: [(GeneratorSpec, u64, usize); 3] = [
+        (
+            GeneratorSpec::Stream(StreamGen {
+                streams: 2,
+                gap: 48,
+                store_percent: 10,
+            }),
+            0xD5,
+            third,
+        ),
+        (
+            GeneratorSpec::Spatial(SpatialPatternGen {
+                layouts: 8,
+                density: 12,
+                reorder_window: 4,
+                working_set_pages: 1 << 16,
+                gap: 40,
+            }),
+            0xD5 + 1,
+            third,
+        ),
+        (
+            GeneratorSpec::PointerChase(PointerChaseGen {
+                nodes: 1 << 14,
+                node_bytes: 192,
+                gap: 36,
+            }),
+            0xD5 + 2,
+            accesses - 2 * third,
+        ),
+    ];
+    ChainSource::new(
+        "perf-snapshot-single",
+        phases
+            .into_iter()
+            .map(|(spec, seed, len)| {
+                Box::new(SynthSource::new("phase", spec, seed, len)) as Box<dyn TraceSource>
+            })
+            .collect(),
+    )
 }
 
 /// The four per-core traces of the fixed multi-programmed snapshot.
@@ -186,11 +219,14 @@ fn baseline() -> Box<dyn Prefetcher> {
     Box::new(dspatch_types::NullPrefetcher::new())
 }
 
-fn run_single(trace: Trace, prefetcher: Box<dyn Prefetcher>) -> ScenarioThroughput {
-    let count = trace.records.len() as u64;
+fn run_single(
+    source: impl IntoTraceSource,
+    count: u64,
+    prefetcher: Box<dyn Prefetcher>,
+) -> ScenarioThroughput {
     measure(count, move || {
         SimulationBuilder::new(SystemConfig::single_thread())
-            .with_core(trace, prefetcher)
+            .with_core(source, prefetcher)
             .run()
             .cycles
     })
@@ -198,12 +234,27 @@ fn run_single(trace: Trace, prefetcher: Box<dyn Prefetcher>) -> ScenarioThroughp
 
 /// Runs the baseline single-thread snapshot scenario once and times it.
 pub fn run_baseline_snapshot(accesses: usize) -> ScenarioThroughput {
-    run_single(snapshot_single_trace(accesses), baseline())
+    run_single(snapshot_single_trace(accesses), accesses as u64, baseline())
 }
 
 /// Runs the DSPatch+SPP single-thread snapshot scenario once and times it.
 pub fn run_single_thread_snapshot(accesses: usize) -> ScenarioThroughput {
-    run_single(snapshot_single_trace(accesses), dspatch_plus_spp())
+    run_single(
+        snapshot_single_trace(accesses),
+        accesses as u64,
+        dspatch_plus_spp(),
+    )
+}
+
+/// Runs the streaming variant of the DSPatch+SPP single-thread scenario —
+/// identical records delivered through the lazy `TraceSource` path — once
+/// and times it.
+pub fn run_streaming_snapshot(accesses: usize) -> ScenarioThroughput {
+    run_single(
+        snapshot_single_source(accesses),
+        accesses as u64,
+        dspatch_plus_spp(),
+    )
 }
 
 /// Runs the 4-core snapshot scenario once and times it.
@@ -236,6 +287,7 @@ pub fn run_snapshot(
     SnapshotReport {
         baseline_single_thread: best(&|| run_baseline_snapshot(single_accesses)),
         dspatch_spp_single_thread: best(&|| run_single_thread_snapshot(single_accesses)),
+        streaming_single_thread: best(&|| run_streaming_snapshot(single_accesses)),
         four_core: best(&|| run_four_core_snapshot(per_core_accesses)),
     }
 }
@@ -256,15 +308,35 @@ mod tests {
     }
 
     #[test]
+    fn streaming_snapshot_source_matches_the_materialized_trace() {
+        let trace = snapshot_single_trace(601);
+        let mut source = snapshot_single_source(601);
+        assert_eq!(
+            dspatch_trace::collect_source(&mut source).records,
+            trace.records
+        );
+        use dspatch_trace::TraceSource;
+        assert_eq!(source.meta().accesses.value(), 601);
+    }
+
+    #[test]
     fn snapshot_runs_and_reports_json() {
         let report = run_snapshot(400, 200, 1);
         assert_eq!(report.baseline_single_thread.accesses, 400);
         assert_eq!(report.dspatch_spp_single_thread.accesses, 400);
+        assert_eq!(report.streaming_single_thread.accesses, 400);
         assert_eq!(report.four_core.accesses, 800);
         assert!(report.dspatch_spp_single_thread.cycles > 0);
+        // Same records, same machine: the streaming and materialized rows
+        // must simulate the same number of cycles.
+        assert_eq!(
+            report.streaming_single_thread.cycles,
+            report.dspatch_spp_single_thread.cycles
+        );
         let json = report.to_json();
         assert!(json.contains("\"accesses_per_sec\""));
         assert!(json.contains("\"baseline_single_thread\""));
+        assert!(json.contains("\"streaming_single_thread\""));
         assert!(json.contains("\"four_core\""));
         let parsed = Json::parse(&json).expect("snapshot JSON is valid");
         assert_eq!(

@@ -256,21 +256,23 @@ impl RunScale {
     }
 }
 
-/// Runs one single-thread workload with the given prefetcher kind.
+/// Runs one single-thread workload with the given prefetcher kind. The
+/// workload streams into the simulator as a lazy [`dspatch_trace::SynthSource`]
+/// — no trace is materialized, so memory stays O(1) in
+/// `scale.accesses_per_workload`.
 pub fn run_workload(
     workload: &WorkloadSpec,
     kind: PrefetcherKind,
     config: &SystemConfig,
     scale: &RunScale,
 ) -> SimResult {
-    let trace = workload.generate(scale.accesses_per_workload);
     SimulationBuilder::new(config.clone())
-        .with_core(trace, kind.build())
+        .with_core(workload.source(scale.accesses_per_workload), kind.build())
         .run()
 }
 
 /// Runs one 4-core multi-programmed mix with the same prefetcher kind on
-/// every core.
+/// every core. Each core streams its workload lazily (O(1) memory per core).
 pub fn run_mix(
     mix: &WorkloadMix,
     kind: PrefetcherKind,
@@ -279,7 +281,7 @@ pub fn run_mix(
 ) -> SimResult {
     let mut builder = SimulationBuilder::new(config.clone());
     for workload in &mix.workloads {
-        builder = builder.with_core(workload.generate(scale.accesses_per_workload), kind.build());
+        builder = builder.with_core(workload.source(scale.accesses_per_workload), kind.build());
     }
     builder.run()
 }

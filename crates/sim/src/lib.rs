@@ -19,16 +19,28 @@
 //! * [`config`] — Table 2 parameters and the DRAM speed grid of Figures 1,
 //!   6 and 15.
 //!
+//! Traces reach the machine through the pull-based
+//! [`dspatch_trace::TraceSource`] API, so a core holds O(1) trace state
+//! however long the run: synthetic workloads are generated lazily, files
+//! stream through a buffered reader, and an owned [`dspatch_trace::Trace`]
+//! still works as the materialized adapter source.
+//!
 //! # Example
 //!
 //! ```
 //! use dspatch_sim::{SimulationBuilder, SystemConfig};
-//! use dspatch_trace::{StreamGen, PatternGenerator, Trace};
+//! use dspatch_trace::{GeneratorSpec, StreamGen, SynthSource};
 //! use dspatch_types::NullPrefetcher;
 //!
-//! let trace = Trace::new("stream", StreamGen::default().generate_records(1, 2_000));
+//! // A lazily-evaluated streaming source: no trace is ever materialized.
+//! let source = SynthSource::new(
+//!     "stream",
+//!     GeneratorSpec::Stream(StreamGen::default()),
+//!     1,
+//!     2_000,
+//! );
 //! let result = SimulationBuilder::new(SystemConfig::single_thread())
-//!     .with_core(trace, Box::new(NullPrefetcher::new()))
+//!     .with_core(source, Box::new(NullPrefetcher::new()))
 //!     .run();
 //! assert!(result.cores[0].ipc() > 0.0);
 //! ```

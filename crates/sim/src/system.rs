@@ -26,7 +26,7 @@ use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult};
 use dspatch_prefetchers::{StrideConfig, StridePrefetcher};
-use dspatch_trace::{Trace, TraceRecord};
+use dspatch_trace::{IntoTraceSource, TraceRecord, TraceSource};
 use dspatch_types::{
     CoreId, FillLevel, LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, PrefetchSink,
     Prefetcher,
@@ -65,8 +65,12 @@ struct RobEntry {
 struct CoreState {
     id: usize,
     workload: String,
-    records: Vec<TraceRecord>,
-    next_record: usize,
+    /// Pull-based record supply: the machine holds O(1) trace state however
+    /// long the run (an owned `Trace` arrives as the materialized adapter).
+    source: Box<dyn TraceSource>,
+    /// One-record lookahead: the next record to issue, already pulled so
+    /// its `gap` is known during the preceding gap-allocation phase.
+    pending: Option<TraceRecord>,
     gap_remaining: u32,
     /// Run-length-compressed, in-order ROB; `rob_len` tracks the summed
     /// instruction count (the occupancy the 224-entry bound applies to).
@@ -118,7 +122,7 @@ impl std::fmt::Debug for CoreState {
             .field("id", &self.id)
             .field("workload", &self.workload)
             .field("prefetcher", &self.l2_prefetcher.name())
-            .field("next_record", &self.next_record)
+            .field("pending", &self.pending)
             .field("finished", &self.finished)
             .finish()
     }
@@ -176,7 +180,7 @@ impl PollutionTracker {
 /// See the [crate-level documentation](crate).
 pub struct SimulationBuilder {
     config: SystemConfig,
-    cores: Vec<(Trace, Box<dyn Prefetcher>)>,
+    cores: Vec<(Box<dyn TraceSource>, Box<dyn Prefetcher>)>,
 }
 
 impl SimulationBuilder {
@@ -188,10 +192,17 @@ impl SimulationBuilder {
         }
     }
 
-    /// Adds a core running `trace` with `l2_prefetcher` attached to its L2.
+    /// Adds a core pulling records from `source` with `l2_prefetcher`
+    /// attached to its L2. Accepts any [`TraceSource`] (lazy synthetic
+    /// workloads, file-backed traces) or an owned [`dspatch_trace::Trace`],
+    /// which becomes the materialized adapter source.
     #[must_use]
-    pub fn with_core(mut self, trace: Trace, l2_prefetcher: Box<dyn Prefetcher>) -> Self {
-        self.cores.push((trace, l2_prefetcher));
+    pub fn with_core(
+        mut self,
+        source: impl IntoTraceSource,
+        l2_prefetcher: Box<dyn Prefetcher>,
+    ) -> Self {
+        self.cores.push((source.into_trace_source(), l2_prefetcher));
         self
     }
 
@@ -239,7 +250,10 @@ pub struct Machine {
 }
 
 impl Machine {
-    fn new(config: SystemConfig, core_setup: Vec<(Trace, Box<dyn Prefetcher>)>) -> Self {
+    fn new(
+        config: SystemConfig,
+        core_setup: Vec<(Box<dyn TraceSource>, Box<dyn Prefetcher>)>,
+    ) -> Self {
         config.validate().expect("invalid system configuration");
         assert!(!core_setup.is_empty(), "simulation needs at least one core");
         assert!(
@@ -251,13 +265,15 @@ impl Machine {
         let cores = core_setup
             .into_iter()
             .enumerate()
-            .map(|(id, (trace, l2_prefetcher))| {
-                let gap = trace.records.first().map_or(0, |r| r.gap);
+            .map(|(id, (mut source, l2_prefetcher))| {
+                let workload = source.meta().name;
+                let pending = source.next_record();
+                let gap = pending.map_or(0, |r| r.gap);
                 CoreState {
                     id,
-                    workload: trace.name.clone(),
-                    records: trace.records,
-                    next_record: 0,
+                    workload,
+                    source,
+                    pending,
                     gap_remaining: gap,
                     rob: std::collections::VecDeque::with_capacity(config.core.rob_entries),
                     rob_len: 0,
@@ -401,7 +417,7 @@ impl Machine {
         let width = self.config.core.width;
         let rob_entries = self.config.core.rob_entries;
         let head = core.rob.front().map(|e| e.completion);
-        let has_records = core.next_record < core.records.len();
+        let has_records = core.pending.is_some();
 
         if has_records && core.gap_remaining > 0 {
             // Gap-allocation phase: closed-form for whole cycles of `width`
@@ -487,7 +503,7 @@ impl Machine {
     ) {
         // The guard must classify the core exactly as `core_skip_allowance`
         // did: only a core in the gap-allocation phase evolves during a skip.
-        if core.finished || core.gap_remaining == 0 || core.next_record >= core.records.len() {
+        if core.finished || core.gap_remaining == 0 || core.pending.is_none() {
             return;
         }
         let gap_cycles = u64::from(core.gap_remaining) / width as u64;
@@ -612,7 +628,7 @@ impl Machine {
                 }
             }
             core.drain_load_completions(cycle);
-            if core.next_record >= core.records.len() && core.rob_len == 0 {
+            if core.pending.is_none() && core.rob_len == 0 {
                 core.finished = true;
                 core.finish_cycle = cycle;
                 return;
@@ -623,7 +639,7 @@ impl Machine {
         let mut allocated = 0;
         while allocated < width {
             let core = &self.cores[index];
-            if core.rob_len >= rob_entries || core.next_record >= core.records.len() {
+            if core.rob_len >= rob_entries || core.pending.is_none() {
                 break;
             }
             if core.gap_remaining > 0 {
@@ -642,7 +658,7 @@ impl Machine {
             if core.load_completions.len() >= load_buffer {
                 break;
             }
-            let record = core.records[core.next_record];
+            let record = core.pending.expect("pending checked above");
             // A dependent (pointer-chasing) access cannot start before the
             // previous memory access has produced its value.
             let issue_cycle = if record.dependent {
@@ -656,8 +672,8 @@ impl Machine {
             core.rob_push(completion, 1);
             core.load_completions.push(Reverse(completion));
             core.instructions += 1;
-            core.next_record += 1;
-            core.gap_remaining = core.records.get(core.next_record).map_or(0, |r| r.gap);
+            core.pending = core.source.next_record();
+            core.gap_remaining = core.pending.map_or(0, |r| r.gap);
             allocated += 1;
         }
     }
@@ -924,7 +940,7 @@ mod tests {
     use super::*;
     use crate::config::DramSpeedGrade;
     use dspatch_prefetchers::{StreamConfig, StreamPrefetcher};
-    use dspatch_trace::{PatternGenerator, SpatialPatternGen, StreamGen};
+    use dspatch_trace::{PatternGenerator, SpatialPatternGen, StreamGen, Trace};
     use dspatch_types::NullPrefetcher;
 
     fn stream_trace(len: usize, seed: u64) -> Trace {
@@ -942,9 +958,9 @@ mod tests {
         )
     }
 
-    fn run_single(trace: Trace, prefetcher: Box<dyn Prefetcher>) -> SimResult {
+    fn run_single(source: impl IntoTraceSource, prefetcher: Box<dyn Prefetcher>) -> SimResult {
         SimulationBuilder::new(SystemConfig::single_thread())
-            .with_core(trace, prefetcher)
+            .with_core(source, prefetcher)
             .run()
     }
 
@@ -1204,6 +1220,27 @@ mod tests {
         .with_core(stream_trace(3_000, 31), Box::new(NullPrefetcher::new()))
         .run();
         assert!(fast.cores[0].ipc() >= slow.cores[0].ipc() * 0.99);
+    }
+
+    #[test]
+    fn streaming_and_materialized_paths_are_bit_identical() {
+        use dspatch_trace::{GeneratorSpec, SynthSource};
+        let spec = GeneratorSpec::Spatial(SpatialPatternGen {
+            layouts: 8,
+            density: 12,
+            reorder_window: 4,
+            working_set_pages: 1 << 16,
+            gap: 20,
+        });
+        let materialized = run_single(
+            Trace::new("golden", spec.generate_records(13, 4_000)),
+            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+        );
+        let streamed = run_single(
+            SynthSource::new("golden", spec, 13, 4_000).into_trace_source(),
+            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+        );
+        assert_eq!(materialized, streamed);
     }
 
     #[test]

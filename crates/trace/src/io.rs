@@ -1,7 +1,7 @@
-//! A small binary on-disk trace format.
+//! On-disk trace formats: the native binary format plus streaming,
+//! file-backed [`TraceSource`]s so external traces replay with O(1) memory.
 //!
-//! Traces can be expensive to generate for long runs; this module lets the
-//! harness cache them. The format is deliberately simple and versioned:
+//! ## Native binary format (`DSPT`)
 //!
 //! ```text
 //! magic "DSPT"  | u32 version | u32 name_len | name bytes
@@ -10,13 +10,43 @@
 //! `flags` bit 0 is the store bit, bit 1 the dependent-load bit.
 //! ```
 //!
-//! All integers are little-endian.
+//! All integers are little-endian. [`write_trace`] / [`read_trace`]
+//! materialize whole traces (caching small ones is still convenient);
+//! [`FileTraceSource`] streams the same format record by record through a
+//! buffered reader, so a multi-gigabyte trace costs a few kilobytes of
+//! resident memory.
+//!
+//! ## ChampSim-style text format
+//!
+//! [`ChampsimTextSource`] imports the line-oriented text form commonly used
+//! to exchange memory-access traces: one access per line,
+//!
+//! ```text
+//! <pc> <addr> <L|S> [gap] [D]
+//! ```
+//!
+//! where `pc` and `addr` are decimal or `0x`-prefixed hex, the kind accepts
+//! `L`/`R`/`LOAD`/`READ` and `S`/`W`/`STORE`/`WRITE` (case-insensitive),
+//! `gap` is the optional decimal count of non-memory instructions before
+//! the access, and a trailing `D` marks the access dependent on its
+//! predecessor. Blank lines and `#` comments are skipped. The whole file is
+//! validated (and its record/instruction counts established) in one
+//! constant-memory pass at open time, so `dspatch-lab --trace-file` reports
+//! malformed lines with their line number before any simulation starts.
+//!
+//! [`open_trace_source`] sniffs the magic bytes and picks the right reader,
+//! so callers never dispatch on file extensions.
 
 use crate::record::{Trace, TraceRecord};
-use std::io::{self, Read, Write};
+use crate::source::{LengthHint, TraceMeta, TraceSource};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"DSPT";
 const VERSION: u32 = 1;
+/// On-disk bytes per record: pc (8) + addr (8) + flags (1) + gap (4).
+const RECORD_BYTES: u64 = 21;
 
 /// Writes a trace to `writer` in the binary format.
 ///
@@ -31,13 +61,57 @@ pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
     writer.write_all(name)?;
     writer.write_all(&(trace.records.len() as u64).to_le_bytes())?;
     for record in &trace.records {
-        writer.write_all(&record.pc.as_u64().to_le_bytes())?;
-        writer.write_all(&record.addr.as_u64().to_le_bytes())?;
-        let flags = u8::from(!record.kind.is_load()) | (u8::from(record.dependent) << 1);
-        writer.write_all(&[flags])?;
-        writer.write_all(&record.gap.to_le_bytes())?;
+        write_record(&mut writer, record)?;
     }
     Ok(())
+}
+
+fn write_record<W: Write>(writer: &mut W, record: &TraceRecord) -> io::Result<()> {
+    writer.write_all(&record.pc.as_u64().to_le_bytes())?;
+    writer.write_all(&record.addr.as_u64().to_le_bytes())?;
+    let flags = u8::from(!record.kind.is_load()) | (u8::from(record.dependent) << 1);
+    writer.write_all(&[flags])?;
+    writer.write_all(&record.gap.to_le_bytes())
+}
+
+/// Parses the fixed header, returning `(name, record_count)`.
+fn read_header<R: Read>(reader: &mut R) -> io::Result<(String, u64)> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a DSPT trace file",
+        ));
+    }
+    let version = read_u32(reader)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let name_len = read_u32(reader)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    reader.read_exact(&mut name_bytes)?;
+    let name =
+        String::from_utf8(name_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let count = read_u64(reader)?;
+    Ok((name, count))
+}
+
+fn read_record<R: Read>(reader: &mut R) -> io::Result<TraceRecord> {
+    let pc = read_u64(reader)?;
+    let addr = read_u64(reader)?;
+    let mut flags = [0u8; 1];
+    reader.read_exact(&mut flags)?;
+    let gap = read_u32(reader)?;
+    let record = if flags[0] & 1 == 0 {
+        TraceRecord::load(pc, addr)
+    } else {
+        TraceRecord::store(pc, addr)
+    };
+    Ok(record.with_gap(gap).with_dependent(flags[0] & 2 != 0))
 }
 
 /// Reads a trace previously written by [`write_trace`].
@@ -47,42 +121,10 @@ pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
 /// Returns an error if the stream is truncated, the magic number or version
 /// does not match, or the embedded name is not valid UTF-8.
 pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Trace> {
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a DSPT trace file",
-        ));
-    }
-    let version = read_u32(&mut reader)?;
-    if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {version}"),
-        ));
-    }
-    let name_len = read_u32(&mut reader)? as usize;
-    let mut name_bytes = vec![0u8; name_len];
-    reader.read_exact(&mut name_bytes)?;
-    let name =
-        String::from_utf8(name_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    let count = read_u64(&mut reader)? as usize;
-    let mut records = Vec::with_capacity(count.min(1 << 24));
+    let (name, count) = read_header(&mut reader)?;
+    let mut records = Vec::with_capacity((count as usize).min(1 << 24));
     for _ in 0..count {
-        let pc = read_u64(&mut reader)?;
-        let addr = read_u64(&mut reader)?;
-        let mut flags = [0u8; 1];
-        reader.read_exact(&mut flags)?;
-        let gap = read_u32(&mut reader)?;
-        let record = if flags[0] & 1 == 0 {
-            TraceRecord::load(pc, addr)
-        } else {
-            TraceRecord::store(pc, addr)
-        }
-        .with_gap(gap)
-        .with_dependent(flags[0] & 2 != 0);
-        records.push(record);
+        records.push(read_record(&mut reader)?);
     }
     Ok(Trace::new(name, records))
 }
@@ -119,9 +161,356 @@ pub fn load_trace(path: &std::path::Path) -> io::Result<Trace> {
     read_trace(io::BufReader::new(file))
 }
 
+/// A streaming [`TraceSource`] over a `DSPT` binary trace file: the header
+/// is parsed and the file size validated at open time, after which records
+/// are decoded one at a time through a buffered reader — resident memory is
+/// the buffer, not the trace.
+pub struct FileTraceSource {
+    path: PathBuf,
+    reader: BufReader<File>,
+    name: String,
+    record_count: u64,
+    records_start: u64,
+    read: u64,
+}
+
+impl FileTraceSource {
+    /// Opens a binary trace file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened, the header is
+    /// malformed, or the file size does not match the header's record count
+    /// (a truncated or overgrown file).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let mut reader = BufReader::new(file);
+        let (name, record_count) = read_header(&mut reader)?;
+        let records_start = (4 + 4 + 4 + name.len() + 8) as u64;
+        // Checked arithmetic: a corrupt header with a record count near
+        // u64::MAX must be a clean InvalidData, not an overflow.
+        let expected = record_count
+            .checked_mul(RECORD_BYTES)
+            .and_then(|bytes| bytes.checked_add(records_start));
+        let actual = std::fs::metadata(&path)?.len();
+        if expected != Some(actual) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: header promises {record_count} records but the file is {actual} bytes",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(Self {
+            path,
+            reader,
+            name,
+            record_count,
+            records_start,
+            read: 0,
+        })
+    }
+
+    /// The path the source reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::fmt::Debug for FileTraceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileTraceSource")
+            .field("path", &self.path)
+            .field("name", &self.name)
+            .field("record_count", &self.record_count)
+            .field("read", &self.read)
+            .finish()
+    }
+}
+
+impl TraceSource for FileTraceSource {
+    /// # Panics
+    ///
+    /// Panics if the file shrinks or errors underneath the reader after the
+    /// open-time size validation (e.g. it was modified mid-run).
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.read >= self.record_count {
+            return None;
+        }
+        let record = read_record(&mut self.reader).unwrap_or_else(|e| {
+            panic!(
+                "{}: record {} unreadable after open-time validation \
+                 (file changed mid-run?): {e}",
+                self.path.display(),
+                self.read
+            )
+        });
+        self.read += 1;
+        Some(record)
+    }
+
+    fn reset(&mut self) {
+        self.reader
+            .seek(SeekFrom::Start(self.records_start))
+            .unwrap_or_else(|e| panic!("{}: seek failed: {e}", self.path.display()));
+        self.read = 0;
+    }
+
+    fn fork(&self) -> Box<dyn TraceSource> {
+        Box::new(Self::open(&self.path).unwrap_or_else(|e| {
+            panic!(
+                "{}: reopening for fork failed (file changed mid-run?): {e}",
+                self.path.display()
+            )
+        }))
+    }
+
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: self.name.clone(),
+            accesses: LengthHint::Exact(self.record_count),
+            instructions: None,
+        }
+    }
+}
+
+/// A streaming [`TraceSource`] over a ChampSim-style text trace (see the
+/// module docs for the accepted line format). The open-time validation pass
+/// streams the whole file once — O(1) memory — counting records and
+/// instructions and rejecting the first malformed line with its number, so
+/// replay itself cannot fail on syntax.
+pub struct ChampsimTextSource {
+    path: PathBuf,
+    reader: BufReader<File>,
+    name: String,
+    record_count: u64,
+    instructions: u64,
+    emitted: u64,
+    line: String,
+}
+
+impl ChampsimTextSource {
+    /// Opens and validates a text trace file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be opened or any line fails to
+    /// parse (the message carries `path:line`).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let name = path
+            .file_stem()
+            .map(|stem| stem.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "champsim-trace".to_owned());
+        // Validation pass: parse every line, count records and instructions.
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut line = String::new();
+        let mut line_no = 0u64;
+        let mut record_count = 0u64;
+        let mut instructions = 0u64;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            line_no += 1;
+            match parse_champsim_line(&line) {
+                Ok(Some(record)) => {
+                    record_count += 1;
+                    instructions += record.instructions();
+                }
+                Ok(None) => {}
+                Err(message) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}:{line_no}: {message}", path.display()),
+                    ));
+                }
+            }
+        }
+        reader.seek(SeekFrom::Start(0))?;
+        Ok(Self {
+            path,
+            reader,
+            name,
+            record_count,
+            instructions,
+            emitted: 0,
+            line,
+        })
+    }
+
+    /// The path the source reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::fmt::Debug for ChampsimTextSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChampsimTextSource")
+            .field("path", &self.path)
+            .field("name", &self.name)
+            .field("record_count", &self.record_count)
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+impl TraceSource for ChampsimTextSource {
+    /// # Panics
+    ///
+    /// Panics if the file changes underneath the reader after the open-time
+    /// validation pass.
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        while self.emitted < self.record_count {
+            self.line.clear();
+            let bytes = self
+                .reader
+                .read_line(&mut self.line)
+                .unwrap_or_else(|e| panic!("{}: read failed: {e}", self.path.display()));
+            if bytes == 0 {
+                panic!(
+                    "{}: ended after {} of {} records although open-time validation \
+                     saw them all (file changed mid-run?)",
+                    self.path.display(),
+                    self.emitted,
+                    self.record_count
+                );
+            }
+            match parse_champsim_line(&self.line) {
+                Ok(Some(record)) => {
+                    self.emitted += 1;
+                    return Some(record);
+                }
+                Ok(None) => {}
+                Err(message) => panic!(
+                    "{}: line unparsable after open-time validation \
+                     (file changed mid-run?): {message}",
+                    self.path.display()
+                ),
+            }
+        }
+        None
+    }
+
+    fn reset(&mut self) {
+        self.reader
+            .seek(SeekFrom::Start(0))
+            .unwrap_or_else(|e| panic!("{}: seek failed: {e}", self.path.display()));
+        self.emitted = 0;
+    }
+
+    fn fork(&self) -> Box<dyn TraceSource> {
+        // Reopen the file but reuse the already-established counts: the
+        // open-time validation pass must not repeat per fork (the harness
+        // forks once per prefetcher, and the file can be huge).
+        let file = File::open(&self.path).unwrap_or_else(|e| {
+            panic!(
+                "{}: reopening for fork failed (file changed mid-run?): {e}",
+                self.path.display()
+            )
+        });
+        Box::new(Self {
+            path: self.path.clone(),
+            reader: BufReader::new(file),
+            name: self.name.clone(),
+            record_count: self.record_count,
+            instructions: self.instructions,
+            emitted: 0,
+            line: String::new(),
+        })
+    }
+
+    fn meta(&self) -> TraceMeta {
+        TraceMeta {
+            name: self.name.clone(),
+            accesses: LengthHint::Exact(self.record_count),
+            instructions: Some(self.instructions),
+        }
+    }
+}
+
+/// Parses one text-trace line: `Ok(None)` for blanks and comments,
+/// `Ok(Some(record))` for an access, `Err(message)` otherwise.
+fn parse_champsim_line(line: &str) -> Result<Option<TraceRecord>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let pc = parse_number(fields.next().ok_or("missing pc field")?)
+        .ok_or_else(|| format!("bad pc in '{line}'"))?;
+    let addr = parse_number(fields.next().ok_or("missing address field")?)
+        .ok_or_else(|| format!("bad address in '{line}'"))?;
+    let kind = fields.next().ok_or("missing kind field (L or S)")?;
+    let record = match kind.to_ascii_uppercase().as_str() {
+        "L" | "R" | "LOAD" | "READ" => TraceRecord::load(pc, addr),
+        "S" | "W" | "STORE" | "WRITE" => TraceRecord::store(pc, addr),
+        other => return Err(format!("unknown access kind '{other}' (use L or S)")),
+    };
+    let mut record = record;
+    let mut next = fields.next();
+    if let Some(field) = next {
+        if let Ok(gap) = field.parse::<u32>() {
+            record = record.with_gap(gap);
+            next = fields.next();
+        }
+    }
+    if let Some(field) = next {
+        if field.eq_ignore_ascii_case("d") || field.eq_ignore_ascii_case("dep") {
+            record = record.with_dependent(true);
+            next = fields.next();
+        } else {
+            return Err(format!("unexpected trailing field '{field}'"));
+        }
+    }
+    if let Some(field) = next {
+        return Err(format!("unexpected trailing field '{field}'"));
+    }
+    Ok(Some(record))
+}
+
+/// Parses a decimal or `0x`-prefixed hex integer.
+fn parse_number(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Opens a trace file as a streaming source, sniffing the format from the
+/// magic bytes: `DSPT` selects the binary reader, anything else the
+/// ChampSim-style text importer.
+///
+/// # Errors
+///
+/// Returns any error from opening or validating the file in the selected
+/// format.
+pub fn open_trace_source(path: impl AsRef<Path>) -> io::Result<Box<dyn TraceSource>> {
+    let path = path.as_ref();
+    let mut magic = [0u8; 4];
+    let mut file = File::open(path)?;
+    let sniffed = match file.read_exact(&mut magic) {
+        Ok(()) => &magic == MAGIC,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => false,
+        Err(e) => return Err(e),
+    };
+    drop(file);
+    if sniffed {
+        Ok(Box::new(FileTraceSource::open(path)?))
+    } else {
+        Ok(Box::new(ChampsimTextSource::open(path)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::collect_source;
 
     fn sample_trace() -> Trace {
         Trace::new(
@@ -134,6 +523,13 @@ mod tests {
                     .with_dependent(true),
             ],
         )
+    }
+
+    fn temp_path(label: &str, extension: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dspatch_trace_io_{label}_{}.{extension}",
+            std::process::id()
+        ))
     }
 
     #[test]
@@ -179,12 +575,109 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir();
-        let path = dir.join(format!("dspatch_trace_io_test_{}.dspt", std::process::id()));
+        let path = temp_path("file_round_trip", "dspt");
         let trace = sample_trace();
         save_trace(&trace, &path).expect("save");
         let loaded = load_trace(&path).expect("load");
         std::fs::remove_file(&path).ok();
         assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn file_source_streams_identically_to_load_trace() {
+        let path = temp_path("file_source", "dspt");
+        let trace = sample_trace();
+        save_trace(&trace, &path).expect("save");
+        let mut source = FileTraceSource::open(&path).expect("open");
+        let meta = source.meta();
+        assert_eq!(meta.name, "sample");
+        assert_eq!(meta.accesses, LengthHint::Exact(3));
+        assert_eq!(collect_source(&mut source), trace);
+        assert!(source.next_record().is_none());
+        source.reset();
+        assert_eq!(collect_source(&mut source), trace);
+        let mut forked = source.fork();
+        assert_eq!(collect_source(forked.as_mut()), trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_rejects_truncated_files() {
+        let path = temp_path("file_source_truncated", "dspt");
+        let trace = sample_trace();
+        save_trace(&trace, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+        let err = FileTraceSource::open(&path).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn champsim_text_round_trips_every_field() {
+        let path = temp_path("champsim", "txt");
+        std::fs::write(
+            &path,
+            "# pc addr kind gap dep\n\
+             0x400100 0x70000000 L 5\n\
+             0x400104 0x70000040 S\n\
+             \n\
+             4194568 0x70001000 load 100 D\n",
+        )
+        .expect("write text trace");
+        let mut source = ChampsimTextSource::open(&path).expect("open");
+        let meta = source.meta();
+        assert_eq!(meta.accesses, LengthHint::Exact(3));
+        // 3 accesses + gaps of 5 and 100.
+        assert_eq!(meta.instructions, Some(108));
+        let collected = collect_source(&mut source);
+        let mut expected = sample_trace();
+        expected.name = meta.name.clone();
+        assert_eq!(collected, expected);
+        source.reset();
+        assert_eq!(collect_source(&mut source), expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn champsim_text_reports_malformed_lines_with_numbers() {
+        let path = temp_path("champsim_bad", "txt");
+        std::fs::write(&path, "0x400 0x1000 L\nnot a record\n").expect("write");
+        let err = ChampsimTextSource::open(&path).expect_err("must reject");
+        let message = err.to_string();
+        assert!(message.contains(":2:"), "got: {message}");
+        std::fs::remove_file(&path).ok();
+
+        for bad in [
+            "0x400 0x1000 X\n",
+            "0x400\n",
+            "0x400 0x1000 L 5 D extra\n",
+            "0x400 0x1000 L what\n",
+        ] {
+            std::fs::write(&path, bad).expect("write");
+            assert!(
+                ChampsimTextSource::open(&path).is_err(),
+                "should reject: {bad:?}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_trace_source_sniffs_the_format() {
+        let binary_path = temp_path("sniff_binary", "trace");
+        save_trace(&sample_trace(), &binary_path).expect("save");
+        let mut source = open_trace_source(&binary_path).expect("open binary");
+        assert_eq!(source.meta().name, "sample");
+        assert_eq!(collect_source(source.as_mut()), sample_trace());
+        std::fs::remove_file(&binary_path).ok();
+
+        let text_path = temp_path("sniff_text", "champsim.txt");
+        std::fs::write(&text_path, "0x400 0x1000 L 2\n").expect("write");
+        let source = open_trace_source(&text_path).expect("open text");
+        assert_eq!(source.meta().accesses, LengthHint::Exact(1));
+        std::fs::remove_file(&text_path).ok();
+
+        assert!(open_trace_source(temp_path("missing", "nope")).is_err());
     }
 }

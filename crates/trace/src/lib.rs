@@ -11,12 +11,18 @@
 //!
 //! * [`TraceRecord`] / [`Trace`] — the trace representation consumed by the
 //!   simulator (`dspatch-sim`).
-//! * [`synth`] — the pattern generators.
+//! * [`source`] — the streaming [`TraceSource`] API: pull-based,
+//!   O(1)-memory trace delivery (lazy synthetic sources, the owned-trace
+//!   adapter, chained sources). This is how the simulator consumes traces;
+//!   materializing a `Trace` is only needed for random-access analysis.
+//! * [`synth`] — the pattern generators, each an incremental
+//!   [`RecordStream`] whose materialized form is the stream collected.
 //! * [`workloads`] — the named 75-workload suite, its 9 categories
 //!   (Table 4) and the 42-workload memory-intensive subset.
 //! * [`mixes`] — homogeneous and heterogeneous 4-core mixes for the
 //!   multi-programmed experiments (Figures 17 and 18).
-//! * [`io`] — a small binary on-disk format for saving and reloading traces.
+//! * [`io`] — a small binary on-disk format plus streaming file-backed
+//!   sources (native binary and ChampSim-style text importers).
 //!
 //! # Example
 //!
@@ -33,13 +39,18 @@
 pub mod io;
 pub mod mixes;
 pub mod record;
+pub mod source;
 pub mod synth;
 pub mod workloads;
 
 pub use mixes::{heterogeneous_mixes, homogeneous_mixes, WorkloadMix};
 pub use record::{Trace, TraceRecord};
+pub use source::{
+    collect_source, ChainSource, IntoTraceSource, LengthHint, MaterializedSource, SynthSource,
+    TraceMeta, TraceSource,
+};
 pub use synth::{
-    CodeHeavyGen, IrregularGen, MixedGen, PatternGenerator, PointerChaseGen, SpatialPatternGen,
-    StreamGen, StridedGen,
+    CodeHeavyGen, GeneratorSpec, IrregularGen, MixedGen, PatternGenerator, PointerChaseGen,
+    RecordStream, SpatialPatternGen, StreamGen, StridedGen,
 };
 pub use workloads::{memory_intensive_suite, suite, WorkloadCategory, WorkloadSpec};

@@ -119,6 +119,31 @@ mod tests {
     }
 
     #[test]
+    fn cores_are_consistent_across_all_generated_mixes() {
+        for cores in 1..=6 {
+            for mix in homogeneous_mixes(cores) {
+                assert_eq!(mix.cores(), cores, "{}", mix.name);
+            }
+            for mix in heterogeneous_mixes(15, cores, 0xD5) {
+                assert_eq!(mix.cores(), cores, "{}", mix.name);
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mixes_draw_only_memory_intensive_workloads() {
+        let pool: std::collections::BTreeSet<String> = memory_intensive_suite()
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        for mix in heterogeneous_mixes(30, 4, 7) {
+            for workload in &mix.workloads {
+                assert!(pool.contains(&workload.name), "{}", workload.name);
+            }
+        }
+    }
+
+    #[test]
     fn mix_names_are_unique() {
         let mixes = homogeneous_mixes(4);
         let mut names: Vec<&str> = mixes.iter().map(|m| m.name.as_str()).collect();

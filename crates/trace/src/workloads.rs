@@ -8,6 +8,7 @@
 //! `DESIGN.md` for the substitution argument).
 
 use crate::record::Trace;
+use crate::source::SynthSource;
 use crate::synth::{
     CodeHeavyGen, GeneratorSpec, IrregularGen, MixedGen, PatternGenerator, PointerChaseGen,
     SpatialPatternGen, StreamGen, StridedGen,
@@ -95,6 +96,18 @@ impl WorkloadSpec {
         Trace::new(
             self.name.clone(),
             self.generator.generate_records(self.seed, accesses),
+        )
+    }
+
+    /// Starts a lazily-evaluated streaming source of `accesses` records —
+    /// bit-identical to [`WorkloadSpec::generate`] without materializing the
+    /// trace (O(1) memory however long the run).
+    pub fn source(&self, accesses: usize) -> SynthSource {
+        SynthSource::new(
+            self.name.clone(),
+            self.generator.clone(),
+            self.seed,
+            accesses,
         )
     }
 }

@@ -97,3 +97,81 @@ fn template_spec_round_trips_through_the_parser() {
     assert_eq!(spec.name, "example campaign");
     assert_eq!(spec.cells.len(), 2);
 }
+
+#[test]
+fn list_prints_the_full_inventory() {
+    let listing = dspatch_lab(&["--list"]);
+    // Every figure id...
+    for id in dspatch_harness::FigureId::ALL {
+        assert!(listing.contains(id.name()), "missing figure {}", id.name());
+    }
+    // ...every workload name (memory-intensive ones carry a marker)...
+    for workload in dspatch_trace::suite() {
+        assert!(
+            listing.contains(&workload.name),
+            "missing workload {}",
+            workload.name
+        );
+    }
+    assert!(
+        listing.contains("mcf06*"),
+        "memory-intensive marker missing"
+    );
+    // ...every scale preset with its knobs, and the prefetcher names.
+    for preset in ["smoke", "quick", "full"] {
+        assert!(listing.contains(preset), "missing scale preset {preset}");
+    }
+    assert!(listing.contains("accesses/workload"));
+    assert!(listing.contains("dspatch_plus_spp"));
+}
+
+#[test]
+fn replays_an_external_trace_file_in_both_formats() {
+    use dspatch_trace::{suite, TraceSource};
+
+    // Process-unique names so concurrent test runs on one machine never
+    // race on the same files.
+    let dir = std::env::temp_dir().join(format!("dspatch-lab-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Native binary trace.
+    let workload = &suite()[0];
+    let trace = workload.generate(1_500);
+    let binary_path = dir.join("replay.dspt");
+    dspatch_trace::io::save_trace(&trace, &binary_path).expect("save");
+    let table = dspatch_lab(&[
+        "--trace-file",
+        binary_path.to_str().expect("utf-8 path"),
+        "--prefetchers",
+        "spp,dspatch_plus_spp",
+    ]);
+    assert!(table.contains("External trace replay"));
+    assert!(table.contains("Baseline") && table.contains("DSPatch+SPP"));
+    std::fs::remove_file(&binary_path).ok();
+
+    // ChampSim-style text trace, JSON output.
+    let text_path = dir.join("replay.champsim.txt");
+    let mut text = String::from("# synthetic text trace\n");
+    let mut source = workload.source(400);
+    while let Some(record) = source.next_record() {
+        text.push_str(&format!(
+            "{:#x} {:#x} {} {}{}\n",
+            record.pc.as_u64(),
+            record.addr.as_u64(),
+            if record.kind.is_load() { "L" } else { "S" },
+            record.gap,
+            if record.dependent { " D" } else { "" },
+        ));
+    }
+    std::fs::write(&text_path, text).expect("write text trace");
+    let json = dspatch_lab(&[
+        "--trace-file",
+        text_path.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+    ]);
+    let parsed = Json::parse(&json).expect("replay JSON is valid");
+    let title = parsed.get("title").and_then(Json::as_str).expect("title");
+    assert!(title.contains("400 accesses"), "got title: {title}");
+    std::fs::remove_file(&text_path).ok();
+}

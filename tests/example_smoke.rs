@@ -54,3 +54,8 @@ fn multicore_mix_runs_to_completion() {
 fn custom_campaign_runs_to_completion() {
     run_example("custom_campaign");
 }
+
+#[test]
+fn trace_replay_runs_to_completion() {
+    run_example("trace_replay");
+}

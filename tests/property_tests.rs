@@ -217,6 +217,79 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The binary trace format preserves **every** record field — pc, addr,
+    /// kind, `gap` and the `dependent` flag — for arbitrary records, through
+    /// both the materializing reader and the streaming file source.
+    #[test]
+    fn trace_io_round_trips_gap_and_dependent_flags(
+        raw in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<bool>(), any::<u32>(), any::<bool>()),
+            0..150,
+        ),
+    ) {
+        use dspatch_trace::io::{read_trace, write_trace};
+        use dspatch_trace::{Trace, TraceRecord};
+
+        let records: Vec<TraceRecord> = raw
+            .into_iter()
+            .map(|(pc, addr, store, gap, dependent)| {
+                let record = if store {
+                    TraceRecord::store(pc, addr)
+                } else {
+                    TraceRecord::load(pc, addr)
+                };
+                record.with_gap(gap).with_dependent(dependent)
+            })
+            .collect();
+        let trace = Trace::new("prop-io", records);
+        let mut buffer = Vec::new();
+        prop_assert!(write_trace(&trace, &mut buffer).is_ok());
+        let read = read_trace(buffer.as_slice()).expect("round trip");
+        prop_assert_eq!(&read, &trace);
+        // The flags byte holds exactly two bits; nothing else may leak in.
+        for (a, b) in read.records.iter().zip(trace.records.iter()) {
+            prop_assert_eq!(a.gap, b.gap);
+            prop_assert_eq!(a.dependent, b.dependent);
+        }
+    }
+
+    /// Heterogeneous mix generation is a pure function of its arguments
+    /// (count, cores, seed) and every generated mix has exactly the
+    /// requested core count, drawn from the memory-intensive pool.
+    #[test]
+    fn heterogeneous_mixes_are_deterministic_with_consistent_cores(
+        count in 0usize..12,
+        cores in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use dspatch_trace::heterogeneous_mixes;
+
+        let a = heterogeneous_mixes(count, cores, seed);
+        let b = heterogeneous_mixes(count, cores, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), count);
+        let pool: std::collections::BTreeSet<String> =
+            dspatch_trace::memory_intensive_suite()
+                .into_iter()
+                .map(|w| w.name)
+                .collect();
+        for mix in &a {
+            prop_assert_eq!(mix.cores(), cores);
+            prop_assert_eq!(mix.workloads.len(), cores);
+            for workload in &mix.workloads {
+                prop_assert!(
+                    pool.contains(&workload.name),
+                    "mix workload '{}' is not memory-intensive",
+                    workload.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The simulator conserves instructions (every trace record and gap is

@@ -1,9 +1,16 @@
-//! Verifies the sink API's core promise: after warm-up, `on_access` performs
-//! **zero heap allocations** for every prefetcher, with a reused sink.
+//! Verifies the allocation-free promises of the two hot-path APIs:
 //!
-//! A counting global allocator tallies allocation calls; each prefetcher is
-//! warmed on a deterministic access stream (filling its tables and growing
-//! the sink to steady-state capacity) and then driven through a second pass
+//! * **prefetchers** — after warm-up, `on_access` performs zero heap
+//!   allocations for every prefetcher, with a reused sink;
+//! * **streaming trace sources** — after warm-up, pulling records from a
+//!   [`dspatch_trace::TraceSource`] (every synthetic generator, including
+//!   weighted mixes) performs zero heap allocations, which is what makes
+//!   the O(1)-memory claim of the streaming trace layer real rather than
+//!   merely amortized.
+//!
+//! A counting global allocator tallies allocation calls; each subject is
+//! warmed on a deterministic stream (filling tables and growing reused
+//! buffers to steady-state capacity) and then driven through a second pass
 //! during which the allocation count must not move.
 //!
 //! This file deliberately contains a single `#[test]` so no concurrent test
@@ -103,6 +110,31 @@ fn assert_steady_state_alloc_free(prefetcher: &mut dyn Prefetcher, name: &str) {
     );
 }
 
+/// Streaming trace sources must not allocate per record in steady state.
+/// The warm-up pass grows each source's reused buffers (e.g. the spatial
+/// generator's visit buffer) to capacity; the measured pass must then be
+/// allocation-free.
+fn assert_streaming_source_alloc_free(spec: &dspatch_trace::GeneratorSpec, name: &str) {
+    use dspatch_trace::{SynthSource, TraceSource};
+    // A length far beyond the pulls below: the mixed generator re-creates a
+    // part stream only at its replay period, so none occurs mid-measurement.
+    let mut source = SynthSource::new(name, spec.clone(), 0xD5, 1 << 40);
+    for _ in 0..6_000 {
+        source.next_record();
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..6_000 {
+        source.next_record();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: streaming source allocated in steady state ({} allocations over 6000 records)",
+        after - before,
+    );
+}
+
 #[test]
 fn prefetcher_hot_path_is_allocation_free_in_steady_state() {
     let mut prefetchers: Vec<(&str, Box<dyn Prefetcher>)> = vec![
@@ -133,5 +165,46 @@ fn prefetcher_hot_path_is_allocation_free_in_steady_state() {
     ];
     for (name, prefetcher) in &mut prefetchers {
         assert_steady_state_alloc_free(prefetcher.as_mut(), name);
+    }
+
+    // The streaming trace layer: every generator family, including the
+    // weighted mix the 75-workload suite is built from.
+    use dspatch_trace::{
+        CodeHeavyGen, GeneratorSpec, IrregularGen, MixedGen, PointerChaseGen, SpatialPatternGen,
+        StreamGen, StridedGen,
+    };
+    let sources: Vec<(&str, GeneratorSpec)> = vec![
+        ("stream-source", GeneratorSpec::Stream(StreamGen::default())),
+        (
+            "strided-source",
+            GeneratorSpec::Strided(StridedGen::default()),
+        ),
+        (
+            "spatial-source",
+            GeneratorSpec::Spatial(SpatialPatternGen::default()),
+        ),
+        (
+            "irregular-source",
+            GeneratorSpec::Irregular(IrregularGen::default()),
+        ),
+        (
+            "chase-source",
+            GeneratorSpec::PointerChase(PointerChaseGen::default()),
+        ),
+        (
+            "code-heavy-source",
+            GeneratorSpec::CodeHeavy(CodeHeavyGen::default()),
+        ),
+        (
+            "mixed-source",
+            GeneratorSpec::Mixed(MixedGen::new(vec![
+                (3, GeneratorSpec::Stream(StreamGen::default())),
+                (2, GeneratorSpec::Spatial(SpatialPatternGen::default())),
+                (1, GeneratorSpec::Irregular(IrregularGen::default())),
+            ])),
+        ),
+    ];
+    for (name, spec) in &sources {
+        assert_streaming_source_alloc_free(spec, name);
     }
 }
