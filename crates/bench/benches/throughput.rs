@@ -1,10 +1,13 @@
 //! Benchmarks raw simulator throughput on the fixed perf-snapshot scenarios
 //! (see `dspatch_harness::perf` and the `perf_snapshot` binary, which emits
-//! `BENCH_sim_throughput.json` from the same workloads).
+//! `BENCH_sim_throughput.json` from the same workloads), plus one benchmark
+//! per registry prefetcher so wins and regressions attribute to individual
+//! components rather than to the machine model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dspatch_harness::perf::{
-    run_baseline_snapshot, run_four_core_snapshot, run_single_thread_snapshot,
+    attribution_lineup, run_baseline_snapshot, run_four_core_snapshot, run_prefetcher_snapshot,
+    run_single_thread_snapshot,
 };
 
 const BENCH_ACCESSES: usize = 24_000;
@@ -21,6 +24,15 @@ fn bench(c: &mut Criterion) {
     group.bench_function("four_core", |b| {
         b.iter(|| run_four_core_snapshot(BENCH_ACCESSES / 4).cycles)
     });
+    group.finish();
+
+    let mut group = c.benchmark_group("sim_throughput_per_prefetcher");
+    group.sample_size(10);
+    for kind in attribution_lineup() {
+        group.bench_function(kind.spec_name(), |b| {
+            b.iter(|| run_prefetcher_snapshot(kind, BENCH_ACCESSES).cycles)
+        });
+    }
     group.finish();
 }
 

@@ -97,6 +97,18 @@ pub struct RecordOutcome {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageBuffer {
     entries: Vec<PageBufferEntry>,
+    /// Shadow array of `entries[i].page` raw values. The per-access lookup
+    /// scans this dense `u64` slab (the whole buffer is 8 cache lines at the
+    /// paper's 64 entries) instead of striding through the ~100-byte
+    /// entries, and is kept in lock-step with `entries` on every mutation.
+    pages: Vec<u64>,
+    /// Index of the most-recently-accessed entry. Spatial locality makes
+    /// consecutive L1 misses overwhelmingly land in the same page, so this
+    /// hint usually replaces the scan with a single compare.
+    mru: usize,
+    /// Shadow array of `entries[i].last_use`, so the LRU eviction scan
+    /// walks a dense `u64` slab instead of striding through the entries.
+    last_uses: Vec<u64>,
     capacity: usize,
     clock: u64,
 }
@@ -111,6 +123,9 @@ impl PageBuffer {
         assert!(capacity > 0, "page buffer capacity must be positive");
         Self {
             entries: Vec::with_capacity(capacity),
+            pages: Vec::with_capacity(capacity),
+            mru: 0,
+            last_uses: Vec::with_capacity(capacity),
             capacity,
             clock: 0,
         }
@@ -161,25 +176,36 @@ impl PageBuffer {
         let segment = line_offset / LINES_PER_SEGMENT;
         let mut outcome = RecordOutcome::default();
 
-        let position = self.entries.iter().position(|e| e.page == page);
+        let raw = page.as_u64();
+        let position = if self.pages.get(self.mru) == Some(&raw) {
+            Some(self.mru)
+        } else {
+            self.pages.iter().position(|&p| p == raw)
+        };
         let index = match position {
             Some(i) => i,
             None => {
                 if self.entries.len() == self.capacity {
                     let lru = self
-                        .entries
+                        .last_uses
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, e)| e.last_use)
+                        .min_by_key(|(_, &stamp)| stamp)
                         .map(|(i, _)| i)
                         .expect("page buffer is non-empty at capacity");
                     outcome.evicted = Some(self.entries.swap_remove(lru));
+                    self.pages.swap_remove(lru);
+                    self.last_uses.swap_remove(lru);
                 }
                 self.entries.push(PageBufferEntry::new(page, stamp));
+                self.pages.push(raw);
+                self.last_uses.push(stamp);
                 self.entries.len() - 1
             }
         };
+        self.mru = index;
 
+        self.last_uses[index] = stamp;
         let entry = &mut self.entries[index];
         entry.last_use = stamp;
         outcome.new_line = !entry.pattern.get(line_offset);
@@ -199,6 +225,9 @@ impl PageBuffer {
     /// Removes and returns every tracked entry, e.g. at the end of a
     /// simulation so that partially-observed pages still train the SPT.
     pub fn drain(&mut self) -> Vec<PageBufferEntry> {
+        self.pages.clear();
+        self.last_uses.clear();
+        self.mru = 0;
         std::mem::take(&mut self.entries)
     }
 }

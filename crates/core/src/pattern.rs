@@ -146,15 +146,19 @@ impl SpatialPattern {
 
     /// Compresses the pattern to 128 B granularity: output bit `k` is the OR
     /// of input bits `2k` and `2k + 1`.
+    ///
+    /// Branchless: OR each bit pair down onto its even position, then pack
+    /// the even positions together with a log-step bit gather (the inverse
+    /// Morton shuffle). This runs on every Page Buffer training event, so
+    /// the 32-iteration loop it replaces was measurable.
     pub fn compress(self) -> CompressedPattern {
-        let mut out = 0u32;
-        for k in 0..COMPRESSED_BITS {
-            let pair = (self.0 >> (2 * k)) & 0b11;
-            if pair != 0 {
-                out |= 1 << k;
-            }
-        }
-        CompressedPattern(out)
+        let mut gathered = (self.0 | (self.0 >> 1)) & 0x5555_5555_5555_5555;
+        gathered = (gathered | (gathered >> 1)) & 0x3333_3333_3333_3333;
+        gathered = (gathered | (gathered >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+        gathered = (gathered | (gathered >> 4)) & 0x00FF_00FF_00FF_00FF;
+        gathered = (gathered | (gathered >> 8)) & 0x0000_FFFF_0000_FFFF;
+        gathered = (gathered | (gathered >> 16)) & 0x0000_0000_FFFF_FFFF;
+        CompressedPattern(gathered as u32)
     }
 }
 
@@ -243,13 +247,16 @@ impl CompressedPattern {
     /// lines. This is the source of the paper's bounded (< 50 %, typically
     /// ~20 %) compression-induced overprediction (Section 3.8).
     pub fn decompress(self) -> SpatialPattern {
-        let mut out = 0u64;
-        for k in 0..COMPRESSED_BITS {
-            if (self.0 >> k) & 1 == 1 {
-                out |= 0b11 << (2 * k);
-            }
-        }
-        SpatialPattern::from_bits(out)
+        // Branchless inverse of [`SpatialPattern::compress`]: spread the 32
+        // bits onto even positions with a log-step scatter (Morton
+        // shuffle), then OR each bit onto its odd neighbour.
+        let mut spread = u64::from(self.0);
+        spread = (spread | (spread << 16)) & 0x0000_FFFF_0000_FFFF;
+        spread = (spread | (spread << 8)) & 0x00FF_00FF_00FF_00FF;
+        spread = (spread | (spread << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        spread = (spread | (spread << 2)) & 0x3333_3333_3333_3333;
+        spread = (spread | (spread << 1)) & 0x5555_5555_5555_5555;
+        SpatialPattern::from_bits(spread | (spread << 1))
     }
 
     /// Splits into the two 16-bit halves covering the two 2 KB segments of
@@ -313,6 +320,51 @@ impl fmt::Binary for CompressedPattern {
 
 #[cfg(test)]
 mod tests {
+    /// Reference (per-bit loop) forms of compress/decompress, kept to pin
+    /// the branchless bit-shuffle implementations.
+    fn compress_reference(pattern: super::SpatialPattern) -> super::CompressedPattern {
+        let mut out = 0u32;
+        for k in 0..super::COMPRESSED_BITS {
+            if (pattern.bits() >> (2 * k)) & 0b11 != 0 {
+                out |= 1 << k;
+            }
+        }
+        super::CompressedPattern::from_bits(out)
+    }
+
+    fn decompress_reference(pattern: super::CompressedPattern) -> super::SpatialPattern {
+        let mut out = 0u64;
+        for k in 0..super::COMPRESSED_BITS {
+            if (pattern.bits() >> k) & 1 == 1 {
+                out |= 0b11 << (2 * k);
+            }
+        }
+        super::SpatialPattern::from_bits(out)
+    }
+
+    #[test]
+    fn branchless_compress_and_decompress_match_the_bit_loops() {
+        let mut state = 0xACE1_u64;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let spatial = super::SpatialPattern::from_bits(state);
+            assert_eq!(spatial.compress(), compress_reference(spatial));
+            let compressed = super::CompressedPattern::from_bits((state >> 16) as u32);
+            assert_eq!(compressed.decompress(), decompress_reference(compressed));
+        }
+        // Edges.
+        for bits in [0u64, u64::MAX, 1, 1 << 63, 0x5555_5555_5555_5555] {
+            let spatial = super::SpatialPattern::from_bits(bits);
+            assert_eq!(spatial.compress(), compress_reference(spatial));
+        }
+        for bits in [0u32, u32::MAX, 1, 1 << 31] {
+            let compressed = super::CompressedPattern::from_bits(bits);
+            assert_eq!(compressed.decompress(), decompress_reference(compressed));
+        }
+    }
+
     use super::*;
 
     #[test]

@@ -280,8 +280,17 @@ impl SignaturePredictionTable {
     }
 
     /// Maps a trigger PC to its direct-mapped, tagless index.
+    #[inline]
     pub fn index_of(&self, pc: Pc) -> usize {
-        (pc.folded_xor(self.signature_bits) as usize) % self.entries.len()
+        // Every paper configuration sizes the table as a power of two;
+        // masking avoids a hardware divide on the train/predict path.
+        let folded = pc.folded_xor(self.signature_bits) as usize;
+        let len = self.entries.len();
+        if len.is_power_of_two() {
+            folded & (len - 1)
+        } else {
+            folded % len
+        }
     }
 
     /// Returns the entry a PC maps to.

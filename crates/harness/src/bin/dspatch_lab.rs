@@ -251,7 +251,7 @@ fn replay_trace_file(path: &str, prefetchers: Option<&str>) -> Table {
     let config = SystemConfig::single_thread();
     let run = |kind: PrefetcherKind| {
         SimulationBuilder::new(config.clone())
-            .with_core(source.fork(), kind.build())
+            .with_core(source.fork(), kind.build_any())
             .run()
     };
     eprintln!(

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! perf_snapshot [--smoke] [--accesses N] [--repeats N] [--out PATH]
+//!               [--compare PATH] [--tolerance F]
 //! ```
 //!
 //! `--smoke` shrinks the scenarios so CI can exercise the emitter in
@@ -13,16 +14,86 @@
 //! quarter of it per core); `--repeats` sets the best-of repeat count
 //! (higher damps scheduler noise on busy machines); `--out` overrides the
 //! JSON path.
+//!
+//! `--compare PATH` gates on a committed snapshot: every row present in
+//! both documents is compared on **baseline-normalized** throughput
+//! (`row.accesses_per_sec / baseline_single_thread.accesses_per_sec`), so
+//! the check is meaningful across machines of different absolute speed —
+//! it asks "did the prefetcher path get more expensive relative to the
+//! machine model", which is exactly the regression this repository's
+//! trajectory tracks. Any row whose normalized throughput drops more than
+//! `--tolerance` (default 0.30) below the committed document fails the run
+//! with exit code 1.
 
+use dspatch_harness::json::Json;
 use dspatch_harness::perf::run_snapshot;
 
 const DEFAULT_ACCESSES: usize = 240_000;
 const DEFAULT_REPEATS: usize = 3;
 
+/// Flattens a snapshot JSON document into `(row name, accesses_per_sec)`.
+fn rows(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push = |name: String, row: &Json| {
+        if let Some(rate) = row.get("accesses_per_sec").and_then(Json::as_f64) {
+            out.push((name, rate));
+        }
+    };
+    for name in [
+        "baseline_single_thread",
+        "dspatch_spp_single_thread",
+        "streaming_single_thread",
+        "four_core",
+    ] {
+        if let Some(row) = doc.get(name) {
+            push(name.to_owned(), row);
+        }
+    }
+    if let Some(Json::Obj(entries)) = doc.get("per_prefetcher") {
+        for (name, row) in entries {
+            push(format!("per_prefetcher.{name}"), row);
+        }
+    }
+    out
+}
+
+/// Compares measured against committed rows; returns the regressions as
+/// `(row, measured normalized, committed normalized)`.
+fn regressions(measured: &Json, committed: &Json, tolerance: f64) -> Vec<(String, f64, f64)> {
+    let baseline_of = |doc: &Json| {
+        doc.get("baseline_single_thread")
+            .and_then(|b| b.get("accesses_per_sec"))
+            .and_then(Json::as_f64)
+            .filter(|&b| b > 0.0)
+    };
+    let (Some(measured_base), Some(committed_base)) =
+        (baseline_of(measured), baseline_of(committed))
+    else {
+        eprintln!("--compare: missing baseline_single_thread row; skipping gate");
+        return Vec::new();
+    };
+    let committed_rows: std::collections::BTreeMap<String, f64> =
+        rows(committed).into_iter().collect();
+    let mut failures = Vec::new();
+    for (name, rate) in rows(measured) {
+        let Some(&committed_rate) = committed_rows.get(&name) else {
+            continue;
+        };
+        let measured_norm = rate / measured_base;
+        let committed_norm = committed_rate / committed_base;
+        if measured_norm < committed_norm * (1.0 - tolerance) {
+            failures.push((name, measured_norm, committed_norm));
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut accesses = DEFAULT_ACCESSES;
     let mut repeats = DEFAULT_REPEATS;
     let mut out = String::from("BENCH_sim_throughput.json");
+    let mut compare: Option<String> = None;
+    let mut tolerance = 0.30;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,10 +112,18 @@ fn main() {
             "--out" => {
                 out = args.next().expect("--out needs a path");
             }
+            "--compare" => {
+                compare = Some(args.next().expect("--compare needs a path"));
+            }
+            "--tolerance" => {
+                let value = args.next().expect("--tolerance needs a value");
+                tolerance = value.parse().expect("--tolerance must be a number");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perf_snapshot [--smoke] [--accesses N] [--repeats N] [--out PATH]"
+                    "usage: perf_snapshot [--smoke] [--accesses N] [--repeats N] [--out PATH] \
+                     [--compare PATH] [--tolerance F]"
                 );
                 std::process::exit(2);
             }
@@ -52,6 +131,30 @@ fn main() {
     }
     let report = run_snapshot(accesses, accesses / 4, repeats);
     println!("{}", report.summary());
-    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    let json = report.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
     println!("wrote {out}");
+
+    if let Some(path) = compare {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("failed to read {path}: {e}"));
+        let committed = Json::parse(&committed).expect("committed snapshot is valid JSON");
+        let measured = Json::parse(&json).expect("fresh snapshot is valid JSON");
+        let failures = regressions(&measured, &committed, tolerance);
+        if failures.is_empty() {
+            println!(
+                "perf gate: no row regressed more than {:.0}% (baseline-normalized) vs {path}",
+                tolerance * 100.0
+            );
+        } else {
+            for (name, measured_norm, committed_norm) in &failures {
+                eprintln!(
+                    "perf gate FAIL: {name}: {measured_norm:.4}x baseline, committed \
+                     {committed_norm:.4}x baseline ({:.1}% regression)",
+                    (1.0 - measured_norm / committed_norm) * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -92,12 +92,21 @@ impl PrefetcherSel {
         }
     }
 
-    /// Builds a fresh prefetcher instance.
+    /// Builds a fresh prefetcher instance behind the dynamic interface.
+    /// Delegates to [`PrefetcherSel::build_any`] so there is exactly one
+    /// construction table.
     pub fn build(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.build_any())
+    }
+
+    /// Builds a fresh prefetcher instance as a statically dispatched
+    /// [`dspatch_prefetchers::AnyPrefetcher`] — what every campaign
+    /// simulation runs with.
+    pub fn build_any(&self) -> dspatch_prefetchers::AnyPrefetcher {
         match self {
-            PrefetcherSel::Kind(kind) => kind.build(),
+            PrefetcherSel::Kind(kind) => kind.build_any(),
             PrefetcherSel::SmsPht(entries) => {
-                Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(*entries)))
+                SmsPrefetcher::new(SmsConfig::with_pht_entries(*entries)).into()
             }
         }
     }
@@ -1093,14 +1102,14 @@ impl Job {
             Target::Workload(workload) => {
                 builder = builder.with_core(
                     workload.source(scale.accesses_per_workload),
-                    self.sel.build(),
+                    self.sel.build_any(),
                 );
             }
             Target::Mix(mix) => {
                 for workload in &mix.workloads {
                     builder = builder.with_core(
                         workload.source(scale.accesses_per_workload),
-                        self.sel.build(),
+                        self.sel.build_any(),
                     );
                 }
             }

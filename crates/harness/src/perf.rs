@@ -22,12 +22,13 @@
 //! environment; the JSON exists to catch *relative* regressions over time.
 
 use crate::json::Json;
+use crate::runner::PrefetcherKind;
+use dspatch_prefetchers::AnyPrefetcher;
 use dspatch_sim::{SimulationBuilder, SystemConfig};
 use dspatch_trace::{
     ChainSource, GeneratorSpec, IntoTraceSource, PatternGenerator, PointerChaseGen,
     SpatialPatternGen, StreamGen, SynthSource, Trace, TraceSource,
 };
-use dspatch_types::Prefetcher;
 use std::time::Instant;
 
 /// Throughput measured for one scenario.
@@ -53,8 +54,9 @@ impl ScenarioThroughput {
     }
 }
 
-/// The result of one snapshot run: all four fixed scenarios.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The result of one snapshot run: the four fixed headline scenarios plus
+/// one single-thread row per registry prefetcher.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotReport {
     /// One core, baseline configuration (no L2 prefetcher).
     pub baseline_single_thread: ScenarioThroughput,
@@ -68,6 +70,12 @@ pub struct SnapshotReport {
     pub streaming_single_thread: ScenarioThroughput,
     /// Four cores (DSPatch+SPP each) sharing LLC and DRAM.
     pub four_core: ScenarioThroughput,
+    /// One single-thread row per registry prefetcher (same trace and
+    /// machine as the headline rows), keyed by
+    /// [`PrefetcherKind::spec_name`]. This is what attributes throughput
+    /// wins and regressions to individual prefetchers rather than to the
+    /// machine model.
+    pub per_prefetcher: Vec<(&'static str, ScenarioThroughput)>,
 }
 
 impl SnapshotReport {
@@ -102,6 +110,14 @@ impl SnapshotReport {
                 scenario(&self.streaming_single_thread),
             ),
             ("four_core", scenario(&self.four_core)),
+            (
+                "per_prefetcher",
+                Json::obj(
+                    self.per_prefetcher
+                        .iter()
+                        .map(|(name, s)| (*name, scenario(s))),
+                ),
+            ),
         ])
         .render()
     }
@@ -211,18 +227,18 @@ fn measure(trace_count: u64, run: impl FnOnce() -> u64) -> ScenarioThroughput {
     }
 }
 
-fn dspatch_plus_spp() -> Box<dyn Prefetcher> {
-    dspatch_prefetchers::lineup::dspatch_plus_spp()
+fn dspatch_plus_spp() -> AnyPrefetcher {
+    PrefetcherKind::DspatchPlusSpp.build_any()
 }
 
-fn baseline() -> Box<dyn Prefetcher> {
-    Box::new(dspatch_types::NullPrefetcher::new())
+fn baseline() -> AnyPrefetcher {
+    PrefetcherKind::Baseline.build_any()
 }
 
 fn run_single(
     source: impl IntoTraceSource,
     count: u64,
-    prefetcher: Box<dyn Prefetcher>,
+    prefetcher: impl Into<AnyPrefetcher>,
 ) -> ScenarioThroughput {
     measure(count, move || {
         SimulationBuilder::new(SystemConfig::single_thread())
@@ -257,6 +273,36 @@ pub fn run_streaming_snapshot(accesses: usize) -> ScenarioThroughput {
     )
 }
 
+/// Runs the single-thread snapshot for one registry prefetcher kind.
+pub fn run_prefetcher_snapshot(kind: PrefetcherKind, accesses: usize) -> ScenarioThroughput {
+    run_single(
+        snapshot_single_trace(accesses),
+        accesses as u64,
+        kind.build_any(),
+    )
+}
+
+/// The registry line-up measured by the per-prefetcher rows: every
+/// [`PrefetcherKind`] except the Figure 19 ablation variants (which share
+/// DSPatch's code paths and add no attribution signal).
+pub fn attribution_lineup() -> Vec<PrefetcherKind> {
+    vec![
+        PrefetcherKind::Baseline,
+        PrefetcherKind::Streamer,
+        PrefetcherKind::Bop,
+        PrefetcherKind::Ebop,
+        PrefetcherKind::Sms,
+        PrefetcherKind::SmsIso,
+        PrefetcherKind::Spp,
+        PrefetcherKind::Espp,
+        PrefetcherKind::Dspatch,
+        PrefetcherKind::DspatchPlusSpp,
+        PrefetcherKind::BopPlusSpp,
+        PrefetcherKind::EbopPlusSpp,
+        PrefetcherKind::SmsIsoPlusSpp,
+    ]
+}
+
 /// Runs the 4-core snapshot scenario once and times it.
 pub fn run_four_core_snapshot(accesses_per_core: usize) -> ScenarioThroughput {
     let traces = snapshot_multi_traces(accesses_per_core);
@@ -284,11 +330,28 @@ pub fn run_snapshot(
             .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
             .expect("at least one repeat")
     };
+    let baseline_single_thread = best(&|| run_baseline_snapshot(single_accesses));
+    let dspatch_spp_single_thread = best(&|| run_single_thread_snapshot(single_accesses));
+    let per_prefetcher = attribution_lineup()
+        .into_iter()
+        .map(|kind| {
+            // The Baseline and DSPatch+SPP attribution rows are the same
+            // scenario as the headline rows — reuse those measurements
+            // instead of re-running two best-of sets per snapshot.
+            let throughput = match kind {
+                PrefetcherKind::Baseline => baseline_single_thread,
+                PrefetcherKind::DspatchPlusSpp => dspatch_spp_single_thread,
+                _ => best(&|| run_prefetcher_snapshot(kind, single_accesses)),
+            };
+            (kind.spec_name(), throughput)
+        })
+        .collect();
     SnapshotReport {
-        baseline_single_thread: best(&|| run_baseline_snapshot(single_accesses)),
-        dspatch_spp_single_thread: best(&|| run_single_thread_snapshot(single_accesses)),
+        baseline_single_thread,
+        dspatch_spp_single_thread,
         streaming_single_thread: best(&|| run_streaming_snapshot(single_accesses)),
         four_core: best(&|| run_four_core_snapshot(per_core_accesses)),
+        per_prefetcher,
     }
 }
 

@@ -109,6 +109,80 @@ impl Table {
         out
     }
 
+    /// Parses an RFC 4180 CSV document (as produced by [`Table::to_csv`])
+    /// back into a table with the given title: quoted fields may contain
+    /// commas, CR/LF line breaks and doubled quotes. `to_csv` → `from_csv`
+    /// round-trips every cell byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is empty, a quoted field is
+    /// unterminated, or a data row's width differs from the header's.
+    pub fn from_csv(title: impl Into<String>, csv: &str) -> Result<Table, String> {
+        let mut records: Vec<Vec<String>> = Vec::new();
+        let mut record: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut chars = csv.chars().peekable();
+        // Tracks whether any character of the current record was consumed,
+        // so a trailing newline does not produce a phantom empty record.
+        let mut in_record = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    in_record = true;
+                    loop {
+                        match chars.next() {
+                            Some('"') => {
+                                if chars.peek() == Some(&'"') {
+                                    chars.next();
+                                    field.push('"');
+                                } else {
+                                    break;
+                                }
+                            }
+                            Some(inner) => field.push(inner),
+                            None => return Err("unterminated quoted field".to_owned()),
+                        }
+                    }
+                }
+                ',' => {
+                    in_record = true;
+                    record.push(std::mem::take(&mut field));
+                }
+                '\n' => {
+                    if in_record {
+                        record.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut record));
+                        in_record = false;
+                    }
+                }
+                '\r' if chars.peek() == Some(&'\n') => {} // CRLF: handled by '\n'
+                other => {
+                    in_record = true;
+                    field.push(other);
+                }
+            }
+        }
+        if in_record {
+            record.push(field);
+            records.push(record);
+        }
+        let mut records = records.into_iter();
+        let headers = records.next().ok_or_else(|| "empty CSV".to_owned())?;
+        let mut table = Table::new(title, headers);
+        for row in records {
+            if row.len() != table.headers.len() {
+                return Err(format!(
+                    "row width {} does not match header width {}",
+                    row.len(),
+                    table.headers.len()
+                ));
+            }
+            table.rows.push(row);
+        }
+        Ok(table)
+    }
+
     /// The table as a JSON document: `{"title", "headers", "rows"}`.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -206,6 +280,50 @@ mod tests {
         assert_eq!(lines[0], "name,value");
         assert_eq!(lines[1], "plain,1");
         assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_round_trips_hostile_cells() {
+        // Workload and mix names can carry commas, quotes and even line
+        // breaks; every cell must survive to_csv → from_csv byte for byte.
+        let mut t = Table::new(
+            "RFC 4180",
+            vec!["name".into(), "value".into(), "note".into()],
+        );
+        t.add_row(vec!["plain".into(), "1.0".into(), String::new()]);
+        t.add_row(vec![
+            "mix(mcf,lbm,gcc)".into(),
+            "say \"hi\"".into(),
+            "line\nbreak".into(),
+        ]);
+        t.add_row(vec![
+            "\"fully quoted\"".into(),
+            "trailing,comma,".into(),
+            "cr\r\nlf".into(),
+        ]);
+        let csv = t.to_csv();
+        let parsed = Table::from_csv("RFC 4180", &csv).expect("round-trip parse");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_documents() {
+        assert!(Table::from_csv("t", "").is_err(), "empty document");
+        assert!(
+            Table::from_csv("t", "a,b\n\"unterminated").is_err(),
+            "unterminated quote"
+        );
+        assert!(
+            Table::from_csv("t", "a,b\n1,2,3\n").is_err(),
+            "ragged row width"
+        );
+    }
+
+    #[test]
+    fn from_csv_handles_crlf_and_missing_trailing_newline() {
+        let parsed = Table::from_csv("t", "a,b\r\n1,2\r\n3,4").expect("parse");
+        assert_eq!(parsed.headers, vec!["a", "b"]);
+        assert_eq!(parsed.rows, vec![vec!["1", "2"], vec!["3", "4"]]);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! run scales, and the baseline-normalized performance metric.
 
 use dspatch::{DsPatch, DsPatchConfig};
+use dspatch_prefetchers::any::composites;
 use dspatch_prefetchers::{
-    lineup, AdjunctPrefetcher, BopConfig, BopPrefetcher, SmsConfig, SmsPrefetcher, SppConfig,
-    SppPrefetcher, StreamConfig, StreamPrefetcher,
+    AnyPrefetcher, BopConfig, BopPrefetcher, SmsConfig, SmsPrefetcher, SppConfig, SppPrefetcher,
+    StreamConfig, StreamPrefetcher,
 };
 use dspatch_sim::{SimResult, SimulationBuilder, SystemConfig};
 use dspatch_trace::{WorkloadMix, WorkloadSpec};
@@ -69,32 +70,36 @@ impl PrefetcherKind {
         }
     }
 
-    /// Builds a fresh prefetcher instance of this kind.
+    /// Builds a fresh prefetcher instance of this kind behind the dynamic
+    /// `dyn Prefetcher` interface (the escape-hatch form; simulations built
+    /// from the registry use [`PrefetcherKind::build_any`] instead).
+    ///
+    /// Delegates to [`PrefetcherKind::build_any`] so the registry has
+    /// exactly one construction table — the two forms cannot drift apart.
     pub fn build(self) -> Box<dyn Prefetcher> {
+        Box::new(self.build_any())
+    }
+
+    /// Builds a fresh prefetcher instance of this kind as a statically
+    /// dispatched [`AnyPrefetcher`] — the form every registry-driven
+    /// simulation uses, so the per-access hot path never crosses a vtable.
+    pub fn build_any(self) -> AnyPrefetcher {
         match self {
-            PrefetcherKind::Baseline => Box::new(dspatch_types::NullPrefetcher::new()),
-            PrefetcherKind::Bop => Box::new(BopPrefetcher::new(BopConfig::default())),
-            PrefetcherKind::Ebop => Box::new(BopPrefetcher::new(BopConfig::enhanced())),
-            PrefetcherKind::Sms => Box::new(SmsPrefetcher::new(SmsConfig::default())),
-            PrefetcherKind::SmsIso => {
-                Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(256)))
-            }
-            PrefetcherKind::Spp => Box::new(SppPrefetcher::new(SppConfig::default())),
-            PrefetcherKind::Espp => Box::new(SppPrefetcher::new(SppConfig::enhanced())),
-            PrefetcherKind::Dspatch => Box::new(DsPatch::new(DsPatchConfig::default())),
-            PrefetcherKind::DspatchPlusSpp => lineup::dspatch_plus_spp(),
-            PrefetcherKind::BopPlusSpp => lineup::bop_plus_spp(),
-            PrefetcherKind::EbopPlusSpp => lineup::ebop_plus_spp(),
-            PrefetcherKind::SmsIsoPlusSpp => lineup::sms_iso_plus_spp(),
-            PrefetcherKind::AlwaysCovpPlusSpp => Box::new(AdjunctPrefetcher::new(
-                SppPrefetcher::new(SppConfig::default()),
-                DsPatch::new(DsPatchConfig::default().always_covp()),
-            )),
-            PrefetcherKind::ModCovpPlusSpp => Box::new(AdjunctPrefetcher::new(
-                SppPrefetcher::new(SppConfig::default()),
-                DsPatch::new(DsPatchConfig::default().mod_covp()),
-            )),
-            PrefetcherKind::Streamer => Box::new(StreamPrefetcher::new(StreamConfig::default())),
+            PrefetcherKind::Baseline => dspatch_types::NullPrefetcher::new().into(),
+            PrefetcherKind::Bop => BopPrefetcher::new(BopConfig::default()).into(),
+            PrefetcherKind::Ebop => BopPrefetcher::new(BopConfig::enhanced()).into(),
+            PrefetcherKind::Sms => SmsPrefetcher::new(SmsConfig::default()).into(),
+            PrefetcherKind::SmsIso => SmsPrefetcher::new(SmsConfig::with_pht_entries(256)).into(),
+            PrefetcherKind::Spp => SppPrefetcher::new(SppConfig::default()).into(),
+            PrefetcherKind::Espp => SppPrefetcher::new(SppConfig::enhanced()).into(),
+            PrefetcherKind::Dspatch => DsPatch::new(DsPatchConfig::default()).into(),
+            PrefetcherKind::DspatchPlusSpp => composites::dspatch_plus_spp().into(),
+            PrefetcherKind::BopPlusSpp => composites::bop_plus_spp().into(),
+            PrefetcherKind::EbopPlusSpp => composites::ebop_plus_spp().into(),
+            PrefetcherKind::SmsIsoPlusSpp => composites::sms_iso_plus_spp().into(),
+            PrefetcherKind::AlwaysCovpPlusSpp => composites::dspatch_always_covp_plus_spp().into(),
+            PrefetcherKind::ModCovpPlusSpp => composites::dspatch_mod_covp_plus_spp().into(),
+            PrefetcherKind::Streamer => StreamPrefetcher::new(StreamConfig::default()).into(),
         }
     }
 
@@ -267,7 +272,10 @@ pub fn run_workload(
     scale: &RunScale,
 ) -> SimResult {
     SimulationBuilder::new(config.clone())
-        .with_core(workload.source(scale.accesses_per_workload), kind.build())
+        .with_core(
+            workload.source(scale.accesses_per_workload),
+            kind.build_any(),
+        )
         .run()
 }
 
@@ -281,7 +289,10 @@ pub fn run_mix(
 ) -> SimResult {
     let mut builder = SimulationBuilder::new(config.clone());
     for workload in &mix.workloads {
-        builder = builder.with_core(workload.source(scale.accesses_per_workload), kind.build());
+        builder = builder.with_core(
+            workload.source(scale.accesses_per_workload),
+            kind.build_any(),
+        );
     }
     builder.run()
 }
@@ -358,6 +369,11 @@ mod tests {
             let prefetcher = kind.build();
             assert!(!kind.label().is_empty());
             assert!(!prefetcher.name().is_empty());
+            assert_eq!(
+                kind.build_any().name(),
+                prefetcher.name(),
+                "static and boxed forms must agree on identity"
+            );
             assert_eq!(PrefetcherKind::parse(kind.spec_name()), Some(kind));
             assert_eq!(PrefetcherKind::parse(kind.label()), Some(kind));
         }

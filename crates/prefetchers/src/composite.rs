@@ -29,10 +29,6 @@ pub struct AdjunctPrefetcher<P, A> {
     primary: P,
     adjunct: A,
     name: String,
-    /// Reusable buffer for the adjunct's candidates while they are merged
-    /// into the caller's sink (kept across calls so merging never allocates
-    /// in steady state).
-    scratch: PrefetchSink,
     /// Optional cap on merged requests per access (0 = unlimited).
     max_requests_per_access: usize,
 }
@@ -46,7 +42,6 @@ impl<P: Prefetcher, A: Prefetcher> AdjunctPrefetcher<P, A> {
             primary,
             adjunct,
             name,
-            scratch: PrefetchSink::new(),
             max_requests_per_access: 0,
         }
     }
@@ -75,19 +70,56 @@ impl<P: Prefetcher, A: Prefetcher> Prefetcher for AdjunctPrefetcher<P, A> {
 
     fn on_access(&mut self, access: &MemoryAccess, ctx: &PrefetchContext, out: &mut PrefetchSink) {
         // The sink may already hold earlier requests from the caller; only
-        // this access's slice takes part in dedup and capping.
+        // this access's slice takes part in dedup and capping. Both
+        // prefetchers append directly to the caller's sink; the adjunct's
+        // range is then deduplicated and compacted in place — no scratch
+        // buffer, no second copy of the requests.
         let start = out.len();
         self.primary.on_access(access, ctx, out);
-        self.scratch.clear();
-        self.adjunct.on_access(access, ctx, &mut self.scratch);
-        for i in 0..self.scratch.len() {
-            let request = self.scratch.requests()[i];
-            let duplicate = out.requests()[start..]
-                .iter()
-                .any(|merged| merged.line == request.line);
-            if !duplicate {
-                out.push(request);
+        let mid = out.len();
+        self.adjunct.on_access(access, ctx, out);
+        if out.len() > mid {
+            // The spatial prefetchers this composite pairs (SPP, DSPatch,
+            // SMS) only request lines inside the triggering 4 KB page, so
+            // the primary's slice is almost always representable as one
+            // 64-bit offset mask — turning the quadratic line-by-line dedup
+            // into a bit test per candidate. Anything off-page (e.g. a BOP
+            // adjunct crossing a page boundary) falls back to a scan over
+            // the merged range.
+            let trigger_page = access.line().as_u64() >> 6;
+            let mut mask = 0u64;
+            let mut single_page = true;
+            for merged in &out.requests()[start..mid] {
+                let line = merged.line.as_u64();
+                if line >> 6 == trigger_page {
+                    mask |= 1 << (line & 63);
+                } else {
+                    single_page = false;
+                    break;
+                }
             }
+            let len = out.len();
+            let requests = out.requests_mut();
+            let mut write = mid;
+            for read in mid..len {
+                let request = requests[read];
+                let line = request.line.as_u64();
+                let duplicate = if single_page && line >> 6 == trigger_page {
+                    let bit = 1u64 << (line & 63);
+                    let seen = mask & bit != 0;
+                    mask |= bit;
+                    seen
+                } else {
+                    requests[start..write]
+                        .iter()
+                        .any(|merged| merged.line == request.line)
+                };
+                if !duplicate {
+                    requests[write] = request;
+                    write += 1;
+                }
+            }
+            out.truncate(write);
         }
         if self.max_requests_per_access > 0 {
             out.truncate(start + self.max_requests_per_access);

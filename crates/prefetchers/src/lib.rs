@@ -24,6 +24,7 @@
 //! hardware budget through `storage_bits`, reproducing Table 3.
 
 pub mod ampm;
+pub mod any;
 pub mod bop;
 pub mod composite;
 pub mod sms;
@@ -32,6 +33,7 @@ pub mod stream;
 pub mod stride;
 
 pub use ampm::{AmpmConfig, AmpmPrefetcher};
+pub use any::AnyPrefetcher;
 pub use bop::{BopConfig, BopPrefetcher};
 pub use composite::AdjunctPrefetcher;
 pub use sms::{SmsConfig, SmsPrefetcher};
@@ -86,49 +88,32 @@ pub mod lineup {
     /// DSPatch as a lightweight adjunct to SPP (the paper's headline
     /// configuration).
     pub fn dspatch_plus_spp() -> Box<dyn Prefetcher> {
-        Box::new(AdjunctPrefetcher::new(
-            SppPrefetcher::new(SppConfig::default()),
-            DsPatch::new(DsPatchConfig::default()),
-        ))
+        Box::new(crate::any::composites::dspatch_plus_spp())
     }
 
     /// BOP as an adjunct to SPP (Figure 14).
     pub fn bop_plus_spp() -> Box<dyn Prefetcher> {
-        Box::new(AdjunctPrefetcher::new(
-            SppPrefetcher::new(SppConfig::default()),
-            BopPrefetcher::new(BopConfig::default()),
-        ))
+        Box::new(crate::any::composites::bop_plus_spp())
     }
 
     /// eBOP as an adjunct to SPP (Figure 15).
     pub fn ebop_plus_spp() -> Box<dyn Prefetcher> {
-        Box::new(AdjunctPrefetcher::new(
-            SppPrefetcher::new(SppConfig::default()),
-            BopPrefetcher::new(BopConfig::enhanced()),
-        ))
+        Box::new(crate::any::composites::ebop_plus_spp())
     }
 
-    /// 256-entry SMS as an adjunct to SPP (Figure 14).
+    /// 256-entry SMS as an adjunct to SPP — iso-storage with DSPatch
+    /// (Figures 5 and 14).
     pub fn sms_iso_plus_spp() -> Box<dyn Prefetcher> {
-        Box::new(AdjunctPrefetcher::new(
-            SppPrefetcher::new(SppConfig::default()),
-            SmsPrefetcher::new(SmsConfig::with_pht_entries(256)),
-        ))
+        Box::new(crate::any::composites::sms_iso_plus_spp())
     }
 
     /// The DSPatch ablation variants of Figure 19.
     pub fn dspatch_always_covp_plus_spp() -> Box<dyn Prefetcher> {
-        Box::new(AdjunctPrefetcher::new(
-            SppPrefetcher::new(SppConfig::default()),
-            DsPatch::new(DsPatchConfig::default().always_covp()),
-        ))
+        Box::new(crate::any::composites::dspatch_always_covp_plus_spp())
     }
 
     /// The ModCovP ablation variant of Figure 19, as an adjunct to SPP.
     pub fn dspatch_mod_covp_plus_spp() -> Box<dyn Prefetcher> {
-        Box::new(AdjunctPrefetcher::new(
-            SppPrefetcher::new(SppConfig::default()),
-            DsPatch::new(DsPatchConfig::default().mod_covp()),
-        ))
+        Box::new(crate::any::composites::dspatch_mod_covp_plus_spp())
     }
 }

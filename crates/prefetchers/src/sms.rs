@@ -172,10 +172,21 @@ impl SmsPrefetcher {
     }
 
     fn region_of(&self, access: &MemoryAccess) -> (u64, usize) {
-        let region = access.addr.as_u64() / self.config.region_bytes as u64;
-        let offset =
-            (access.addr.as_u64() % self.config.region_bytes as u64) as usize / CACHE_LINE_BYTES;
-        (region, offset)
+        // Region sizes are powers of two (2 KB in every paper
+        // configuration); shift-and-mask avoids two hardware divides on the
+        // per-access path.
+        let addr = access.addr.as_u64();
+        let bytes = self.config.region_bytes as u64;
+        if bytes.is_power_of_two() {
+            let shift = bytes.trailing_zeros();
+            let region = addr >> shift;
+            let offset = ((addr & (bytes - 1)) as usize) / CACHE_LINE_BYTES;
+            (region, offset)
+        } else {
+            let region = addr / bytes;
+            let offset = ((addr % bytes) as usize) / CACHE_LINE_BYTES;
+            (region, offset)
+        }
     }
 
     fn signature(&self, pc: Pc, offset: usize) -> u64 {

@@ -244,12 +244,26 @@ impl SppPrefetcher {
         &self.stats
     }
 
+    #[inline]
     fn st_index(&self, page: PageAddr) -> usize {
-        (page.as_u64() as usize) % self.signature_table.len()
+        // The table sizes are powers of two in every paper configuration;
+        // masking avoids a hardware divide on the per-access path.
+        let len = self.signature_table.len();
+        if len.is_power_of_two() {
+            (page.as_u64() as usize) & (len - 1)
+        } else {
+            (page.as_u64() as usize) % len
+        }
     }
 
+    #[inline]
     fn pt_index(&self, signature: u16) -> usize {
-        (signature as usize) % self.pattern_table.len()
+        let len = self.pattern_table.len();
+        if len.is_power_of_two() {
+            (signature as usize) & (len - 1)
+        } else {
+            (signature as usize) % len
+        }
     }
 
     fn update_signature(signature: u16, delta: i8) -> u16 {
@@ -304,7 +318,9 @@ impl SppPrefetcher {
         threshold: f64,
         out: &mut PrefetchSink,
     ) {
-        let mut issued = [false; LINES_PER_PAGE];
+        // One bit per page line; bit `start_offset` is pre-set so the
+        // trigger line is never re-requested.
+        let mut issued: u64 = 1 << start_offset;
         let mut signature = start_signature;
         let mut base = start_offset as i64;
         let mut confidence = 1.0;
@@ -320,8 +336,8 @@ impl SppPrefetcher {
                     let target = base + i64::from(delta);
                     if (0..LINES_PER_PAGE as i64).contains(&target) {
                         let offset = target as usize;
-                        if !issued[offset] && offset != start_offset {
-                            issued[offset] = true;
+                        if issued & (1 << offset) == 0 {
+                            issued |= 1 << offset;
                             let fill = if path_conf >= self.config.llc_fill_threshold {
                                 FillLevel::L2
                             } else {

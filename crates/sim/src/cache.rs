@@ -50,13 +50,34 @@ impl CacheConfig {
             .next_power_of_two()
     }
 
-    /// Validates the geometry (and documents the power-of-two set rounding
-    /// applied by [`CacheConfig::sets`]).
+    /// The geometry the cache will actually be built with, including the
+    /// effect of the power-of-two set rounding.
+    pub fn geometry(&self) -> CacheGeometry {
+        let sets = self.sets();
+        let effective_bytes = sets * self.ways * CACHE_LINE_BYTES;
+        CacheGeometry {
+            name: self.name.clone(),
+            requested_bytes: self.size_bytes,
+            ways: self.ways,
+            sets,
+            effective_bytes,
+            rounded: effective_bytes != self.size_bytes,
+        }
+    }
+
+    /// Validates the geometry and returns what will actually be built.
+    ///
+    /// Set counts that are not powers of two are rounded **up** by
+    /// [`CacheConfig::sets`]; the returned [`CacheGeometry`] makes that
+    /// silent capacity inflation visible (`rounded` plus the effective
+    /// sets/bytes), and the same record is echoed into
+    /// [`crate::stats::SimResult::cache_geometry`] so no report can quote a
+    /// requested capacity the simulation didn't actually model.
     ///
     /// # Errors
     ///
     /// Returns a description of the first invalid parameter.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<CacheGeometry, String> {
         if self.size_bytes < CACHE_LINE_BYTES {
             return Err(format!("{}: capacity smaller than one line", self.name));
         }
@@ -69,8 +90,29 @@ impl CacheConfig {
                 self.name
             ));
         }
-        Ok(())
+        Ok(self.geometry())
     }
+}
+
+/// The effective geometry of one cache level: what [`Cache::new`] actually
+/// builds after [`CacheConfig::sets`] rounds the set count up to a power of
+/// two. Returned by [`CacheConfig::validate`] and echoed per level into
+/// [`crate::stats::SimResult`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Level name from the configuration ("L1D", "L2", "LLC").
+    pub name: String,
+    /// Capacity the configuration asked for, in bytes.
+    pub requested_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Effective (power-of-two) set count.
+    pub sets: usize,
+    /// Capacity actually modeled: `sets * ways * 64 B`.
+    pub effective_bytes: usize,
+    /// Whether rounding changed the capacity (always `false` for the
+    /// paper's own power-of-two geometries).
+    pub rounded: bool,
 }
 
 /// Metadata attached to a resident line.
@@ -89,11 +131,39 @@ pub struct LineMeta {
 /// (byte address >> 6), which cannot reach `u64::MAX`.
 const EMPTY_TAG: u64 = u64::MAX;
 
-const EMPTY_META: LineMeta = LineMeta {
-    prefetched: false,
-    used: false,
-    low_priority: false,
-};
+/// `prefetched` flag inside a packed stamp word.
+const STAMP_PREFETCHED: u64 = 0b100;
+/// `used` flag inside a packed stamp word.
+const STAMP_USED: u64 = 0b010;
+/// `low_priority` flag inside a packed stamp word.
+const STAMP_LOW_PRIORITY: u64 = 0b001;
+/// Bit position of the LRU clock inside a packed stamp word.
+const STAMP_CLOCK_SHIFT: u32 = 3;
+
+/// Packs an LRU clock value and a [`LineMeta`] into one word. Keeping both
+/// in a single slab means a lookup hit or fill touches two arrays (tags +
+/// stamps) instead of three — on the per-request hot path the simulator's
+/// own memory traffic is what dominates.
+#[inline]
+const fn pack_stamp(clock: u64, meta: LineMeta) -> u64 {
+    (clock << STAMP_CLOCK_SHIFT)
+        | if meta.prefetched { STAMP_PREFETCHED } else { 0 }
+        | if meta.used { STAMP_USED } else { 0 }
+        | if meta.low_priority {
+            STAMP_LOW_PRIORITY
+        } else {
+            0
+        }
+}
+
+#[inline]
+const fn unpack_meta(stamp: u64) -> LineMeta {
+    LineMeta {
+        prefetched: stamp & STAMP_PREFETCHED != 0,
+        used: stamp & STAMP_USED != 0,
+        low_priority: stamp & STAMP_LOW_PRIORITY != 0,
+    }
+}
 
 /// An eviction produced by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,10 +228,12 @@ pub struct Cache {
     config: CacheConfig,
     /// Line tags, `EMPTY_TAG` when unoccupied; set `s` occupies
     /// `tags[s*assoc..(s+1)*assoc]`, and the same indexing applies to
-    /// `lrus` and `metas`.
+    /// `stamps`.
     tags: Vec<u64>,
-    lrus: Vec<u64>,
-    metas: Vec<LineMeta>,
+    /// Packed LRU-clock + [`LineMeta`] words (see [`pack_stamp`]). Victim
+    /// selection compares `stamp >> STAMP_CLOCK_SHIFT`, which orders
+    /// identically to the clock values themselves.
+    stamps: Vec<u64>,
     /// `sets - 1`, valid because the set count is a power of two.
     set_mask: usize,
     /// Associativity, denormalized from `config` for the indexing hot path.
@@ -183,8 +255,7 @@ impl Cache {
         let slots = sets * config.ways;
         Self {
             tags: vec![EMPTY_TAG; slots],
-            lrus: vec![0; slots],
-            metas: vec![EMPTY_META; slots],
+            stamps: vec![0; slots],
             set_mask: sets - 1,
             assoc: config.ways,
             clock: 0,
@@ -229,19 +300,29 @@ impl Cache {
     /// Performs a demand lookup: updates LRU, marks prefetched lines as
     /// used, and records hit/miss statistics. Returns whether it hit.
     pub fn demand_lookup(&mut self, line: LineAddr) -> bool {
+        self.demand_lookup_first_use(line).0
+    }
+
+    /// [`Cache::demand_lookup`] that also reports whether the hit was the
+    /// first demand use of a prefetched line — the coverage-accounting
+    /// signal the demand path previously reconstructed by sampling
+    /// `prefetch_first_uses` around the call.
+    pub fn demand_lookup_first_use(&mut self, line: LineAddr) -> (bool, bool) {
         self.clock += 1;
         if let Some(slot) = self.find(line) {
-            self.lrus[slot] = self.clock;
-            let meta = &mut self.metas[slot];
-            if meta.prefetched && !meta.used {
+            let stamp = self.stamps[slot];
+            let first_use = stamp & (STAMP_PREFETCHED | STAMP_USED) == STAMP_PREFETCHED;
+            if first_use {
                 self.stats.prefetch_first_uses += 1;
             }
-            meta.used = true;
+            self.stamps[slot] = (self.clock << STAMP_CLOCK_SHIFT)
+                | (stamp & !(u64::MAX << STAMP_CLOCK_SHIFT))
+                | STAMP_USED;
             self.stats.demand_hits += 1;
-            true
+            (true, first_use)
         } else {
             self.stats.demand_misses += 1;
-            false
+            (false, false)
         }
     }
 
@@ -251,7 +332,8 @@ impl Cache {
     pub fn prefetch_lookup(&mut self, line: LineAddr) -> bool {
         self.clock += 1;
         if let Some(slot) = self.find(line) {
-            self.lrus[slot] = self.clock;
+            let meta_bits = self.stamps[slot] & !(u64::MAX << STAMP_CLOCK_SHIFT);
+            self.stamps[slot] = (self.clock << STAMP_CLOCK_SHIFT) | meta_bits;
             true
         } else {
             false
@@ -273,21 +355,28 @@ impl Cache {
         let tag = line.as_u64();
         let set_tags = &self.tags[base..base + self.assoc];
 
-        // One pass over the tag slab: find a resident copy and the first
-        // free way simultaneously.
+        // One pass over the set: find a resident copy, the first free way
+        // and the LRU victim simultaneously (the victim scan is free here —
+        // the stamp line is about to be touched anyway).
         let mut free_index = usize::MAX;
+        let mut victim_index = base;
+        let mut victim_lru = u64::MAX;
         for (i, &t) in set_tags.iter().enumerate() {
             if t == tag {
                 // Already resident: a demand fill upgrades a prefetched line
                 // to a demand line; a prefetch fill never downgrades.
-                if !is_prefetch {
-                    self.metas[base + i].used = true;
-                }
-                self.lrus[base + i] = clock;
+                let meta_bits = self.stamps[base + i] & !(u64::MAX << STAMP_CLOCK_SHIFT);
+                let used = if is_prefetch { 0 } else { STAMP_USED };
+                self.stamps[base + i] = (clock << STAMP_CLOCK_SHIFT) | meta_bits | used;
                 return None;
             }
-            if t == EMPTY_TAG && free_index == usize::MAX {
-                free_index = i;
+            if t == EMPTY_TAG {
+                if free_index == usize::MAX {
+                    free_index = i;
+                }
+            } else if self.stamps[base + i] >> STAMP_CLOCK_SHIFT < victim_lru {
+                victim_lru = self.stamps[base + i] >> STAMP_CLOCK_SHIFT;
+                victim_index = base + i;
             }
         }
 
@@ -299,7 +388,7 @@ impl Cache {
 
         // Low-priority fills are inserted with an old LRU stamp so they are
         // the next victims unless promoted by a demand hit.
-        let lru_stamp = if low_priority {
+        let lru_clock = if low_priority {
             clock.saturating_sub(1 << 20)
         } else {
             clock
@@ -312,25 +401,18 @@ impl Cache {
 
         // A free way wins outright (matching the seed's fill-before-replace
         // order, since free ways only exist before the set first fills up);
-        // otherwise the smallest LRU stamp, earliest index on ties.
+        // otherwise the smallest LRU clock, earliest index on ties (the
+        // shift discards the packed meta bits, so ties resolve exactly as
+        // they did when the clock was stored on its own).
         let slot = if free_index != usize::MAX {
             base + free_index
         } else {
-            let mut victim_index = base;
-            let mut victim_lru = self.lrus[base];
-            for i in base + 1..base + self.assoc {
-                if self.lrus[i] < victim_lru {
-                    victim_lru = self.lrus[i];
-                    victim_index = i;
-                }
-            }
             victim_index
         };
         let evicted_tag = self.tags[slot];
-        let evicted_meta = self.metas[slot];
+        let evicted_meta = unpack_meta(self.stamps[slot]);
         self.tags[slot] = tag;
-        self.lrus[slot] = lru_stamp;
-        self.metas[slot] = new_meta;
+        self.stamps[slot] = pack_stamp(lru_clock, new_meta);
         if evicted_tag == EMPTY_TAG {
             return None;
         }
@@ -475,6 +557,31 @@ mod tests {
         assert!(CacheConfig::new("bad", 100, 3, 1, 1).validate().is_err());
         assert!(CacheConfig::new("bad", 0, 1, 1, 1).validate().is_err());
         assert!(CacheConfig::new("ok", 4096, 4, 1, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn power_of_two_geometry_validates_as_exact() {
+        let geometry = CacheConfig::new("LLC", 2 * 1024 * 1024, 16, 30, 32)
+            .validate()
+            .expect("valid geometry");
+        assert_eq!(geometry.sets, 2048);
+        assert_eq!(geometry.effective_bytes, 2 * 1024 * 1024);
+        assert!(!geometry.rounded, "paper geometries must not round");
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_surfaces_the_rounded_capacity() {
+        // 96 KB, 8-way => 192 sets, rounded up to 256 => 128 KB modeled.
+        // Before the echo existed this inflation left no trace anywhere.
+        let config = CacheConfig::new("L2", 96 * 1024, 8, 8, 32);
+        let geometry = config.validate().expect("valid geometry");
+        assert!(geometry.rounded);
+        assert_eq!(geometry.requested_bytes, 96 * 1024);
+        assert_eq!(geometry.sets, 256);
+        assert_eq!(geometry.effective_bytes, 128 * 1024);
+        // The built cache really has that many slots.
+        let cache = Cache::new(config);
+        assert_eq!(cache.tags.len(), 256 * 8);
     }
 
     #[test]

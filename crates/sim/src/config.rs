@@ -164,6 +164,15 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Whether the baseline PC-stride prefetcher runs at the L1.
     pub l1_stride_prefetcher: bool,
+    /// Per-core budget of in-flight L2 prefetch fills (the prefetch-queue /
+    /// MSHR capacity of ChampSim-class simulators; Table 2 machines use 16).
+    /// Prefetch candidates beyond the budget are dropped exactly as a full
+    /// hardware prefetch queue would drop them; demands are never dropped.
+    /// This also bounds the simulator's in-flight fill table, which is what
+    /// keeps the prefetcher-path wall-clock cost flat under DRAM saturation
+    /// (an unbounded backlog previously grew to tens of thousands of
+    /// queued fills).
+    pub prefetch_mshrs: usize,
     /// Whether the machine may fast-forward over provably idle /
     /// closed-form cycles. On by default; disabling forces the reference
     /// cycle-by-cycle loop, which produces **bit-identical results** (a
@@ -187,6 +196,7 @@ impl SystemConfig {
             llc: CacheConfig::new("LLC", 2 * 1024 * 1024, 16, 30, 32),
             dram: DramConfig::with_speed(1, DramSpeedGrade::Ddr4_2133),
             l1_stride_prefetcher: true,
+            prefetch_mshrs: 16,
             cycle_skipping: true,
             max_cycles: 2_000_000_000,
         }
@@ -234,8 +244,11 @@ impl SystemConfig {
         if self.dram.channels == 0 {
             return Err("DRAM needs at least one channel".to_owned());
         }
+        if self.prefetch_mshrs == 0 {
+            return Err("prefetch MSHR budget must be positive".to_owned());
+        }
         for cache in [&self.l1, &self.l2, &self.llc] {
-            cache.validate()?;
+            let _ = cache.validate()?;
         }
         Ok(())
     }

@@ -88,9 +88,21 @@ impl BandwidthTracker {
 
     /// Advances the window state to `cycle`, closing any windows that have
     /// elapsed, and returns the current quartile.
+    ///
+    /// A long idle gap (or a cycle-skipped stall) used to cost one loop
+    /// iteration per elapsed window — O(gap/window). Idle windows are pure
+    /// decay (the counter halves, nothing else changes), so once their
+    /// utilization samples stop being observable the remaining `k` windows
+    /// collapse into a closed form: the counter is scaled by `2^-k` via
+    /// exponent arithmetic and the window/stat counters jump. The closed
+    /// form is **bit-exact** against the reference loop (a test drives both
+    /// through randomized traffic): halving an f64 only decrements its
+    /// exponent while the value stays normal, and the fast path is taken
+    /// only when each skipped sample would round away in
+    /// `utilization_sum` and quantize to the bottom quartile.
     pub fn advance(&mut self, cycle: u64, stats: &mut DramStats) -> BandwidthQuartile {
         while cycle >= self.window_end {
-            // Close the window: fold the count into the hysteresis counter,
+            // Close one window: fold the count into the hysteresis counter,
             // sample utilization, then halve (paper: "the counter is halved
             // after every window").
             self.counter = self.counter / 2.0 + self.current_window_cas as f64;
@@ -100,6 +112,37 @@ impl BandwidthTracker {
             stats.windows += 1;
             self.current_window_cas = 0;
             self.window_end += self.window_cycles;
+
+            if cycle < self.window_end {
+                break;
+            }
+            let remaining = (cycle - self.window_end) / self.window_cycles + 1;
+
+            // Fully decayed: every remaining window samples exactly 0.0 and
+            // reports Q0; only the window bookkeeping advances.
+            if self.counter == 0.0 {
+                stats.windows += remaining;
+                self.quartile = BandwidthQuartile::from_fraction(0.0);
+                self.window_end += remaining * self.window_cycles;
+                continue;
+            }
+
+            // Decaying: the next sample is the largest of the remaining gap
+            // (samples shrink monotonically). If it already (a) rounds away
+            // when added to the running sum and (b) quantizes to Q0, then so
+            // does every later one, and the whole tail is closed-form.
+            let next_utilization =
+                ((self.counter / 2.0) / (2.0 * self.peak_cas_per_window)).min(1.0);
+            let absorbed = stats.utilization_sum + next_utilization == stats.utilization_sum;
+            if absorbed
+                && BandwidthQuartile::from_fraction(next_utilization) == BandwidthQuartile::Q0
+            {
+                self.counter = decay_exact(self.counter, remaining);
+                self.quartile = BandwidthQuartile::Q0;
+                stats.windows += remaining;
+                self.window_end += remaining * self.window_cycles;
+            }
+            // Otherwise close the next window through the reference path.
         }
         self.quartile
     }
@@ -113,6 +156,27 @@ impl BandwidthTracker {
     pub fn window_cycles(&self) -> u64 {
         self.window_cycles
     }
+}
+
+/// Halves `value` `k` times, bit-exactly matching `k` sequential `/= 2.0`
+/// steps. While the result stays normal, halving is a pure exponent
+/// decrement, so the whole run collapses into one subtraction; the subnormal
+/// tail (at most ~60 further halvings before reaching zero) falls back to
+/// the literal loop because subnormal halving rounds step by step.
+fn decay_exact(value: f64, k: u64) -> f64 {
+    debug_assert!(value > 0.0);
+    let biased_exponent = (value.to_bits() >> 52) & 0x7FF;
+    if biased_exponent > k {
+        return f64::from_bits(value.to_bits() - (k << 52));
+    }
+    let mut out = value;
+    for _ in 0..k {
+        out /= 2.0;
+        if out == 0.0 {
+            break;
+        }
+    }
+    out
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -396,6 +460,92 @@ mod tests {
             "utilization must decay when traffic stops"
         );
         assert_eq!(after_idle, BandwidthQuartile::Q0);
+    }
+
+    /// The reference window loop `advance` used before the closed-form
+    /// decay: one iteration per elapsed window, no fast paths.
+    fn reference_advance(
+        tracker: &mut BandwidthTracker,
+        cycle: u64,
+        stats: &mut DramStats,
+    ) -> BandwidthQuartile {
+        while cycle >= tracker.window_end {
+            tracker.counter = tracker.counter / 2.0 + tracker.current_window_cas as f64;
+            let utilization = (tracker.counter / (2.0 * tracker.peak_cas_per_window)).min(1.0);
+            tracker.quartile = BandwidthQuartile::from_fraction(utilization);
+            stats.utilization_sum += utilization;
+            stats.windows += 1;
+            tracker.current_window_cas = 0;
+            tracker.window_end += tracker.window_cycles;
+        }
+        tracker.quartile
+    }
+
+    #[test]
+    fn closed_form_decay_is_bit_exact_against_the_window_loop() {
+        let config = DramConfig::default();
+        let mut fast = BandwidthTracker::new(&config, 4000);
+        let mut slow = fast;
+        let mut fast_stats = DramStats::default();
+        let mut slow_stats = DramStats::default();
+        let mut state = 0x5EED_u64;
+        let mut cycle = 0u64;
+        // Bursts of CAS traffic separated by gaps spanning hundreds of
+        // thousands of windows — the exact shape the closed form exists
+        // for — interleaved with short hops that exercise the slow path.
+        for round in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let burst = (state >> 48) % 300;
+            for i in 0..burst {
+                let at = cycle + i * ((state >> 40) % 37 + 1);
+                fast.record_cas(at, &mut fast_stats);
+                reference_advance(&mut slow, at, &mut slow_stats);
+                slow.current_window_cas += 1;
+            }
+            let gap = if round % 3 == 0 {
+                ((state >> 20) % 500_000) * fast.window_cycles()
+            } else {
+                (state >> 20) % 2_000
+            };
+            cycle += burst * 37 + gap;
+            let fast_q = fast.advance(cycle, &mut fast_stats);
+            let slow_q = reference_advance(&mut slow, cycle, &mut slow_stats);
+            assert_eq!(fast_q, slow_q, "quartile diverged at round {round}");
+            assert_eq!(fast, slow, "tracker state diverged at round {round}");
+            assert_eq!(
+                fast_stats.utilization_sum.to_bits(),
+                slow_stats.utilization_sum.to_bits(),
+                "utilization sum diverged at round {round}"
+            );
+            assert_eq!(fast_stats, slow_stats, "stats diverged at round {round}");
+        }
+        assert!(
+            fast_stats.windows > 1_000_000,
+            "gaps must span many windows"
+        );
+    }
+
+    #[test]
+    fn long_idle_gap_advance_is_fast() {
+        // O(gap/window) catch-up would make this take minutes; the closed
+        // form makes it instant.
+        let config = DramConfig::default();
+        let mut tracker = BandwidthTracker::new(&config, 4000);
+        let mut stats = DramStats::default();
+        for i in 0..1_000u64 {
+            tracker.record_cas(i * 3, &mut stats);
+        }
+        let start = std::time::Instant::now();
+        let q = tracker.advance(u64::MAX / 2, &mut stats);
+        assert!(
+            start.elapsed().as_millis() < 2_000,
+            "idle catch-up must be closed-form, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(q, BandwidthQuartile::Q0);
+        assert!(stats.windows > 1_000_000_000_000);
     }
 
     #[test]

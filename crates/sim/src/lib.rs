@@ -40,7 +40,7 @@
 //!     2_000,
 //! );
 //! let result = SimulationBuilder::new(SystemConfig::single_thread())
-//!     .with_core(source, Box::new(NullPrefetcher::new()))
+//!     .with_core(source, NullPrefetcher::new())
 //!     .run();
 //! assert!(result.cores[0].ipc() > 0.0);
 //! ```
@@ -50,8 +50,9 @@ pub mod config;
 pub mod dram;
 pub mod stats;
 pub mod system;
+pub mod tables;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheGeometry, CacheStats};
 pub use config::{CoreConfig, DramConfig, DramSpeedGrade, SystemConfig};
 pub use dram::{BandwidthTracker, Dram, DramStats};
 pub use stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult};

@@ -9,7 +9,7 @@
 //! * the appendix **pollution breakdown** of LLC victims evicted by
 //!   prefetches (Figure 20, [`PollutionBreakdown`]).
 
-use crate::cache::CacheStats;
+use crate::cache::{CacheGeometry, CacheStats};
 use crate::dram::DramStats;
 use serde::{Deserialize, Serialize};
 
@@ -146,6 +146,11 @@ pub struct SimResult {
     pub pollution: PollutionBreakdown,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Effective geometry of each cache level (L1, L2, LLC), echoed from
+    /// the validated configuration. When a non-power-of-two geometry is
+    /// rounded up, `rounded` and `effective_bytes` record what was actually
+    /// modeled.
+    pub cache_geometry: Vec<CacheGeometry>,
 }
 
 impl SimResult {
@@ -218,6 +223,7 @@ mod tests {
             dram: DramStats::default(),
             pollution: PollutionBreakdown::default(),
             cycles: 0,
+            cache_geometry: Vec::new(),
         }
     }
 

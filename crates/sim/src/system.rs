@@ -19,19 +19,23 @@
 //! prefetch — exactly as in the paper's methodology (Section 4.1), and its
 //! requests fill the L2 and the LLC. DRAM-bound fills are tracked in flight,
 //! so a demand that arrives while its line is still being fetched by a
-//! prefetch observes the remaining latency (prefetch timeliness).
+//! prefetch observes the remaining latency (prefetch timeliness). In-flight
+//! L2 prefetch fills are bounded per core by
+//! [`SystemConfig::prefetch_mshrs`] — a full prefetch queue drops further
+//! candidates, as the hardware's would — which also keeps the simulator's
+//! fill table small however bursty the predictor.
 
 use crate::cache::Cache;
 use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult};
-use dspatch_prefetchers::{StrideConfig, StridePrefetcher};
+use crate::tables::{LineSet, LineTable, ReadyQueue, Slot};
+use dspatch_prefetchers::{AnyPrefetcher, StrideConfig, StridePrefetcher};
 use dspatch_trace::{IntoTraceSource, TraceRecord, TraceSource};
 use dspatch_types::{
     CoreId, FillLevel, LineAddr, MemoryAccess, PrefetchContext, PrefetchRequest, PrefetchSink,
     Prefetcher,
 };
-use fxhash::{FxHashMap, FxHashSet};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -45,12 +49,27 @@ const POLLUTION_TRACK_CAP: usize = 1 << 20;
 struct PendingFill {
     ready: u64,
     core: usize,
+    /// Core whose prefetch MSHR this fill occupies (never reassigned by a
+    /// demand promotion, unlike `core`).
+    issuer: usize,
     is_prefetch: bool,
     fill_l1: bool,
     fill_l2: bool,
     low_priority: bool,
     used_by_demand: bool,
 }
+
+/// Placeholder used to initialize unoccupied [`LineTable`] slots.
+const NO_FILL: PendingFill = PendingFill {
+    ready: 0,
+    core: 0,
+    issuer: 0,
+    is_prefetch: false,
+    fill_l1: false,
+    fill_l2: false,
+    low_priority: false,
+    used_by_demand: false,
+};
 
 /// A run of consecutive ROB slots sharing one completion cycle. Gap
 /// (non-memory) instructions allocated in the same cycle all complete one
@@ -80,8 +99,11 @@ struct CoreState {
     l1: Cache,
     l2: Cache,
     l1_prefetcher: Option<StridePrefetcher>,
-    l2_prefetcher: Box<dyn Prefetcher>,
+    l2_prefetcher: AnyPrefetcher,
     accounting: PrefetchAccounting,
+    /// L2 prefetch fills currently in flight for this core (bounded by the
+    /// configured prefetch MSHR budget).
+    inflight_prefetches: usize,
     instructions: u64,
     finish_cycle: u64,
     finished: bool,
@@ -131,9 +153,9 @@ impl std::fmt::Debug for CoreState {
 #[derive(Debug)]
 struct PollutionTracker {
     /// Lines evicted from the LLC by a prefetch fill and not re-demanded
-    /// yet. A set, not a map: membership is the only state. Fx-hashed — this
-    /// is probed on every demand that leaves the L2.
-    victims: FxHashSet<u64>,
+    /// yet. A set, not a map: membership is the only state. Open-addressed —
+    /// this is probed on every demand that leaves the L2.
+    victims: LineSet,
     counts: PollutionBreakdown,
 }
 
@@ -144,7 +166,7 @@ impl Default for PollutionTracker {
             // never pay a rehash. Pollution-heavy runs can still grow the
             // set (up to POLLUTION_TRACK_CAP) and amortize rehashes then;
             // pre-sizing to the full 1M cap would cost ~10 MB per machine.
-            victims: FxHashSet::with_capacity_and_hasher(1 << 16, Default::default()),
+            victims: LineSet::with_capacity(1 << 16),
             counts: PollutionBreakdown::default(),
         }
     }
@@ -158,7 +180,7 @@ impl PollutionTracker {
     }
 
     fn observe_demand(&mut self, line: LineAddr, went_to_dram: bool) {
-        if self.victims.remove(&line.as_u64()) {
+        if self.victims.remove(line.as_u64()) {
             if went_to_dram {
                 self.counts.bad_pollution += 1;
             } else {
@@ -180,7 +202,7 @@ impl PollutionTracker {
 /// See the [crate-level documentation](crate).
 pub struct SimulationBuilder {
     config: SystemConfig,
-    cores: Vec<(Box<dyn TraceSource>, Box<dyn Prefetcher>)>,
+    cores: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>,
 }
 
 impl SimulationBuilder {
@@ -196,13 +218,18 @@ impl SimulationBuilder {
     /// attached to its L2. Accepts any [`TraceSource`] (lazy synthetic
     /// workloads, file-backed traces) or an owned [`dspatch_trace::Trace`],
     /// which becomes the materialized adapter source.
+    ///
+    /// The prefetcher is anything convertible into [`AnyPrefetcher`]: a
+    /// concrete registry prefetcher (statically dispatched on the per-access
+    /// hot path) or a `Box<dyn Prefetcher>` (the dynamic escape hatch).
     #[must_use]
     pub fn with_core(
         mut self,
         source: impl IntoTraceSource,
-        l2_prefetcher: Box<dyn Prefetcher>,
+        l2_prefetcher: impl Into<AnyPrefetcher>,
     ) -> Self {
-        self.cores.push((source.into_trace_source(), l2_prefetcher));
+        self.cores
+            .push((source.into_trace_source(), l2_prefetcher.into()));
         self
     }
 
@@ -237,10 +264,13 @@ pub struct Machine {
     cores: Vec<CoreState>,
     llc: Cache,
     dram: Dram,
-    /// In-flight DRAM fills keyed by line address. Fx-hashed: probed at
-    /// least once per L2 miss and per prefetch issue.
-    pending: FxHashMap<u64, PendingFill>,
-    ready_queue: BinaryHeap<Reverse<(u64, u64)>>,
+    /// In-flight DRAM fills keyed by line address. An open-addressed arena
+    /// seeded from the MSHR configuration: probed at least once per L2 miss
+    /// and per prefetch candidate.
+    pending: LineTable<PendingFill>,
+    /// Fill events ordered by (ready, line): a calendar queue so cost does
+    /// not scale with the DRAM backlog (see [`ReadyQueue`]).
+    ready_queue: ReadyQueue,
     pollution: PollutionTracker,
     /// Reusable request buffer for the L1 stride prefetcher (lives on the
     /// machine so the per-access hot path never allocates in steady state).
@@ -250,10 +280,7 @@ pub struct Machine {
 }
 
 impl Machine {
-    fn new(
-        config: SystemConfig,
-        core_setup: Vec<(Box<dyn TraceSource>, Box<dyn Prefetcher>)>,
-    ) -> Self {
+    fn new(config: SystemConfig, core_setup: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>) -> Self {
         config.validate().expect("invalid system configuration");
         assert!(!core_setup.is_empty(), "simulation needs at least one core");
         assert!(
@@ -285,6 +312,7 @@ impl Machine {
                         .then(|| StridePrefetcher::new(StrideConfig::default())),
                     l2_prefetcher,
                     accounting: PrefetchAccounting::default(),
+                    inflight_prefetches: 0,
                     instructions: 0,
                     finish_cycle: 0,
                     finished: false,
@@ -292,13 +320,21 @@ impl Machine {
                 }
             })
             .collect();
+        // In-flight fills are bounded: demands by the per-core load buffers,
+        // prefetches by the per-core prefetch MSHR budget. Seeding the arena
+        // just past that population keeps the whole table a few KB — every
+        // probe on the per-request hot path stays cache-resident — while
+        // growth remains the safety valve if a configuration outruns it.
+        let pending_capacity = (config.cores
+            * (config.prefetch_mshrs + config.core.load_buffer_entries + 16))
+            .max(128);
         Self {
             cycle: 0,
             cores,
             llc: Cache::new(config.llc.clone()),
             dram: Dram::new(config.dram, config.core.clock_mhz),
-            pending: FxHashMap::with_capacity_and_hasher(4096, Default::default()),
-            ready_queue: BinaryHeap::with_capacity(4096),
+            pending: LineTable::with_capacity(pending_capacity, NO_FILL),
+            ready_queue: ReadyQueue::new(),
             pollution: PollutionTracker::default(),
             l1_sink: PrefetchSink::new(),
             l2_sink: PrefetchSink::new(),
@@ -343,6 +379,11 @@ impl Machine {
             dram: *self.dram.stats(),
             pollution: std::mem::take(&mut self.pollution).finish(),
             cycles,
+            cache_geometry: vec![
+                self.config.l1.geometry(),
+                self.config.l2.geometry(),
+                self.config.llc.geometry(),
+            ],
         }
     }
 
@@ -569,19 +610,19 @@ impl Machine {
 
     /// Materializes DRAM fills whose data has arrived.
     fn drain_ready_fills(&mut self, cycle: u64) {
-        while let Some(&Reverse((ready, line))) = self.ready_queue.peek() {
-            if ready > cycle {
-                break;
-            }
-            self.ready_queue.pop();
-            let Some(fill) = self.pending.remove(&line) else {
+        while let Some((_, line)) = self.ready_queue.pop_ready(cycle) {
+            let Some(fill) = self.pending.remove(line) else {
                 continue;
             };
             if fill.ready > cycle {
                 // A duplicate queue entry from a superseded request; requeue.
                 self.pending.insert(line, fill);
-                self.ready_queue.push(Reverse((fill.ready, line)));
+                self.ready_queue.push(fill.ready, line);
                 continue;
+            }
+            if fill.is_prefetch {
+                // The fill materializes: its prefetch MSHR frees up.
+                self.cores[fill.issuer].inflight_prefetches -= 1;
             }
             let line_addr = LineAddr::new(line);
             let is_prefetch = fill.is_prefetch && !fill.used_by_demand;
@@ -721,7 +762,9 @@ impl Machine {
                 core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
             }
             for request in l2_sink.requests() {
-                self.issue_l2_prefetch(index, request, cycle);
+                if !self.issue_l2_prefetch(index, request, cycle) {
+                    break;
+                }
             }
             self.l2_sink = l2_sink;
             cycle + l1_latency + latency
@@ -750,13 +793,7 @@ impl Machine {
         let llc_latency = self.config.llc.latency;
 
         // L2 probe.
-        let (l2_hit, l2_was_unused_prefetch) = {
-            let core = &mut self.cores[index];
-            let before_first_uses = core.l2.stats().prefetch_first_uses;
-            let hit = core.l2.demand_lookup(line);
-            let first_use = core.l2.stats().prefetch_first_uses > before_first_uses;
-            (hit, first_use)
-        };
+        let (l2_hit, l2_was_unused_prefetch) = self.cores[index].l2.demand_lookup_first_use(line);
         if l2_hit {
             if count_coverage && l2_was_unused_prefetch {
                 let core = &mut self.cores[index];
@@ -767,9 +804,7 @@ impl Machine {
         }
 
         // LLC probe.
-        let before_llc_first_uses = self.llc.stats().prefetch_first_uses;
-        let llc_hit = self.llc.demand_lookup(line);
-        let llc_first_use = self.llc.stats().prefetch_first_uses > before_llc_first_uses;
+        let (llc_hit, llc_first_use) = self.llc.demand_lookup_first_use(line);
         if llc_hit {
             if count_coverage && llc_first_use {
                 let core = &mut self.cores[index];
@@ -787,13 +822,12 @@ impl Machine {
         // In-flight fill (an earlier prefetch or demand to the same line) or
         // DRAM access — resolved with a single hash probe.
         let issue_cycle = cycle + l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD;
-        match self.pending.entry(line.as_u64()) {
-            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+        match self.pending.slot(line.as_u64()) {
+            Slot::Occupied(fill) => {
                 // A demand hitting an in-flight prefetch promotes it to
                 // demand priority (as an MSHR hit would): re-issue the
                 // request with demand priority and take whichever data
                 // return is earlier.
-                let fill = occupied.get_mut();
                 let was_prefetch = fill.is_prefetch && !fill.used_by_demand;
                 fill.used_by_demand = true;
                 fill.fill_l1 = true;
@@ -802,9 +836,8 @@ impl Machine {
                 let old_ready = fill.ready;
                 let promoted_ready = if was_prefetch && old_ready > issue_cycle {
                     let reissued = self.dram.access(line, issue_cycle, false);
-                    let fill = occupied.get_mut();
                     fill.ready = fill.ready.min(reissued);
-                    self.ready_queue.push(Reverse((fill.ready, line.as_u64())));
+                    self.ready_queue.push(fill.ready, line.as_u64());
                     fill.ready
                 } else {
                     old_ready
@@ -818,7 +851,7 @@ impl Machine {
                 let wait = promoted_ready.saturating_sub(cycle).max(1);
                 (l2_latency + llc_latency + wait, false)
             }
-            std::collections::hash_map::Entry::Vacant(vacant) => {
+            Slot::Vacant(vacant) => {
                 // DRAM access.
                 if count_coverage {
                     self.cores[index].accounting.uncovered += 1;
@@ -828,13 +861,14 @@ impl Machine {
                 vacant.insert(PendingFill {
                     ready,
                     core: index,
+                    issuer: index,
                     is_prefetch: false,
                     fill_l1: true,
                     fill_l2: true,
                     low_priority: false,
                     used_by_demand: true,
                 });
-                self.ready_queue.push(Reverse((ready, line.as_u64())));
+                self.ready_queue.push(ready, line.as_u64());
                 (
                     l2_latency
                         + llc_latency
@@ -846,20 +880,27 @@ impl Machine {
         }
     }
 
-    /// Issues one request from the L2 prefetcher.
-    fn issue_l2_prefetch(&mut self, index: usize, request: &PrefetchRequest, cycle: u64) {
+    /// Issues one request from the L2 prefetcher. Returns `false` when the
+    /// core's prefetch MSHR budget is exhausted: the budget only grows
+    /// within one access's issue loop, so the caller can stop iterating the
+    /// remaining candidates — a full prefetch queue drops them on the
+    /// floor, as the hardware's would.
+    fn issue_l2_prefetch(&mut self, index: usize, request: &PrefetchRequest, cycle: u64) -> bool {
+        if self.cores[index].inflight_prefetches >= self.config.prefetch_mshrs {
+            return false;
+        }
         let line = request.line;
         let key = line.as_u64();
         let fill_l2 = request.fill_level != FillLevel::Llc;
         {
             let core = &mut self.cores[index];
             if core.l2.prefetch_lookup(line) {
-                return; // already resident where it would be filled
+                return true; // already resident where it would be filled
             }
         }
         // One hash probe decides in-flight filtering and books the fill.
-        let std::collections::hash_map::Entry::Vacant(vacant) = self.pending.entry(key) else {
-            return;
+        let Slot::Vacant(vacant) = self.pending.slot(key) else {
+            return true;
         };
         self.cores[index].accounting.prefetches_issued += 1;
         let ready = if self.llc.prefetch_lookup(line) {
@@ -872,13 +913,16 @@ impl Machine {
         vacant.insert(PendingFill {
             ready,
             core: index,
+            issuer: index,
             is_prefetch: true,
             fill_l1: false,
             fill_l2,
             low_priority: request.low_priority,
             used_by_demand: false,
         });
-        self.ready_queue.push(Reverse((ready, key)));
+        self.cores[index].inflight_prefetches += 1;
+        self.ready_queue.push(ready, key);
+        true
     }
 
     /// Issues one request from the L1 stride prefetcher. L1 prefetch misses
@@ -917,7 +961,9 @@ impl Machine {
             core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
         }
         for request in l2_sink.requests() {
-            self.issue_l2_prefetch(index, request, cycle);
+            if !self.issue_l2_prefetch(index, request, cycle) {
+                break;
+            }
         }
         self.l2_sink = l2_sink;
         // Fill the line into the L1 as a prefetch.
@@ -958,7 +1004,7 @@ mod tests {
         )
     }
 
-    fn run_single(source: impl IntoTraceSource, prefetcher: Box<dyn Prefetcher>) -> SimResult {
+    fn run_single(source: impl IntoTraceSource, prefetcher: impl Into<AnyPrefetcher>) -> SimResult {
         SimulationBuilder::new(SystemConfig::single_thread())
             .with_core(source, prefetcher)
             .run()
@@ -968,7 +1014,7 @@ mod tests {
     fn simulation_terminates_and_counts_instructions() {
         let trace = stream_trace(2_000, 1);
         let expected_instructions = trace.instruction_count();
-        let result = run_single(trace, Box::new(NullPrefetcher::new()));
+        let result = run_single(trace, NullPrefetcher::new());
         assert_eq!(result.cores.len(), 1);
         assert_eq!(result.cores[0].instructions, expected_instructions);
         assert!(result.cores[0].ipc() > 0.0);
@@ -982,13 +1028,13 @@ mod tests {
         // the L1 already).
         let mut config = SystemConfig::single_thread();
         config.l1_stride_prefetcher = false;
-        let run = |prefetcher: Box<dyn Prefetcher>| {
+        let run = |prefetcher: AnyPrefetcher| {
             SimulationBuilder::new(config.clone())
                 .with_core(stream_trace(4_000, 2), prefetcher)
                 .run()
         };
-        let baseline = run(Box::new(NullPrefetcher::new()));
-        let prefetched = run(Box::new(StreamPrefetcher::new(StreamConfig::default())));
+        let baseline = run(NullPrefetcher::new().into());
+        let prefetched = run(StreamPrefetcher::new(StreamConfig::default()).into());
         let speedup = prefetched.speedup_over(&baseline);
         assert!(
             speedup > 1.10,
@@ -1017,8 +1063,8 @@ mod tests {
             }
             .generate_records(9, 2_000),
         );
-        let chase_result = run_single(chase, Box::new(NullPrefetcher::new()));
-        let stream_result = run_single(stream, Box::new(NullPrefetcher::new()));
+        let chase_result = run_single(chase, NullPrefetcher::new());
+        let stream_result = run_single(stream, NullPrefetcher::new());
         assert!(
             chase_result.cores[0].ipc() < stream_result.cores[0].ipc() * 0.6,
             "serialized pointer chasing must be much slower (chase {:.3} vs stream {:.3})",
@@ -1031,7 +1077,7 @@ mod tests {
     fn coverage_accounting_reflects_prefetch_hits() {
         let result = run_single(
             stream_trace(4_000, 3),
-            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+            StreamPrefetcher::new(StreamConfig::default()),
         );
         let acc = result.total_accounting();
         assert!(acc.prefetches_issued > 0);
@@ -1045,7 +1091,7 @@ mod tests {
 
     #[test]
     fn null_prefetcher_has_zero_prefetch_traffic() {
-        let result = run_single(stream_trace(2_000, 4), Box::new(NullPrefetcher::new()));
+        let result = run_single(stream_trace(2_000, 4), NullPrefetcher::new());
         let acc = result.total_accounting();
         assert_eq!(acc.prefetches_issued, 0);
         assert_eq!(acc.covered, 0);
@@ -1054,13 +1100,13 @@ mod tests {
 
     #[test]
     fn dram_traffic_increases_with_prefetching() {
-        let baseline = run_single(stream_trace(3_000, 5), Box::new(NullPrefetcher::new()));
+        let baseline = run_single(stream_trace(3_000, 5), NullPrefetcher::new());
         let prefetched = run_single(
             stream_trace(3_000, 5),
-            Box::new(StreamPrefetcher::new(StreamConfig {
+            StreamPrefetcher::new(StreamConfig {
                 degree: 8,
                 ..StreamConfig::default()
-            })),
+            }),
         );
         assert!(prefetched.dram.cas_commands >= baseline.dram.cas_commands);
         assert!(prefetched.dram.prefetch_accesses > 0);
@@ -1071,10 +1117,7 @@ mod tests {
         let config = SystemConfig::multi_programmed();
         let mut builder = SimulationBuilder::new(config);
         for seed in 0..4u64 {
-            builder = builder.with_core(
-                stream_trace(1_500, 10 + seed),
-                Box::new(NullPrefetcher::new()),
-            );
+            builder = builder.with_core(stream_trace(1_500, 10 + seed), NullPrefetcher::new());
         }
         let result = builder.run();
         assert_eq!(result.cores.len(), 4);
@@ -1105,11 +1148,11 @@ mod tests {
             )
         };
         let alone = SimulationBuilder::new(SystemConfig::single_thread())
-            .with_core(sparse(1), Box::new(NullPrefetcher::new()))
+            .with_core(sparse(1), NullPrefetcher::new())
             .run();
         let mut builder = SimulationBuilder::new(SystemConfig::multi_programmed());
         for seed in 1..5u64 {
-            builder = builder.with_core(sparse(seed), Box::new(NullPrefetcher::new()));
+            builder = builder.with_core(sparse(seed), NullPrefetcher::new());
         }
         let shared = builder.run();
         assert!(
@@ -1132,7 +1175,7 @@ mod tests {
                 }
                 .generate_records(7, 1_000),
             ),
-            Box::new(NullPrefetcher::new()),
+            NullPrefetcher::new(),
         );
         let heavy = run_single(
             Trace::new(
@@ -1144,10 +1187,10 @@ mod tests {
                 }
                 .generate_records(7, 6_000),
             ),
-            Box::new(StreamPrefetcher::new(StreamConfig {
+            StreamPrefetcher::new(StreamConfig {
                 degree: 8,
                 ..StreamConfig::default()
-            })),
+            }),
         );
         assert!(heavy.dram.average_utilization() > light.dram.average_utilization());
     }
@@ -1171,10 +1214,10 @@ mod tests {
         let result = SimulationBuilder::new(config)
             .with_core(
                 trace,
-                Box::new(StreamPrefetcher::new(StreamConfig {
+                StreamPrefetcher::new(StreamConfig {
                     degree: 6,
                     ..StreamConfig::default()
-                })),
+                }),
             )
             .run();
         assert!(
@@ -1196,10 +1239,10 @@ mod tests {
         let mut without_cfg = SystemConfig::single_thread();
         without_cfg.l1_stride_prefetcher = false;
         let with_stride = SimulationBuilder::new(with_cfg)
-            .with_core(trace(), Box::new(NullPrefetcher::new()))
+            .with_core(trace(), NullPrefetcher::new())
             .run();
         let without_stride = SimulationBuilder::new(without_cfg)
-            .with_core(trace(), Box::new(NullPrefetcher::new()))
+            .with_core(trace(), NullPrefetcher::new())
             .run();
         assert!(
             with_stride.cores[0].l1.miss_ratio() < without_stride.cores[0].l1.miss_ratio(),
@@ -1212,12 +1255,12 @@ mod tests {
         let slow = SimulationBuilder::new(
             SystemConfig::single_thread().with_dram(1, DramSpeedGrade::Ddr4_1600),
         )
-        .with_core(stream_trace(3_000, 31), Box::new(NullPrefetcher::new()))
+        .with_core(stream_trace(3_000, 31), NullPrefetcher::new())
         .run();
         let fast = SimulationBuilder::new(
             SystemConfig::single_thread().with_dram(2, DramSpeedGrade::Ddr4_2400),
         )
-        .with_core(stream_trace(3_000, 31), Box::new(NullPrefetcher::new()))
+        .with_core(stream_trace(3_000, 31), NullPrefetcher::new())
         .run();
         assert!(fast.cores[0].ipc() >= slow.cores[0].ipc() * 0.99);
     }
@@ -1234,13 +1277,31 @@ mod tests {
         });
         let materialized = run_single(
             Trace::new("golden", spec.generate_records(13, 4_000)),
-            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+            StreamPrefetcher::new(StreamConfig::default()),
         );
         let streamed = run_single(
             SynthSource::new("golden", spec, 13, 4_000).into_trace_source(),
-            Box::new(StreamPrefetcher::new(StreamConfig::default())),
+            StreamPrefetcher::new(StreamConfig::default()),
         );
         assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn results_echo_the_effective_cache_geometry() {
+        // A non-power-of-two LLC rounds its set count up; the result must
+        // say so rather than let reports quote the requested capacity.
+        let config = SystemConfig::single_thread().with_llc_capacity(3 * 1024 * 1024);
+        let result = SimulationBuilder::new(config)
+            .with_core(stream_trace(500, 77), NullPrefetcher::new())
+            .run();
+        assert_eq!(result.cache_geometry.len(), 3);
+        let llc = &result.cache_geometry[2];
+        assert_eq!(llc.name, "LLC");
+        assert_eq!(llc.requested_bytes, 3 * 1024 * 1024);
+        assert!(llc.rounded);
+        assert_eq!(llc.effective_bytes, 4 * 1024 * 1024);
+        let l1 = &result.cache_geometry[0];
+        assert!(!l1.rounded, "the paper's L1 is a power of two");
     }
 
     #[test]
@@ -1253,8 +1314,8 @@ mod tests {
     #[should_panic(expected = "more cores supplied")]
     fn too_many_cores_are_rejected() {
         let _ = SimulationBuilder::new(SystemConfig::single_thread())
-            .with_core(stream_trace(10, 1), Box::new(NullPrefetcher::new()))
-            .with_core(stream_trace(10, 2), Box::new(NullPrefetcher::new()))
+            .with_core(stream_trace(10, 1), NullPrefetcher::new())
+            .with_core(stream_trace(10, 2), NullPrefetcher::new())
             .run();
     }
 }

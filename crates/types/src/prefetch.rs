@@ -203,6 +203,14 @@ impl PrefetchSink {
         self.requests.truncate(len);
     }
 
+    /// Mutable access to the buffered requests, for callers that merge or
+    /// compact a range in place (e.g. the composite prefetcher
+    /// deduplicating its adjunct's candidates without a scratch copy).
+    #[inline]
+    pub fn requests_mut(&mut self) -> &mut [PrefetchRequest] {
+        &mut self.requests
+    }
+
     /// Current capacity of the backing buffer (steady-state allocation
     /// checks in tests observe this).
     pub fn capacity(&self) -> usize {

@@ -138,7 +138,7 @@ fn fig5_matches_the_pre_redesign_direct_computation() {
                 let result = SimulationBuilder::new(config.clone())
                     .with_core(
                         workload.generate(scale.accesses_per_workload),
-                        Box::new(SmsPrefetcher::new(SmsConfig::with_pht_entries(*entries))),
+                        SmsPrefetcher::new(SmsConfig::with_pht_entries(*entries)),
                     )
                     .run();
                 result.speedup_over(&baseline)

@@ -311,7 +311,7 @@ proptest! {
         let trace = Trace::new("prop", records);
         let expected = trace.instruction_count();
         let result = SimulationBuilder::new(SystemConfig::single_thread())
-            .with_core(trace, Box::new(NullPrefetcher::new()))
+            .with_core(trace, NullPrefetcher::new())
             .run();
         prop_assert_eq!(result.cores[0].instructions, expected);
         prop_assert!(result.cores[0].finish_cycle > 0);

@@ -29,11 +29,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAllocator;
 
+/// Global tally (kept for completeness) plus a per-thread tally. The
+/// measurement windows read the **thread-local** counter: the libtest
+/// harness's main thread allocates on its own schedule (progress output,
+/// channel bookkeeping), and counting it made the test flaky.
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ALLOCATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(std::cell::Cell::get)
+}
+
+fn count_one() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    // A const-initialized thread-local never allocates on access, so the
+    // allocator may touch it re-entrantly.
+    THREAD_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc(layout) }
     }
 
@@ -42,7 +61,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -92,14 +111,14 @@ fn assert_steady_state_alloc_free(prefetcher: &mut dyn Prefetcher, name: &str) {
         prefetcher.on_access(access, ctx, &mut sink);
     }
     // Steady state: the same stream again must not allocate at all.
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = thread_allocations();
     let mut issued = 0usize;
     for (access, ctx) in &warmup {
         sink.clear();
         prefetcher.on_access(access, ctx, &mut sink);
         issued += sink.len();
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = thread_allocations();
     assert_eq!(
         after - before,
         0,
@@ -122,11 +141,11 @@ fn assert_streaming_source_alloc_free(spec: &dspatch_trace::GeneratorSpec, name:
     for _ in 0..6_000 {
         source.next_record();
     }
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = thread_allocations();
     for _ in 0..6_000 {
         source.next_record();
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = thread_allocations();
     assert_eq!(
         after - before,
         0,
