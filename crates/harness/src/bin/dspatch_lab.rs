@@ -20,6 +20,10 @@
 //! report to a file instead of stdout. `--scale` beats a spec file's
 //! embedded `"scale"`; the default is `smoke`. `--threads` overrides the
 //! worker count (presets default to the machine's available parallelism).
+//! `--parallel-cores N` runs every multi-core simulation on the parallel
+//! epoch engine with N worker threads each (results are bit-identical to
+//! the serial engine); the campaign executor divides `--threads` by N so
+//! the two levels share one thread budget.
 
 use dspatch_harness::campaign::run_campaign;
 use dspatch_harness::figures::FigureId;
@@ -39,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dspatch-lab (--figure NAME | --spec FILE.json | --trace-file FILE | --list | --template)\n\
          \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
-         \x20                [--threads N] [--prefetchers KIND[,KIND...]] [--out PATH]"
+         \x20                [--threads N] [--parallel-cores N] [--prefetchers KIND[,KIND...]] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -57,6 +61,7 @@ fn main() {
     let mut scale_name: Option<String> = None;
     let mut format = Format::Table;
     let mut threads: Option<usize> = None;
+    let mut sim_workers: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut list = false;
     let mut template = false;
@@ -86,6 +91,13 @@ fn main() {
                     value("--threads")
                         .parse()
                         .unwrap_or_else(|_| fail("--threads must be an integer")),
+                )
+            }
+            "--parallel-cores" => {
+                sim_workers = Some(
+                    value("--parallel-cores")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--parallel-cores must be an integer")),
                 )
             }
             "--out" => out = Some(value("--out")),
@@ -118,8 +130,9 @@ fn main() {
     }
     // Replay always runs the whole file once per prefetcher on one thread,
     // so silently accepting these flags would mislead.
-    if trace_file.is_some() && (scale_name.is_some() || threads.is_some()) {
-        fail("--scale/--threads do not apply to --trace-file (the whole trace replays once per prefetcher)");
+    if trace_file.is_some() && (scale_name.is_some() || threads.is_some() || sim_workers.is_some())
+    {
+        fail("--scale/--threads/--parallel-cores do not apply to --trace-file (the whole trace replays once per prefetcher, single-core)");
     }
     let report = if list {
         inventory()
@@ -138,7 +151,7 @@ fn main() {
             (Some(name), None) => {
                 let id = FigureId::parse(name)
                     .unwrap_or_else(|| fail(&format!("unknown figure '{name}' (see --list)")));
-                let scale = resolve_scale(scale_name.as_deref(), None, threads);
+                let scale = resolve_scale(scale_name.as_deref(), None, threads, sim_workers);
                 let table = id.run(&scale);
                 match format {
                     Format::Table => table.render(),
@@ -151,7 +164,12 @@ fn main() {
                     .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
                 let spec = CampaignSpec::parse(&text)
                     .unwrap_or_else(|e| fail(&format!("invalid spec {path}: {e}")));
-                let scale = resolve_scale(scale_name.as_deref(), spec.scale.as_ref(), threads);
+                let scale = resolve_scale(
+                    scale_name.as_deref(),
+                    spec.scale.as_ref(),
+                    threads,
+                    sim_workers,
+                );
                 let result = run_campaign(&spec, &scale)
                     .unwrap_or_else(|e| fail(&format!("spec error: {e}")));
                 eprintln!(
@@ -301,11 +319,12 @@ fn replay_trace_file(path: &str, prefetchers: Option<&str>) -> Table {
 }
 
 /// `--scale` wins, then a spec file's embedded scale, then smoke.
-/// `--threads` overrides whichever was chosen.
+/// `--threads` and `--parallel-cores` override whichever was chosen.
 fn resolve_scale(
     flag: Option<&str>,
     embedded: Option<&dspatch_harness::campaign::ScaleSpec>,
     threads: Option<usize>,
+    sim_workers: Option<usize>,
 ) -> RunScale {
     let mut scale = match (flag, embedded) {
         (Some(name), _) => RunScale::preset(name)
@@ -317,6 +336,9 @@ fn resolve_scale(
     };
     if let Some(threads) = threads {
         scale = scale.with_threads(threads);
+    }
+    if let Some(workers) = sim_workers {
+        scale = scale.with_sim_workers(workers);
     }
     scale
 }

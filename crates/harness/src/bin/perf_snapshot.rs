@@ -49,6 +49,11 @@ fn rows(doc: &Json) -> Vec<(String, f64)> {
             push(name.to_owned(), row);
         }
     }
+    if let Some(Json::Obj(entries)) = doc.get("multi_core_parallel") {
+        for (name, row) in entries {
+            push(format!("multi_core_parallel.{name}"), row);
+        }
+    }
     if let Some(Json::Obj(entries)) = doc.get("per_prefetcher") {
         for (name, row) in entries {
             push(format!("per_prefetcher.{name}"), row);

@@ -620,6 +620,9 @@ pub enum ScaleSpec {
         mixes: usize,
         /// Worker threads; `None` defaults to the machine's parallelism.
         threads: Option<usize>,
+        /// Epoch workers inside each multi-core simulation (0 = serial
+        /// multi-core engine).
+        sim_workers: usize,
     },
 }
 
@@ -638,11 +641,13 @@ impl ScaleSpec {
                 workloads_per_category,
                 mixes,
                 threads,
+                sim_workers,
             } => Ok(RunScale {
                 accesses_per_workload: *accesses_per_workload,
                 workloads_per_category: *workloads_per_category,
                 mixes: *mixes,
                 threads: threads.unwrap_or_else(default_threads).max(1),
+                sim_workers: *sim_workers,
             }),
         }
     }
@@ -656,6 +661,7 @@ impl ScaleSpec {
                 workloads_per_category,
                 mixes,
                 threads,
+                sim_workers,
             } => {
                 let mut entries = vec![
                     (
@@ -670,6 +676,9 @@ impl ScaleSpec {
                 ];
                 if let Some(threads) = threads {
                     entries.push(("threads".to_owned(), Json::num(*threads as f64)));
+                }
+                if *sim_workers > 0 {
+                    entries.push(("sim_workers".to_owned(), Json::num(*sim_workers as f64)));
                 }
                 Json::Obj(entries)
             }
@@ -692,6 +701,7 @@ impl ScaleSpec {
                 "workloads_per_category",
                 "mixes",
                 "threads",
+                "sim_workers",
             ],
             "custom scale",
         )?;
@@ -713,6 +723,13 @@ impl ScaleSpec {
                         .ok_or("custom scale 'threads' must be a non-negative integer")?
                         as usize,
                 ),
+            },
+            sim_workers: match json.get("sim_workers") {
+                None | Some(Json::Null) => 0,
+                Some(workers) => workers
+                    .as_u64()
+                    .ok_or("custom scale 'sim_workers' must be a non-negative integer")?
+                    as usize,
             },
         })
     }
@@ -1254,7 +1271,7 @@ pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> Campai
                 jobs.push(Job {
                     target: target.clone(),
                     sel,
-                    config: cell.config.clone(),
+                    config: scale.apply_sim_workers(cell.config.clone()),
                 });
                 index
             };
@@ -1287,7 +1304,17 @@ pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> Campai
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].target.cores()));
 
-    let threads = scale.threads.clamp(1, jobs.len().max(1));
+    // Campaign-level workers and intra-simulation epoch workers share one
+    // thread budget: when the cells request `parallel_cores`, each job may
+    // spin up `effective_workers()` threads of its own, so the outer pool
+    // shrinks by that factor instead of multiplying against it.
+    let max_intra = jobs
+        .iter()
+        .map(|job| job.config.effective_workers())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let threads = (scale.threads / max_intra).clamp(1, jobs.len().max(1));
     let cursor = AtomicUsize::new(0);
     let mut sims: Vec<Option<SimResult>> = Vec::new();
     sims.resize_with(jobs.len(), || None);
@@ -1343,6 +1370,7 @@ mod tests {
             workloads_per_category: 1,
             mixes: 1,
             threads: 2,
+            sim_workers: 0,
         }
     }
 

@@ -973,6 +973,7 @@ mod tests {
             workloads_per_category: 1,
             mixes: 1,
             threads: 4,
+            sim_workers: 0,
         }
     }
 

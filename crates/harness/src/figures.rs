@@ -188,6 +188,7 @@ mod tests {
             workloads_per_category: 1,
             mixes: 1,
             threads: 1,
+            sim_workers: 0,
         };
         assert!(FigureId::Table1.run(&scale).render().contains("SPT"));
         assert!(FigureId::Table3.run(&scale).render().contains("DSPatch"));

@@ -70,6 +70,13 @@ pub struct SnapshotReport {
     pub streaming_single_thread: ScenarioThroughput,
     /// Four cores (DSPatch+SPP each) sharing LLC and DRAM.
     pub four_core: ScenarioThroughput,
+    /// The same 4-core scenario on the parallel epoch engine
+    /// (`parallel_cores = true`), one row per epoch-worker count. The
+    /// `workers = 1` row prices the bounded-lag schedule itself (no
+    /// threading); the higher rows price the actual thread scaling. Every
+    /// row simulates the identical result — the engine is bit-identical
+    /// across worker counts — so the rows differ only in wall-clock.
+    pub multi_core_parallel: Vec<(usize, ScenarioThroughput)>,
     /// One single-thread row per registry prefetcher (same trace and
     /// machine as the headline rows), keyed by
     /// [`PrefetcherKind::spec_name`]. This is what attributes throughput
@@ -111,6 +118,14 @@ impl SnapshotReport {
             ),
             ("four_core", scenario(&self.four_core)),
             (
+                "multi_core_parallel",
+                Json::obj(
+                    self.multi_core_parallel
+                        .iter()
+                        .map(|(workers, s)| (format!("workers_{workers}"), scenario(s))),
+                ),
+            ),
+            (
                 "per_prefetcher",
                 Json::obj(
                     self.per_prefetcher
@@ -124,7 +139,7 @@ impl SnapshotReport {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "baseline 1T: {:.0} acc/s ({:.2} Mcyc/s) | DSPatch+SPP 1T: {:.0} acc/s ({:.2} Mcyc/s) | streaming 1T: {:.0} acc/s ({:.2} Mcyc/s) | 4-core: {:.0} acc/s ({:.2} Mcyc/s)",
             self.baseline_single_thread.accesses_per_sec(),
             self.baseline_single_thread.cycles_per_sec() / 1e6,
@@ -134,7 +149,15 @@ impl SnapshotReport {
             self.streaming_single_thread.cycles_per_sec() / 1e6,
             self.four_core.accesses_per_sec(),
             self.four_core.cycles_per_sec() / 1e6,
-        )
+        );
+        for (workers, s) in &self.multi_core_parallel {
+            line.push_str(&format!(
+                " | 4-core {}w: {:.0} acc/s",
+                workers,
+                s.accesses_per_sec()
+            ));
+        }
+        line
     }
 }
 
@@ -316,6 +339,31 @@ pub fn run_four_core_snapshot(accesses_per_core: usize) -> ScenarioThroughput {
     })
 }
 
+/// Runs the 4-core snapshot on the parallel epoch engine with a fixed
+/// worker count, and times it. The simulated result is bit-identical to
+/// [`run_four_core_snapshot`]'s semantics on the epoch schedule for every
+/// `workers`, so rows differ only in wall-clock.
+pub fn run_four_core_parallel_snapshot(
+    accesses_per_core: usize,
+    workers: usize,
+) -> ScenarioThroughput {
+    let traces = snapshot_multi_traces(accesses_per_core);
+    let count = traces.iter().map(|t| t.records.len() as u64).sum();
+    let mut config = SystemConfig::multi_programmed();
+    config.parallel_cores = true;
+    config.parallel_workers = workers;
+    measure(count, move || {
+        let mut builder = SimulationBuilder::new(config);
+        for trace in traces {
+            builder = builder.with_core(trace, dspatch_plus_spp());
+        }
+        builder.run().cycles
+    })
+}
+
+/// The epoch-worker counts measured by the `multi_core_parallel` rows.
+pub const PARALLEL_WORKER_ROWS: [usize; 3] = [1, 2, 4];
+
 /// Runs all three snapshot scenarios. `repeats` > 1 keeps the best (lowest
 /// wall-clock) run per scenario, damping scheduler noise.
 pub fn run_snapshot(
@@ -351,6 +399,15 @@ pub fn run_snapshot(
         dspatch_spp_single_thread,
         streaming_single_thread: best(&|| run_streaming_snapshot(single_accesses)),
         four_core: best(&|| run_four_core_snapshot(per_core_accesses)),
+        multi_core_parallel: PARALLEL_WORKER_ROWS
+            .iter()
+            .map(|&workers| {
+                (
+                    workers,
+                    best(&|| run_four_core_parallel_snapshot(per_core_accesses, workers)),
+                )
+            })
+            .collect(),
         per_prefetcher,
     }
 }
@@ -390,6 +447,23 @@ mod tests {
         assert_eq!(report.streaming_single_thread.accesses, 400);
         assert_eq!(report.four_core.accesses, 800);
         assert!(report.dspatch_spp_single_thread.cycles > 0);
+        // One row per configured worker count, and every worker count
+        // simulates the identical run: same accesses, same cycles.
+        assert_eq!(
+            report
+                .multi_core_parallel
+                .iter()
+                .map(|(w, _)| *w)
+                .collect::<Vec<_>>(),
+            PARALLEL_WORKER_ROWS.to_vec()
+        );
+        for (workers, s) in &report.multi_core_parallel {
+            assert_eq!(s.accesses, 800, "workers_{workers} row accesses");
+            assert_eq!(
+                s.cycles, report.multi_core_parallel[0].1.cycles,
+                "workers_{workers} must simulate the same cycles"
+            );
+        }
         // Same records, same machine: the streaming and materialized rows
         // must simulate the same number of cycles.
         assert_eq!(
@@ -401,6 +475,8 @@ mod tests {
         assert!(json.contains("\"baseline_single_thread\""));
         assert!(json.contains("\"streaming_single_thread\""));
         assert!(json.contains("\"four_core\""));
+        assert!(json.contains("\"multi_core_parallel\""));
+        assert!(json.contains("\"workers_4\""));
         let parsed = Json::parse(&json).expect("snapshot JSON is valid");
         assert_eq!(
             parsed

@@ -186,6 +186,12 @@ pub struct RunScale {
     pub mixes: usize,
     /// Number of worker threads used to run workloads in parallel.
     pub threads: usize,
+    /// Epoch-worker threads **inside** each multi-core simulation
+    /// (`SystemConfig::parallel_cores`): 0 leaves multi-core cells on the
+    /// single-threaded engine, N > 0 runs them with N epoch workers. The
+    /// result is bit-identical either way; the campaign executor divides
+    /// [`RunScale::threads`] by this so the two levels share one budget.
+    pub sim_workers: usize,
 }
 
 impl RunScale {
@@ -196,6 +202,7 @@ impl RunScale {
             workloads_per_category: 1,
             mixes: 2,
             threads: default_threads(),
+            sim_workers: 0,
         }
     }
 
@@ -207,6 +214,7 @@ impl RunScale {
             workloads_per_category: 2,
             mixes: 4,
             threads: default_threads(),
+            sim_workers: 0,
         }
     }
 
@@ -217,6 +225,7 @@ impl RunScale {
             workloads_per_category: 0,
             mixes: 0,
             threads: default_threads(),
+            sim_workers: 0,
         }
     }
 
@@ -235,6 +244,25 @@ impl RunScale {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Enables the parallel multi-core engine with `workers` epoch workers
+    /// per multi-core simulation (0 disables it again).
+    pub fn with_sim_workers(mut self, workers: usize) -> Self {
+        self.sim_workers = workers;
+        self
+    }
+
+    /// Applies [`RunScale::sim_workers`] to a concrete system
+    /// configuration: multi-core configs get `parallel_cores` switched on
+    /// with the requested worker count, single-core configs (and
+    /// `sim_workers == 0`) pass through untouched.
+    pub fn apply_sim_workers(&self, mut config: SystemConfig) -> SystemConfig {
+        if self.sim_workers > 0 && config.cores > 1 {
+            config.parallel_cores = true;
+            config.parallel_workers = self.sim_workers;
+        }
+        config
     }
 
     /// Applies the per-category workload cap to a workload list.

@@ -182,6 +182,21 @@ pub struct SystemConfig {
     /// Upper bound on simulated cycles (guards against pathological
     /// configurations; 0 disables the guard).
     pub max_cycles: u64,
+    /// Run multi-core simulations on scoped worker threads, one shard per
+    /// core, synchronizing at bounded-lag epoch boundaries. The epoch
+    /// engine is deterministic and produces identical results for any
+    /// worker count (a golden test asserts this); single-core simulations
+    /// always use the exact serial loop. Off by default.
+    pub parallel_cores: bool,
+    /// Worker-thread count for the epoch engine. `0` (the default) picks
+    /// `min(available_parallelism, cores)`; any other value is clamped to
+    /// the shard count. Ignored unless `parallel_cores` is set.
+    pub parallel_workers: usize,
+    /// Epoch length in core cycles for the sharded engine. `0` (the
+    /// default) uses the bandwidth-tracker window (4×tRC), the cadence at
+    /// which the hardware itself broadcasts shared DRAM state. Ignored
+    /// unless the simulation has more than one core.
+    pub parallel_epoch_cycles: u64,
 }
 
 impl SystemConfig {
@@ -199,7 +214,27 @@ impl SystemConfig {
             prefetch_mshrs: 16,
             cycle_skipping: true,
             max_cycles: 2_000_000_000,
+            parallel_cores: false,
+            parallel_workers: 0,
+            parallel_epoch_cycles: 0,
         }
+    }
+
+    /// The number of worker threads a simulation with this config will
+    /// occupy: 1 unless it is a parallel multi-core run. Campaign executors
+    /// use this to keep `outer_jobs × intra_sim_workers` within one thread
+    /// budget instead of multiplying pools.
+    pub fn effective_workers(&self) -> usize {
+        if !self.parallel_cores || self.cores < 2 {
+            return 1;
+        }
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.parallel_workers == 0 {
+            auto
+        } else {
+            self.parallel_workers
+        };
+        requested.clamp(1, self.cores)
     }
 
     /// The paper's multi-programmed configuration: four cores, a shared

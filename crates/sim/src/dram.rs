@@ -220,12 +220,16 @@ pub struct Dram {
     channels: Vec<Channel>,
     tracker: BandwidthTracker,
     stats: DramStats,
-    /// Timing parameters converted to core cycles once at construction —
-    /// `access` runs on the per-miss hot path and must not redo the
-    /// float-multiply-and-round per call.
-    t_cl_cycles: u64,
-    t_rcd_cycles: u64,
-    t_rp_cycles: u64,
+    /// Composite access latencies converted to core cycles once at
+    /// construction — `access` runs on the per-miss hot path and must not
+    /// redo the float-multiply-and-round per call. Each composite is the
+    /// rounding of the **summed** nanoseconds (tCL, tRCD+tCL,
+    /// tRP+tRCD+tCL): rounding the parameters independently and adding the
+    /// cycle counts can differ by a cycle from the physical sum at clock
+    /// rates where the per-parameter products land on .5 boundaries.
+    row_hit_cycles: u64,
+    row_open_cycles: u64,
+    row_conflict_cycles: u64,
     transfer_cycles: u64,
 }
 
@@ -259,12 +263,27 @@ impl Dram {
             channels: vec![channel; config.channels],
             tracker,
             stats: DramStats::default(),
-            t_cl_cycles: to_cycles(config.t_cl_ns),
-            t_rcd_cycles: to_cycles(config.t_rcd_ns),
-            t_rp_cycles: to_cycles(config.t_rp_ns),
+            row_hit_cycles: to_cycles(config.t_cl_ns),
+            row_open_cycles: to_cycles(config.t_rcd_ns + config.t_cl_ns),
+            row_conflict_cycles: to_cycles(config.t_rp_ns + config.t_rcd_ns + config.t_cl_ns),
             transfer_cycles: to_cycles(config.transfer_time_ns()).max(1),
             config,
         }
+    }
+
+    /// Copies the complete mutable state of `other` into `self` without
+    /// allocating. Used by the sharded multi-core engine to refresh a
+    /// per-shard DRAM view from the shared model at each epoch boundary;
+    /// both sides are built from the same configuration.
+    pub(crate) fn copy_state_from(&mut self, other: &Dram) {
+        debug_assert_eq!(self.channels.len(), other.channels.len());
+        for (dst, src) in self.channels.iter_mut().zip(&other.channels) {
+            dst.banks.copy_from_slice(&src.banks);
+            dst.data_bus_free = src.data_bus_free;
+            dst.demand_bus_free = src.demand_bus_free;
+        }
+        self.tracker = other.tracker;
+        self.stats = other.stats;
     }
 
     /// The DRAM configuration.
@@ -299,9 +318,6 @@ impl Dram {
         let lines_per_row = (self.config.row_buffer_bytes / 64).max(1) as u64;
         let row = raw / (self.config.channels as u64 * banks * lines_per_row);
 
-        let t_cl = self.t_cl_cycles;
-        let t_rcd = self.t_rcd_cycles;
-        let t_rp = self.t_rp_cycles;
         let transfer = self.transfer_cycles;
 
         let channel = &mut self.channels[channel_index];
@@ -310,15 +326,15 @@ impl Dram {
         let access_latency = match bank.open_row {
             Some(open) if open == row => {
                 self.stats.row_hits += 1;
-                t_cl
+                self.row_hit_cycles
             }
             Some(_) => {
                 self.stats.row_misses += 1;
-                t_rp + t_rcd + t_cl
+                self.row_conflict_cycles
             }
             None => {
                 self.stats.row_misses += 1;
-                t_rcd + t_cl
+                self.row_open_cycles
             }
         };
         bank.open_row = Some(row);
@@ -333,13 +349,15 @@ impl Dram {
         };
         let data_ready = (start + access_latency).max(bus_free);
         let completion = data_ready + transfer;
+        // Every access — prefetch or demand — occupies the bank for its
+        // activation + CAS time: a row activation is not free just because a
+        // prefetch issued it. Demand-first arbitration lives entirely on the
+        // data bus (`demand_bus_free` advances only for demands), not in the
+        // bank model.
+        bank.busy_until = start + access_latency;
         channel.data_bus_free = channel.data_bus_free.max(completion);
         if !is_prefetch {
             channel.demand_bus_free = completion;
-            // Prefetch commands are scheduled into idle bank slots and never
-            // delay later demand activations (demand-first arbitration), so
-            // only demand accesses reserve the bank.
-            bank.busy_until = start + access_latency;
         }
 
         self.stats.cas_commands += 1;
@@ -581,5 +599,103 @@ mod tests {
         assert!((stats.row_hit_rate() - 0.75).abs() < 1e-12);
         assert!((stats.average_utilization() - 0.5).abs() < 1e-12);
         assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+    }
+
+    /// Regression for the free-prefetch-activation bug: prefetches used to
+    /// rewrite `open_row` without reserving `busy_until`, so a same-bank
+    /// prefetch burst never serialized at the bank. At 4 GHz / DDR4-2133 the
+    /// timings are exact: row empty = 120 cycles, row conflict = 180,
+    /// transfer = 15.
+    #[test]
+    fn prefetch_accesses_reserve_the_bank() {
+        let mut d = dram();
+        // Line 0 → bank 0, row 0; bank idle and closed: 120 + 15 = 135.
+        let first = d.access(LineAddr::new(0), 0, true);
+        assert_eq!(first, d.row_open_cycles + d.transfer_cycles);
+        // Line 512 → bank 0, row 1: must wait for the first activation
+        // (busy_until = 120), then pay a full row conflict.
+        let second = d.access(LineAddr::new(512), 0, true);
+        assert_eq!(
+            second,
+            d.row_open_cycles + d.row_conflict_cycles + d.transfer_cycles,
+            "same-bank prefetch bursts must serialize at the bank"
+        );
+        assert_eq!(second, first + d.row_conflict_cycles);
+    }
+
+    /// A demand arriving after a prefetch opened the wrong row pays the full
+    /// precharge + activate + CAS penalty *and* waits out the prefetch's
+    /// bank reservation — the prefetch activation is not free.
+    #[test]
+    fn demand_after_prefetch_row_conflict_pays_precharge_and_activate() {
+        let mut d = dram();
+        let prefetch = d.access(LineAddr::new(0), 0, true);
+        let demand = d.access(LineAddr::new(512), 0, false);
+        // start = busy_until (120), + row conflict (180) + transfer (15).
+        assert_eq!(
+            demand,
+            d.row_open_cycles + d.row_conflict_cycles + d.transfer_cycles
+        );
+        assert!(demand > prefetch);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    /// The composite access latencies must be the rounding of the **summed**
+    /// nanoseconds per speed grade, not the sum of independently rounded
+    /// parameters — those differ when per-parameter products land near .5.
+    #[test]
+    fn composite_latencies_round_summed_nanoseconds_per_grade() {
+        for grade in DramSpeedGrade::ALL {
+            for &clock_mhz in &[1200u64, 2100, 2667, 2900, 3300, 4000] {
+                let config = DramConfig::with_speed(1, grade);
+                let d = Dram::new(config, clock_mhz);
+                let f = clock_mhz as f64 / 1000.0;
+                let cycles = |ns: f64| (ns * f).round() as u64;
+                assert_eq!(d.row_hit_cycles, cycles(config.t_cl_ns));
+                assert_eq!(d.row_open_cycles, cycles(config.t_rcd_ns + config.t_cl_ns));
+                assert_eq!(
+                    d.row_conflict_cycles,
+                    cycles(config.t_rp_ns + config.t_rcd_ns + config.t_cl_ns),
+                    "{} @ {clock_mhz} MHz",
+                    grade.label()
+                );
+            }
+        }
+        // Pin the case that separates the two schemes: at 3.3 GHz each 15 ns
+        // parameter is 49.5 cycles. Independent rounding gives 50+50+50 =
+        // 150; the physical sum is 45 ns = 148.5 → 149.
+        let d = Dram::new(DramConfig::with_speed(1, DramSpeedGrade::Ddr4_2133), 3300);
+        assert_eq!(d.row_conflict_cycles, 149);
+    }
+
+    /// Demand-first arbitration invariant: prefetch traffic scheduled into
+    /// other banks' idle slots must not move demand completion cycles by a
+    /// single cycle, across every speed grade.
+    #[test]
+    fn demand_timing_is_independent_of_prefetch_traffic_on_other_banks() {
+        for grade in DramSpeedGrade::ALL {
+            let config = DramConfig::with_speed(1, grade);
+            let mut quiet = Dram::new(config, 4000);
+            let mut noisy = Dram::new(config, 4000);
+            let mut quiet_completions = Vec::new();
+            let mut noisy_completions = Vec::new();
+            let mut cycle = 0u64;
+            for i in 0..64u64 {
+                // Demands walk bank 0, a new row each time (line i*512).
+                let line = LineAddr::new(i * 512);
+                quiet_completions.push(quiet.access(line, cycle, false));
+                noisy_completions.push(noisy.access(line, cycle, false));
+                // The noisy copy also sees prefetches on bank 3 (line 3 is
+                // bank 3; +16 lines stays in-bank, advancing the row slowly).
+                noisy.access(LineAddr::new(3 + (i % 13) * 16), cycle + 200, true);
+                cycle += 400;
+            }
+            assert_eq!(
+                quiet_completions,
+                noisy_completions,
+                "prefetches on idle banks shifted demand timing ({})",
+                grade.label()
+            );
+        }
     }
 }

@@ -1,0 +1,1064 @@
+//! The bounded-lag epoch engine: deterministic sharded execution of
+//! multi-core simulations.
+//!
+//! ## Execution model
+//!
+//! Every multi-core simulation runs here (single-core runs keep the exact
+//! serial loop in [`crate::system`]). Each core becomes a **shard** — the
+//! core plus everything private to it: L1/L2, prefetchers, its in-flight
+//! fill table and a private copy of the DRAM timing state. Shards advance
+//! independently through an **epoch** of `E` cycles against an immutable
+//! epoch-start snapshot of the shared state (the LLC contents and the DRAM
+//! bank/bus/bandwidth state). Every effect a shard would have had on shared
+//! state — LLC probes and fills, DRAM commands, pollution bookkeeping — is
+//! recorded as an event. At the epoch boundary all shards rendezvous and the
+//! events are applied to the *true* shared state in one deterministic total
+//! order, keyed by `(cycle, phase, core, sequence)`.
+//!
+//! ## Determinism
+//!
+//! A shard's evolution over an epoch is a pure function of its own state and
+//! the epoch-start snapshot. The replay is a pure function of the sorted
+//! event batch, and the sort key is total. Worker threads only decide *which
+//! thread* evaluates each pure function, so the result is bit-identical for
+//! every worker count — including the inline `workers = 1` reference that
+//! runs when [`SystemConfig::parallel_cores`] is off. A test in this module
+//! asserts that equality, and the `parallel_golden` integration suite pins
+//! it across the whole prefetcher registry.
+//!
+//! ## What bounded lag changes
+//!
+//! Relative to the old fully interleaved multi-core loop, a shard observes
+//! other cores' shared-state effects with up to one epoch of lag: LLC fills
+//! from other cores become visible at the next epoch boundary, DRAM bank and
+//! bus contention from other cores is reflected in the snapshot its private
+//! DRAM view starts from, and the bandwidth quartile a prefetcher sees is
+//! the rendezvous-replayed one plus the shard's own traffic. The default
+//! epoch length is the bandwidth tracker's window (4×tRC) — the cadence at
+//! which the modelled hardware itself broadcasts utilization — so the lag
+//! matches the paper's own signalling granularity. Cross-core in-flight fill
+//! deduplication is intentionally dropped: two cores demanding one line in
+//! the same epoch each pay their own DRAM trip, as two channels' MSHRs would
+//! before the coherence point.
+
+use crate::cache::Cache;
+use crate::config::SystemConfig;
+use crate::dram::{BandwidthTracker, Dram};
+use crate::stats::{CoreResult, SimResult};
+use crate::system::{
+    advance_core_closed_form, build_cores, core_skip_allowance, step_core_generic, CoreState,
+    Fabric, PendingFill, PollutionTracker, DRAM_REQUEST_OVERHEAD, NO_FILL,
+};
+use crate::tables::{LineTable, ReadyQueue, Slot};
+use dspatch_prefetchers::AnyPrefetcher;
+use dspatch_trace::TraceSource;
+use dspatch_types::{BandwidthQuartile, LineAddr, PrefetchRequest, Prefetcher};
+use std::sync::{mpsc, RwLock};
+
+/// A shard's record of one shared-state effect, replayed at the rendezvous.
+#[derive(Debug, Clone, Copy)]
+enum SharedOp {
+    /// A fill materialized into the shared LLC.
+    LlcFill {
+        line: LineAddr,
+        is_prefetch: bool,
+        low_priority: bool,
+    },
+    /// A demand probe of the shared LLC, with the outcome the shard decided
+    /// against its snapshot+overlay view.
+    DemandProbe {
+        line: LineAddr,
+        hit: bool,
+        first_use: bool,
+    },
+    /// A prefetch residence probe of the shared LLC (LRU touch only).
+    PrefetchProbe { line: LineAddr },
+    /// Pollution bookkeeping for a demand that left the L2.
+    ObserveDemand { line: LineAddr, went_to_dram: bool },
+    /// A DRAM command, re-executed against the true DRAM for stats and
+    /// bandwidth tracking.
+    DramAccess {
+        line: LineAddr,
+        issue_cycle: u64,
+        is_prefetch: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SharedEvent {
+    /// Ordering cycle: the fill-ready cycle for fills, the issue cycle for
+    /// core-side operations.
+    cycle: u64,
+    core: u32,
+    /// Per-shard monotone sequence number: preserves program order among one
+    /// shard's same-cycle events.
+    seq: u64,
+    op: SharedOp,
+}
+
+/// Total order for replay: fills first within a cycle (the serial loop also
+/// materializes fills before stepping cores), then core operations in
+/// `(core, program-order)` — deterministic regardless of which worker thread
+/// produced which event, or when.
+fn sort_key(ev: &SharedEvent) -> (u64, u8, u64, u64, u64) {
+    match ev.op {
+        SharedOp::LlcFill { line, .. } => (ev.cycle, 0, line.as_u64(), u64::from(ev.core), ev.seq),
+        _ => (ev.cycle, 1, u64::from(ev.core), ev.seq, 0),
+    }
+}
+
+/// Shared-LLC knowledge a shard accumulates during an epoch, layered over
+/// the epoch-start snapshot: the used/prefetched bits of lines it probed or
+/// filled. Cleared at every epoch boundary (the rendezvous folds the truth
+/// back into the base).
+#[derive(Debug, Clone, Copy)]
+struct OverlayMeta {
+    prefetched: bool,
+    used: bool,
+}
+
+const NO_META: OverlayMeta = OverlayMeta {
+    prefetched: false,
+    used: false,
+};
+
+/// The private fabric state of one shard.
+struct ShardFab {
+    /// In-flight DRAM fills issued by this shard.
+    pending: LineTable<PendingFill>,
+    ready_queue: ReadyQueue,
+    /// Private copy of the DRAM timing model, re-seeded from the true DRAM
+    /// at each epoch start: own traffic is visible immediately, other
+    /// shards' with one epoch of lag.
+    dram_view: Dram,
+    overlay: LineTable<OverlayMeta>,
+    log: Vec<SharedEvent>,
+    seq: u64,
+    l2_latency: u64,
+    llc_latency: u64,
+    prefetch_mshrs: usize,
+}
+
+/// One core plus its private fabric, advanced to `cycle`.
+struct Shard {
+    core: CoreState,
+    cycle: u64,
+    fab: ShardFab,
+}
+
+/// The authoritative shared state, mutated only at rendezvous.
+struct TrueShared {
+    llc: Cache,
+    dram: Dram,
+    pollution: PollutionTracker,
+}
+
+#[inline]
+fn push_event(log: &mut Vec<SharedEvent>, seq: &mut u64, cycle: u64, core: usize, op: SharedOp) {
+    log.push(SharedEvent {
+        cycle,
+        core: core as u32,
+        seq: *seq,
+        op,
+    });
+    *seq += 1;
+}
+
+/// Resolves a demand LLC probe against the shard's overlay-then-snapshot
+/// view, returning `(hit, first_use)` and recording the used bit in the
+/// overlay so a second probe in the same epoch is no longer a first use.
+fn probe_llc_demand(
+    overlay: &mut LineTable<OverlayMeta>,
+    base: &Cache,
+    line: LineAddr,
+) -> (bool, bool) {
+    match overlay.slot(line.as_u64()) {
+        Slot::Occupied(meta) => {
+            let first_use = meta.prefetched && !meta.used;
+            meta.used = true;
+            (true, first_use)
+        }
+        Slot::Vacant(vacant) => {
+            if let Some(meta) = base.peek_meta(line) {
+                let first_use = meta.prefetched && !meta.used;
+                vacant.insert(OverlayMeta {
+                    prefetched: meta.prefetched,
+                    used: true,
+                });
+                (true, first_use)
+            } else {
+                (false, false)
+            }
+        }
+    }
+}
+
+/// A shard's window onto the shared fabric for the duration of one stepped
+/// cycle: its private state plus the immutable epoch-start LLC snapshot.
+struct ShardView<'a> {
+    fab: &'a mut ShardFab,
+    base_llc: &'a Cache,
+    core_id: usize,
+}
+
+impl Fabric for ShardView<'_> {
+    fn quartile(&self) -> BandwidthQuartile {
+        self.fab.dram_view.bandwidth_quartile()
+    }
+
+    fn access_beyond_l1(
+        &mut self,
+        core: &mut CoreState,
+        line: LineAddr,
+        cycle: u64,
+        count_coverage: bool,
+    ) -> (u64, bool) {
+        let l2_latency = self.fab.l2_latency;
+        let llc_latency = self.fab.llc_latency;
+
+        // L2 probe: fully private, exact.
+        let (l2_hit, l2_was_unused_prefetch) = core.l2.demand_lookup_first_use(line);
+        if l2_hit {
+            if count_coverage && l2_was_unused_prefetch {
+                core.accounting.covered += 1;
+                core.accounting.prefetches_used += 1;
+            }
+            return (l2_latency, true);
+        }
+
+        // LLC probe against snapshot + overlay; the real probe replays at
+        // the rendezvous with the outcome decided here.
+        let (llc_hit, llc_first_use) = probe_llc_demand(&mut self.fab.overlay, self.base_llc, line);
+        push_event(
+            &mut self.fab.log,
+            &mut self.fab.seq,
+            cycle,
+            self.core_id,
+            SharedOp::DemandProbe {
+                line,
+                hit: llc_hit,
+                first_use: llc_first_use,
+            },
+        );
+        if llc_hit {
+            if count_coverage && llc_first_use {
+                core.accounting.covered += 1;
+                core.accounting.prefetches_used += 1;
+            }
+            core.l2.fill(line, false, false);
+            core.l1.fill(line, false, false);
+            push_event(
+                &mut self.fab.log,
+                &mut self.fab.seq,
+                cycle,
+                self.core_id,
+                SharedOp::ObserveDemand {
+                    line,
+                    went_to_dram: false,
+                },
+            );
+            return (l2_latency + llc_latency, false);
+        }
+
+        // In-flight fill (this shard's own) or a fresh DRAM access.
+        let issue_cycle = cycle + l2_latency + llc_latency + DRAM_REQUEST_OVERHEAD;
+        match self.fab.pending.slot(line.as_u64()) {
+            Slot::Occupied(fill) => {
+                let was_prefetch = fill.is_prefetch && !fill.used_by_demand;
+                fill.used_by_demand = true;
+                fill.fill_l1 = true;
+                fill.fill_l2 = true;
+                fill.core = core.id;
+                let old_ready = fill.ready;
+                let promoted_ready = if was_prefetch && old_ready > issue_cycle {
+                    let reissued = self.fab.dram_view.access(line, issue_cycle, false);
+                    push_event(
+                        &mut self.fab.log,
+                        &mut self.fab.seq,
+                        cycle,
+                        self.core_id,
+                        SharedOp::DramAccess {
+                            line,
+                            issue_cycle,
+                            is_prefetch: false,
+                        },
+                    );
+                    fill.ready = fill.ready.min(reissued);
+                    self.fab.ready_queue.push(fill.ready, line.as_u64());
+                    fill.ready
+                } else {
+                    old_ready
+                };
+                if count_coverage && was_prefetch {
+                    core.accounting.covered += 1;
+                    core.accounting.prefetches_used += 1;
+                }
+                push_event(
+                    &mut self.fab.log,
+                    &mut self.fab.seq,
+                    cycle,
+                    self.core_id,
+                    SharedOp::ObserveDemand {
+                        line,
+                        went_to_dram: false,
+                    },
+                );
+                let wait = promoted_ready.saturating_sub(cycle).max(1);
+                (l2_latency + llc_latency + wait, false)
+            }
+            Slot::Vacant(vacant) => {
+                if count_coverage {
+                    core.accounting.uncovered += 1;
+                }
+                push_event(
+                    &mut self.fab.log,
+                    &mut self.fab.seq,
+                    cycle,
+                    self.core_id,
+                    SharedOp::ObserveDemand {
+                        line,
+                        went_to_dram: true,
+                    },
+                );
+                let ready = self.fab.dram_view.access(line, issue_cycle, false);
+                push_event(
+                    &mut self.fab.log,
+                    &mut self.fab.seq,
+                    cycle,
+                    self.core_id,
+                    SharedOp::DramAccess {
+                        line,
+                        issue_cycle,
+                        is_prefetch: false,
+                    },
+                );
+                vacant.insert(PendingFill {
+                    ready,
+                    core: core.id,
+                    issuer: core.id,
+                    is_prefetch: false,
+                    fill_l1: true,
+                    fill_l2: true,
+                    low_priority: false,
+                    used_by_demand: true,
+                });
+                self.fab.ready_queue.push(ready, line.as_u64());
+                (
+                    l2_latency
+                        + llc_latency
+                        + DRAM_REQUEST_OVERHEAD
+                        + ready.saturating_sub(issue_cycle),
+                    false,
+                )
+            }
+        }
+    }
+
+    fn issue_l2_prefetch(
+        &mut self,
+        core: &mut CoreState,
+        request: &PrefetchRequest,
+        cycle: u64,
+    ) -> bool {
+        if core.inflight_prefetches >= self.fab.prefetch_mshrs {
+            return false;
+        }
+        let line = request.line;
+        let key = line.as_u64();
+        let fill_l2 = request.fill_level != dspatch_types::FillLevel::Llc;
+        if core.l2.prefetch_lookup(line) {
+            return true;
+        }
+        let Slot::Vacant(vacant) = self.fab.pending.slot(key) else {
+            return true;
+        };
+        core.accounting.prefetches_issued += 1;
+        // On-die residence as this shard can see it: its own epoch fills
+        // plus the epoch-start snapshot.
+        let resident = self.fab.overlay.get_mut(key).is_some() || self.base_llc.contains(line);
+        push_event(
+            &mut self.fab.log,
+            &mut self.fab.seq,
+            cycle,
+            self.core_id,
+            SharedOp::PrefetchProbe { line },
+        );
+        let ready = if resident {
+            cycle + self.fab.llc_latency
+        } else {
+            let issue_cycle = cycle + DRAM_REQUEST_OVERHEAD;
+            let r = self.fab.dram_view.access(line, issue_cycle, true);
+            push_event(
+                &mut self.fab.log,
+                &mut self.fab.seq,
+                cycle,
+                self.core_id,
+                SharedOp::DramAccess {
+                    line,
+                    issue_cycle,
+                    is_prefetch: true,
+                },
+            );
+            r
+        };
+        vacant.insert(PendingFill {
+            ready,
+            core: core.id,
+            issuer: core.id,
+            is_prefetch: true,
+            fill_l1: false,
+            fill_l2,
+            low_priority: request.low_priority,
+            used_by_demand: false,
+        });
+        core.inflight_prefetches += 1;
+        self.fab.ready_queue.push(ready, key);
+        true
+    }
+}
+
+/// Materializes this shard's DRAM fills that are ready by `cycle`: fills the
+/// private L1/L2 immediately and logs the shared-LLC fill for replay,
+/// mirroring the serial engine's `drain_ready_fills` per-line logic.
+fn drain_shard_fills(core: &mut CoreState, fab: &mut ShardFab, cycle: u64) {
+    while let Some((_, line)) = fab.ready_queue.pop_ready(cycle) {
+        let Some(fill) = fab.pending.remove(line) else {
+            continue;
+        };
+        if fill.ready > cycle {
+            // A duplicate queue entry from a superseded request; requeue.
+            fab.pending.insert(line, fill);
+            fab.ready_queue.push(fill.ready, line);
+            continue;
+        }
+        if fill.is_prefetch {
+            // Per-shard pending tables: the issuer is always this core.
+            core.inflight_prefetches -= 1;
+        }
+        let line_addr = LineAddr::new(line);
+        let is_prefetch = fill.is_prefetch && !fill.used_by_demand;
+        if fill.fill_l2 {
+            core.l2.fill(line_addr, is_prefetch, fill.low_priority);
+        }
+        if fill.fill_l1 {
+            core.l1.fill(line_addr, is_prefetch, fill.low_priority);
+        }
+        push_event(
+            &mut fab.log,
+            &mut fab.seq,
+            fill.ready,
+            core.id,
+            SharedOp::LlcFill {
+                line: line_addr,
+                is_prefetch,
+                low_priority: fill.low_priority,
+            },
+        );
+        // The overlay learns the fill so later probes this epoch see it.
+        match fab.overlay.slot(line) {
+            Slot::Occupied(meta) => {
+                if !is_prefetch {
+                    meta.used = true;
+                }
+            }
+            Slot::Vacant(vacant) => vacant.insert(OverlayMeta {
+                prefetched: is_prefetch,
+                used: !is_prefetch,
+            }),
+        }
+    }
+}
+
+impl Shard {
+    fn new(core: CoreState, config: &SystemConfig, dram: &Dram) -> Self {
+        let pending_capacity =
+            (config.prefetch_mshrs + config.core.load_buffer_entries + 16).max(128);
+        Self {
+            core,
+            cycle: 0,
+            fab: ShardFab {
+                pending: LineTable::with_capacity(pending_capacity, NO_FILL),
+                ready_queue: ReadyQueue::new(),
+                dram_view: dram.clone(),
+                overlay: LineTable::with_capacity(256, NO_META),
+                log: Vec::new(),
+                seq: 0,
+                l2_latency: config.l2.latency,
+                llc_latency: config.llc.latency,
+                prefetch_mshrs: config.prefetch_mshrs,
+            },
+        }
+    }
+
+    /// Re-seeds the snapshot state for a new epoch.
+    fn begin_epoch(&mut self, dram: &Dram) {
+        self.fab.dram_view.copy_state_from(dram);
+        self.fab.overlay.clear();
+    }
+
+    /// Advances the shard to exactly `end` (or until the core finishes),
+    /// using the same per-cycle order as the serial engine: fills, DRAM
+    /// window advance, core step, then exact closed-form skipping capped at
+    /// the epoch boundary.
+    fn run_epoch(&mut self, end: u64, base_llc: &Cache, config: &SystemConfig) {
+        let width = config.core.width;
+        let rob_entries = config.core.rob_entries;
+        while !self.core.finished && self.cycle < end {
+            self.cycle += 1;
+            let cycle = self.cycle;
+            drain_shard_fills(&mut self.core, &mut self.fab, cycle);
+            self.fab.dram_view.advance(cycle);
+            {
+                let mut view = ShardView {
+                    fab: &mut self.fab,
+                    base_llc,
+                    core_id: self.core.id,
+                };
+                step_core_generic(&mut self.core, &mut view, config, cycle);
+            }
+            if config.cycle_skipping && !self.core.finished && self.cycle < end {
+                let allowance = core_skip_allowance(&self.core, cycle, config);
+                let skip = allowance.min(end - cycle);
+                if skip > 0 {
+                    advance_core_closed_form(&mut self.core, cycle, skip, width, rob_entries);
+                    self.cycle += skip;
+                }
+            }
+        }
+        if !self.core.finished {
+            debug_assert_eq!(self.cycle, end, "unfinished shards stop at the boundary");
+        }
+    }
+}
+
+/// Runs every unfinished shard in `shards` through the epoch ending at
+/// `end`, appending their event logs to `logs`. Returns the number of still
+/// unfinished shards and the earliest cycle at which any of them does
+/// non-trivial work again (`u64::MAX` if none) — the epoch-jump hint.
+fn epoch_over_shards(
+    shards: &mut [Shard],
+    base: &TrueShared,
+    config: &SystemConfig,
+    end: u64,
+    logs: &mut Vec<SharedEvent>,
+) -> (usize, u64) {
+    let mut unfinished = 0;
+    let mut wake_hint = u64::MAX;
+    for shard in shards {
+        if shard.core.finished {
+            continue;
+        }
+        shard.begin_epoch(&base.dram);
+        shard.run_epoch(end, &base.llc, config);
+        logs.append(&mut shard.fab.log);
+        if !shard.core.finished {
+            unfinished += 1;
+            let allowance = core_skip_allowance(&shard.core, end, config);
+            wake_hint = wake_hint.min(end.saturating_add(1).saturating_add(allowance));
+        }
+    }
+    (unfinished, wake_hint)
+}
+
+fn apply_event(shared: &mut TrueShared, ev: &SharedEvent) {
+    match ev.op {
+        SharedOp::LlcFill {
+            line,
+            is_prefetch,
+            low_priority,
+        } => {
+            if let Some(eviction) = shared.llc.fill(line, is_prefetch, low_priority) {
+                if is_prefetch {
+                    shared.pollution.record_prefetch_victim(eviction.line);
+                }
+            }
+        }
+        SharedOp::DemandProbe {
+            line,
+            hit,
+            first_use,
+        } => shared.llc.record_demand_probe(line, hit, first_use),
+        SharedOp::PrefetchProbe { line } => {
+            let _ = shared.llc.prefetch_lookup(line);
+        }
+        SharedOp::ObserveDemand { line, went_to_dram } => {
+            shared.pollution.observe_demand(line, went_to_dram);
+        }
+        SharedOp::DramAccess {
+            line,
+            issue_cycle,
+            is_prefetch,
+        } => {
+            let _ = shared.dram.access(line, issue_cycle, is_prefetch);
+        }
+    }
+}
+
+/// Sorts the accumulated events, applies everything up to `end` to the true
+/// shared state in the deterministic total order, and keeps the rest (e.g.
+/// dependent accesses whose issue cycle lands beyond the boundary) for a
+/// later boundary.
+fn rendezvous(carry: &mut Vec<SharedEvent>, shared: &mut TrueShared, end: u64) {
+    carry.sort_by_key(sort_key);
+    let split = carry.partition_point(|ev| ev.cycle <= end);
+    for ev in carry.drain(..split) {
+        apply_event(shared, &ev);
+    }
+    shared.dram.advance(end);
+}
+
+/// Applies every remaining carried event (run teardown).
+fn flush_carry(carry: &mut Vec<SharedEvent>, shared: &mut TrueShared) {
+    carry.sort_by_key(sort_key);
+    for ev in carry.drain(..) {
+        apply_event(shared, &ev);
+    }
+}
+
+/// Chooses the next epoch boundary: at least one full epoch ahead, jumped
+/// further when every unfinished shard is provably idle until `wake_hint`
+/// (an event-free epoch would otherwise just spin the rendezvous). The hint
+/// is computed from deterministic shard state, so the boundary sequence —
+/// and therefore the result — stays worker-count independent.
+fn next_epoch_end(t_end: u64, epoch_cycles: u64, wake_hint: u64, config: &SystemConfig) -> u64 {
+    let base = t_end.saturating_add(epoch_cycles);
+    let mut end = if config.cycle_skipping && wake_hint != u64::MAX && wake_hint > base {
+        wake_hint
+    } else {
+        base
+    };
+    if config.max_cycles > 0 {
+        // Never jump past the safety valve's trigger point.
+        end = end.min(config.max_cycles.max(t_end + 1));
+    }
+    end
+}
+
+fn force_finish(shards: &mut [Shard]) {
+    for shard in shards {
+        if !shard.core.finished {
+            shard.core.finished = true;
+            shard.core.finish_cycle = shard.cycle.max(1);
+        }
+    }
+}
+
+/// How many worker threads the sharded engine uses for this run.
+fn resolve_workers(config: &SystemConfig, shards: usize) -> usize {
+    if !config.parallel_cores {
+        return 1;
+    }
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let requested = if config.parallel_workers == 0 {
+        auto
+    } else {
+        config.parallel_workers
+    };
+    requested.clamp(1, shards)
+}
+
+/// The single-threaded reference loop: identical epoch/rendezvous schedule,
+/// no threads.
+fn run_inline(
+    shards: &mut [Shard],
+    shared: &mut TrueShared,
+    config: &SystemConfig,
+    epoch_cycles: u64,
+) {
+    let mut carry: Vec<SharedEvent> = Vec::new();
+    let mut t_end = 0u64;
+    let mut wake_hint = u64::MAX;
+    loop {
+        if shards.iter().all(|s| s.core.finished) {
+            flush_carry(&mut carry, shared);
+            return;
+        }
+        if config.max_cycles > 0 && t_end >= config.max_cycles {
+            force_finish(shards);
+            flush_carry(&mut carry, shared);
+            return;
+        }
+        let end = next_epoch_end(t_end, epoch_cycles, wake_hint, config);
+        let (_, hint) = epoch_over_shards(shards, shared, config, end, &mut carry);
+        rendezvous(&mut carry, shared, end);
+        wake_hint = hint;
+        t_end = end;
+    }
+}
+
+/// One message per epoch from main to a worker.
+enum Job {
+    Epoch { end: u64 },
+    ForceFinish,
+    Shutdown,
+}
+
+struct Reply {
+    logs: Vec<SharedEvent>,
+    unfinished: usize,
+    wake_hint: u64,
+}
+
+/// The threaded engine: shards are distributed round-robin onto `workers`
+/// scoped threads that own them for the whole run. Workers read the shared
+/// state through an `RwLock` during the parallel phase; the main thread
+/// takes the write lock only after collecting every reply, so the lock is
+/// never contended across phases.
+fn run_threaded(
+    shards: Vec<Shard>,
+    shared: TrueShared,
+    config: &SystemConfig,
+    epoch_cycles: u64,
+    workers: usize,
+) -> (Vec<Shard>, TrueShared) {
+    let total_shards = shards.len();
+    let mut buckets: Vec<Vec<Shard>> = (0..workers).map(|_| Vec::new()).collect();
+    for (index, shard) in shards.into_iter().enumerate() {
+        buckets[index % workers].push(shard);
+    }
+    let shared_lock = RwLock::new(shared);
+    let mut returned: Vec<Shard> = Vec::with_capacity(total_shards);
+
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for bucket in buckets {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            job_txs.push(job_tx);
+            let reply_tx = reply_tx.clone();
+            let shared_ref = &shared_lock;
+            handles.push(scope.spawn(move || {
+                let mut shards = bucket;
+                loop {
+                    match job_rx.recv() {
+                        Ok(Job::Epoch { end }) => {
+                            let mut logs = Vec::new();
+                            let (unfinished, wake_hint) = {
+                                let guard = shared_ref.read().expect("shared state poisoned");
+                                epoch_over_shards(&mut shards, &guard, config, end, &mut logs)
+                            };
+                            let _ = reply_tx.send(Reply {
+                                logs,
+                                unfinished,
+                                wake_hint,
+                            });
+                        }
+                        Ok(Job::ForceFinish) => {
+                            force_finish(&mut shards);
+                            let _ = reply_tx.send(Reply {
+                                logs: Vec::new(),
+                                unfinished: 0,
+                                wake_hint: u64::MAX,
+                            });
+                        }
+                        Ok(Job::Shutdown) | Err(_) => return shards,
+                    }
+                }
+            }));
+        }
+
+        let mut carry: Vec<SharedEvent> = Vec::new();
+        let mut t_end = 0u64;
+        let mut wake_hint = u64::MAX;
+        let mut unfinished_total = total_shards;
+        loop {
+            if unfinished_total == 0 {
+                let mut guard = shared_lock.write().expect("shared state poisoned");
+                flush_carry(&mut carry, &mut guard);
+                break;
+            }
+            if config.max_cycles > 0 && t_end >= config.max_cycles {
+                for tx in &job_txs {
+                    let _ = tx.send(Job::ForceFinish);
+                }
+                for _ in 0..workers {
+                    let _ = reply_rx.recv().expect("worker died mid-run");
+                }
+                let mut guard = shared_lock.write().expect("shared state poisoned");
+                flush_carry(&mut carry, &mut guard);
+                break;
+            }
+            let end = next_epoch_end(t_end, epoch_cycles, wake_hint, config);
+            for tx in &job_txs {
+                let _ = tx.send(Job::Epoch { end });
+            }
+            let mut sum_unfinished = 0;
+            let mut hint = u64::MAX;
+            for _ in 0..workers {
+                let mut reply = reply_rx.recv().expect("worker died mid-run");
+                carry.append(&mut reply.logs);
+                sum_unfinished += reply.unfinished;
+                hint = hint.min(reply.wake_hint);
+            }
+            {
+                let mut guard = shared_lock.write().expect("shared state poisoned");
+                rendezvous(&mut carry, &mut guard, end);
+            }
+            unfinished_total = sum_unfinished;
+            wake_hint = hint;
+            t_end = end;
+        }
+
+        for tx in &job_txs {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for handle in handles {
+            returned.extend(handle.join().expect("worker panicked"));
+        }
+    });
+
+    returned.sort_by_key(|shard| shard.core.id);
+    let shared = shared_lock.into_inner().expect("shared state poisoned");
+    (returned, shared)
+}
+
+fn assemble(mut shards: Vec<Shard>, shared: TrueShared, config: &SystemConfig) -> SimResult {
+    let cycles = shards
+        .iter()
+        .map(|s| s.core.finish_cycle.max(1))
+        .max()
+        .unwrap_or(1);
+    let cores = shards
+        .iter_mut()
+        .map(|shard| {
+            let core = &mut shard.core;
+            core.accounting.finalize();
+            CoreResult {
+                workload: core.workload.clone(),
+                prefetcher: core.l2_prefetcher.name().to_owned(),
+                instructions: core.instructions,
+                finish_cycle: core.finish_cycle.max(1),
+                l1: *core.l1.stats(),
+                l2: *core.l2.stats(),
+                accounting: core.accounting,
+            }
+        })
+        .collect();
+    SimResult {
+        cores,
+        llc: *shared.llc.stats(),
+        dram: *shared.dram.stats(),
+        pollution: shared.pollution.finish(),
+        cycles,
+        cache_geometry: vec![
+            config.l1.geometry(),
+            config.l2.geometry(),
+            config.llc.geometry(),
+        ],
+    }
+}
+
+/// Runs a multi-core simulation on the epoch engine. Called by
+/// [`crate::system::SimulationBuilder::run`] for every simulation with more
+/// than one core; the worker-thread count is resolved from
+/// [`SystemConfig::parallel_cores`] / [`SystemConfig::parallel_workers`] and
+/// never changes the result.
+pub(crate) fn run_sharded(
+    config: SystemConfig,
+    core_setup: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>,
+) -> SimResult {
+    let cores = build_cores(&config, core_setup);
+    let true_dram = Dram::new(config.dram, config.core.clock_mhz);
+    let epoch_cycles = if config.parallel_epoch_cycles > 0 {
+        config.parallel_epoch_cycles
+    } else {
+        // The hardware's own shared-state broadcast cadence: the bandwidth
+        // tracker window (4×tRC).
+        BandwidthTracker::new(&config.dram, config.core.clock_mhz).window_cycles()
+    };
+    let mut shards: Vec<Shard> = cores
+        .into_iter()
+        .map(|core| Shard::new(core, &config, &true_dram))
+        .collect();
+    let mut shared = TrueShared {
+        llc: Cache::new(config.llc.clone()),
+        dram: true_dram,
+        pollution: PollutionTracker::default(),
+    };
+    let workers = resolve_workers(&config, shards.len());
+    if workers <= 1 {
+        run_inline(&mut shards, &mut shared, &config, epoch_cycles);
+    } else {
+        let (returned, returned_shared) = run_threaded(
+            std::mem::take(&mut shards),
+            shared,
+            &config,
+            epoch_cycles,
+            workers,
+        );
+        shards = returned;
+        shared = returned_shared;
+    }
+    assemble(shards, shared, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Machine;
+    use dspatch_prefetchers::{StreamConfig, StreamPrefetcher};
+    use dspatch_trace::{
+        IntoTraceSource, PatternGenerator, PointerChaseGen, SpatialPatternGen, StreamGen, Trace,
+    };
+    use dspatch_types::NullPrefetcher;
+
+    /// A heterogeneous 4-core mix: two streamers, a spatial workload and a
+    /// pointer chase, under three different prefetchers.
+    fn mixed_setup(accesses: usize) -> Vec<(Box<dyn TraceSource>, AnyPrefetcher)> {
+        let stream = |seed: u64| {
+            Trace::new(
+                format!("stream-{seed}"),
+                StreamGen {
+                    streams: 2,
+                    gap: 40,
+                    store_percent: 10,
+                }
+                .generate_records(seed, accesses),
+            )
+        };
+        let spatial = Trace::new(
+            "spatial",
+            SpatialPatternGen::default().generate_records(7, accesses),
+        );
+        let chase = Trace::new(
+            "chase",
+            PointerChaseGen {
+                nodes: 1 << 14,
+                node_bytes: 192,
+                gap: 12,
+            }
+            .generate_records(9, accesses),
+        );
+        vec![
+            (
+                stream(1).into_trace_source(),
+                StreamPrefetcher::new(StreamConfig::default()).into(),
+            ),
+            (stream(2).into_trace_source(), NullPrefetcher::new().into()),
+            (
+                spatial.into_trace_source(),
+                StreamPrefetcher::new(StreamConfig {
+                    degree: 8,
+                    ..StreamConfig::default()
+                })
+                .into(),
+            ),
+            (chase.into_trace_source(), NullPrefetcher::new().into()),
+        ]
+    }
+
+    fn run_with_workers(workers: usize, parallel: bool, accesses: usize) -> SimResult {
+        let mut config = SystemConfig::multi_programmed();
+        config.parallel_cores = parallel;
+        config.parallel_workers = workers;
+        run_sharded(config, mixed_setup(accesses))
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_result() {
+        let serial = run_with_workers(0, false, 1_200);
+        for workers in [1, 2, 3, 4] {
+            let parallel = run_with_workers(workers, true, 1_200);
+            assert_eq!(
+                serial, parallel,
+                "epoch engine must be bit-identical with {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_epoch_length_is_deterministic_across_workers() {
+        for epoch_cycles in [1u64, 64, 5_000] {
+            let run = |workers: usize| {
+                let mut config = SystemConfig::multi_programmed();
+                config.parallel_cores = true;
+                config.parallel_workers = workers;
+                config.parallel_epoch_cycles = epoch_cycles;
+                run_sharded(config, mixed_setup(600))
+            };
+            let one = run(1);
+            let four = run(4);
+            assert_eq!(
+                one, four,
+                "epoch length {epoch_cycles} must not break determinism"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_engine_stays_close_to_the_interleaved_reference() {
+        // The bounded-lag semantics are a modelling change, not a bug: pin
+        // the drift against the fully interleaved single-threaded engine to
+        // a tolerance so a regression that breaks contention modelling (or
+        // double-applies shared traffic) fails loudly. Shorter epochs mean
+        // less contention lag, so the pin tightens as the epoch shrinks.
+        let legacy = Machine::new(SystemConfig::multi_programmed(), mixed_setup(1_500)).run();
+        for (epoch_cycles, tolerance) in [(128u64, 0.5), (0u64, 0.5)] {
+            let mut config = SystemConfig::multi_programmed();
+            config.parallel_epoch_cycles = epoch_cycles;
+            let epoch = run_sharded(config, mixed_setup(1_500));
+            assert_eq!(legacy.cores.len(), epoch.cores.len());
+            let band = (1.0 - tolerance)..(1.0 + tolerance);
+            for (l, e) in legacy.cores.iter().zip(&epoch.cores) {
+                assert_eq!(l.instructions, e.instructions);
+                let ratio = e.ipc() / l.ipc();
+                assert!(
+                    band.contains(&ratio),
+                    "core {} drifted too far from the interleaved reference \
+                     (epoch {epoch_cycles}): epoch IPC {:.4} vs legacy IPC {:.4}",
+                    l.workload,
+                    e.ipc(),
+                    l.ipc()
+                );
+            }
+            // DRAM traffic is conserved, not just bounded: every shard trip
+            // replays against the true DRAM exactly once, so the command
+            // stream should match the reference closely even where timing
+            // drifts.
+            let dram_ratio =
+                epoch.dram.cas_commands as f64 / legacy.dram.cas_commands.max(1) as f64;
+            assert!(
+                (0.9..1.1).contains(&dram_ratio),
+                "DRAM traffic drifted (epoch {epoch_cycles}): epoch {} vs legacy {}",
+                epoch.dram.cas_commands,
+                legacy.dram.cas_commands
+            );
+        }
+    }
+
+    #[test]
+    fn max_cycles_valve_terminates_parallel_runs() {
+        let mut config = SystemConfig::multi_programmed();
+        config.parallel_cores = true;
+        config.parallel_workers = 4;
+        config.max_cycles = 10_000;
+        let result = run_sharded(config, mixed_setup(200_000));
+        assert!(result.cycles <= 10_000 + 1);
+        assert_eq!(result.cores.len(), 4);
+    }
+
+    #[test]
+    fn cycle_skipping_does_not_change_parallel_results() {
+        let run = |skipping: bool| {
+            let mut config = SystemConfig::multi_programmed();
+            config.parallel_cores = true;
+            config.parallel_workers = 2;
+            config.cycle_skipping = skipping;
+            run_sharded(config, mixed_setup(700))
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn effective_workers_respects_the_gate_and_core_count() {
+        let mut config = SystemConfig::multi_programmed();
+        config.parallel_cores = false;
+        assert_eq!(config.effective_workers(), 1);
+        config.parallel_cores = true;
+        config.parallel_workers = 8;
+        assert_eq!(config.effective_workers(), config.cores.min(8));
+        config.parallel_workers = 1;
+        assert_eq!(config.effective_workers(), 1);
+    }
+}

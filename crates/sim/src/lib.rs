@@ -48,6 +48,7 @@
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod epoch;
 pub mod stats;
 pub mod system;
 pub mod tables;

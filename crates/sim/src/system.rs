@@ -41,26 +41,26 @@ use std::collections::BinaryHeap;
 
 /// Extra cycles charged for traversing the on-die interconnect to DRAM on
 /// top of the cache probe latencies.
-const DRAM_REQUEST_OVERHEAD: u64 = 10;
+pub(crate) const DRAM_REQUEST_OVERHEAD: u64 = 10;
 /// Upper bound on tracked pollution victims (memory guard).
 const POLLUTION_TRACK_CAP: usize = 1 << 20;
 
 #[derive(Debug, Clone, Copy)]
-struct PendingFill {
-    ready: u64,
-    core: usize,
+pub(crate) struct PendingFill {
+    pub(crate) ready: u64,
+    pub(crate) core: usize,
     /// Core whose prefetch MSHR this fill occupies (never reassigned by a
     /// demand promotion, unlike `core`).
-    issuer: usize,
-    is_prefetch: bool,
-    fill_l1: bool,
-    fill_l2: bool,
-    low_priority: bool,
-    used_by_demand: bool,
+    pub(crate) issuer: usize,
+    pub(crate) is_prefetch: bool,
+    pub(crate) fill_l1: bool,
+    pub(crate) fill_l2: bool,
+    pub(crate) low_priority: bool,
+    pub(crate) used_by_demand: bool,
 }
 
 /// Placeholder used to initialize unoccupied [`LineTable`] slots.
-const NO_FILL: PendingFill = PendingFill {
+pub(crate) const NO_FILL: PendingFill = PendingFill {
     ready: 0,
     core: 0,
     issuer: 0,
@@ -76,38 +76,49 @@ const NO_FILL: PendingFill = PendingFill {
 /// cycle later, so they compress into a single entry — the dominant ROB
 /// traffic shrinks by the allocation width.
 #[derive(Debug, Clone, Copy)]
-struct RobEntry {
+pub(crate) struct RobEntry {
     completion: u64,
     count: u32,
 }
 
-struct CoreState {
-    id: usize,
-    workload: String,
+/// One simulated core and everything private to it: trace supply, ROB and
+/// load-buffer state, the L1/L2 caches, both prefetchers and their reusable
+/// request sinks. `pub(crate)` because the epoch engine moves whole
+/// `CoreState`s onto worker threads and steps them through the shared
+/// [`Fabric`] trait.
+pub(crate) struct CoreState {
+    pub(crate) id: usize,
+    pub(crate) workload: String,
     /// Pull-based record supply: the machine holds O(1) trace state however
     /// long the run (an owned `Trace` arrives as the materialized adapter).
-    source: Box<dyn TraceSource>,
+    pub(crate) source: Box<dyn TraceSource>,
     /// One-record lookahead: the next record to issue, already pulled so
     /// its `gap` is known during the preceding gap-allocation phase.
-    pending: Option<TraceRecord>,
-    gap_remaining: u32,
+    pub(crate) pending: Option<TraceRecord>,
+    pub(crate) gap_remaining: u32,
     /// Run-length-compressed, in-order ROB; `rob_len` tracks the summed
     /// instruction count (the occupancy the 224-entry bound applies to).
-    rob: std::collections::VecDeque<RobEntry>,
-    rob_len: usize,
-    load_completions: BinaryHeap<Reverse<u64>>,
-    l1: Cache,
-    l2: Cache,
-    l1_prefetcher: Option<StridePrefetcher>,
-    l2_prefetcher: AnyPrefetcher,
-    accounting: PrefetchAccounting,
+    pub(crate) rob: std::collections::VecDeque<RobEntry>,
+    pub(crate) rob_len: usize,
+    pub(crate) load_completions: BinaryHeap<Reverse<u64>>,
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) l1_prefetcher: Option<StridePrefetcher>,
+    pub(crate) l2_prefetcher: AnyPrefetcher,
+    pub(crate) accounting: PrefetchAccounting,
     /// L2 prefetch fills currently in flight for this core (bounded by the
     /// configured prefetch MSHR budget).
-    inflight_prefetches: usize,
-    instructions: u64,
-    finish_cycle: u64,
-    finished: bool,
-    last_memory_completion: u64,
+    pub(crate) inflight_prefetches: usize,
+    pub(crate) instructions: u64,
+    pub(crate) finish_cycle: u64,
+    pub(crate) finished: bool,
+    pub(crate) last_memory_completion: u64,
+    /// Reusable request buffer for the L1 stride prefetcher (owned by the
+    /// core so the per-access hot path never allocates in steady state and
+    /// the core can migrate to a worker thread with its buffers).
+    pub(crate) l1_sink: PrefetchSink,
+    /// Reusable request buffer for the L2 prefetcher.
+    pub(crate) l2_sink: PrefetchSink,
 }
 
 impl CoreState {
@@ -151,7 +162,7 @@ impl std::fmt::Debug for CoreState {
 }
 
 #[derive(Debug)]
-struct PollutionTracker {
+pub(crate) struct PollutionTracker {
     /// Lines evicted from the LLC by a prefetch fill and not re-demanded
     /// yet. A set, not a map: membership is the only state. Open-addressed —
     /// this is probed on every demand that leaves the L2.
@@ -173,13 +184,13 @@ impl Default for PollutionTracker {
 }
 
 impl PollutionTracker {
-    fn record_prefetch_victim(&mut self, line: LineAddr) {
+    pub(crate) fn record_prefetch_victim(&mut self, line: LineAddr) {
         if self.victims.len() < POLLUTION_TRACK_CAP {
             self.victims.insert(line.as_u64());
         }
     }
 
-    fn observe_demand(&mut self, line: LineAddr, went_to_dram: bool) {
+    pub(crate) fn observe_demand(&mut self, line: LineAddr, went_to_dram: bool) {
         if self.victims.remove(line.as_u64()) {
             if went_to_dram {
                 self.counts.bad_pollution += 1;
@@ -189,7 +200,7 @@ impl PollutionTracker {
         }
     }
 
-    fn finish(mut self) -> PollutionBreakdown {
+    pub(crate) fn finish(mut self) -> PollutionBreakdown {
         self.counts.no_reuse += self.victims.len() as u64;
         self.counts
     }
@@ -235,14 +246,27 @@ impl SimulationBuilder {
 
     /// Runs the simulation to completion.
     ///
+    /// Single-core simulations run the exact cycle-interleaved serial loop.
+    /// Multi-core simulations run the deterministic bounded-lag epoch
+    /// engine (see [`crate::epoch`]): per-core shards advance independently
+    /// within an epoch against a snapshot of the shared LLC/DRAM state, and
+    /// every shared-resource event is replayed in a deterministic total
+    /// order at the epoch boundary. [`SystemConfig::parallel_cores`] only
+    /// selects whether the shards run on worker threads — the results are
+    /// bit-identical for every worker count by construction.
+    ///
     /// # Panics
     ///
     /// Panics if no cores were added, more cores were added than the
     /// configuration allows, or the configuration is invalid.
     pub fn run(self) -> SimResult {
         SIMULATIONS_STARTED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut machine = Machine::new(self.config, self.cores);
-        machine.run()
+        if self.cores.len() > 1 {
+            crate::epoch::run_sharded(self.config, self.cores)
+        } else {
+            let mut machine = Machine::new(self.config, self.cores);
+            machine.run()
+        }
     }
 }
 
@@ -257,11 +281,90 @@ pub fn simulations_started() -> u64 {
     SIMULATIONS_STARTED.load(std::sync::atomic::Ordering::Relaxed)
 }
 
-/// The simulated machine.
-pub struct Machine {
-    config: SystemConfig,
-    cycle: u64,
-    cores: Vec<CoreState>,
+/// Builds the per-core machines for either engine. Panics on an invalid
+/// configuration or core count (the `SimulationBuilder::run` contract).
+pub(crate) fn build_cores(
+    config: &SystemConfig,
+    core_setup: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>,
+) -> Vec<CoreState> {
+    config.validate().expect("invalid system configuration");
+    assert!(!core_setup.is_empty(), "simulation needs at least one core");
+    assert!(
+        core_setup.len() <= config.cores,
+        "more cores supplied ({}) than the configuration allows ({})",
+        core_setup.len(),
+        config.cores
+    );
+    core_setup
+        .into_iter()
+        .enumerate()
+        .map(|(id, (mut source, l2_prefetcher))| {
+            let workload = source.meta().name;
+            let pending = source.next_record();
+            let gap = pending.map_or(0, |r| r.gap);
+            CoreState {
+                id,
+                workload,
+                source,
+                pending,
+                gap_remaining: gap,
+                rob: std::collections::VecDeque::with_capacity(config.core.rob_entries),
+                rob_len: 0,
+                load_completions: BinaryHeap::new(),
+                l1: Cache::new(config.l1.clone()),
+                l2: Cache::new(config.l2.clone()),
+                l1_prefetcher: config
+                    .l1_stride_prefetcher
+                    .then(|| StridePrefetcher::new(StrideConfig::default())),
+                l2_prefetcher,
+                accounting: PrefetchAccounting::default(),
+                inflight_prefetches: 0,
+                instructions: 0,
+                finish_cycle: 0,
+                finished: false,
+                last_memory_completion: 0,
+                l1_sink: PrefetchSink::new(),
+                l2_sink: PrefetchSink::new(),
+            }
+        })
+        .collect()
+}
+
+/// What a core sees beyond its private L1/L2 boundary. The serial engine's
+/// [`SharedFabric`] implements it against the real shared LLC/DRAM; the
+/// epoch engine's shard view implements it against an epoch-start snapshot
+/// plus a private overlay, logging every shared-state effect for ordered
+/// replay. Keeping the delicate core-stepping logic generic over this trait
+/// is what guarantees both engines step cores identically.
+pub(crate) trait Fabric {
+    /// The DRAM bandwidth quartile this core currently observes.
+    fn quartile(&self) -> dspatch_types::BandwidthQuartile;
+
+    /// Resolves a demand access that missed the L1: probes L2 → LLC →
+    /// in-flight fills → DRAM, performs fills/accounting, and returns
+    /// `(latency beyond the L1 probe, l2_hit)`.
+    fn access_beyond_l1(
+        &mut self,
+        core: &mut CoreState,
+        line: LineAddr,
+        cycle: u64,
+        count_coverage: bool,
+    ) -> (u64, bool);
+
+    /// Issues one L2-prefetcher request. Returns `false` when the core's
+    /// prefetch MSHR budget is exhausted (the caller stops iterating the
+    /// remaining candidates — a full prefetch queue drops them).
+    fn issue_l2_prefetch(
+        &mut self,
+        core: &mut CoreState,
+        request: &PrefetchRequest,
+        cycle: u64,
+    ) -> bool;
+}
+
+/// The shared side of the serial machine: LLC, DRAM, the in-flight fill
+/// table and pollution tracking.
+pub(crate) struct SharedFabric {
     llc: Cache,
     dram: Dram,
     /// In-flight DRAM fills keyed by line address. An open-addressed arena
@@ -272,54 +375,25 @@ pub struct Machine {
     /// not scale with the DRAM backlog (see [`ReadyQueue`]).
     ready_queue: ReadyQueue,
     pollution: PollutionTracker,
-    /// Reusable request buffer for the L1 stride prefetcher (lives on the
-    /// machine so the per-access hot path never allocates in steady state).
-    l1_sink: PrefetchSink,
-    /// Reusable request buffer for the L2 prefetcher.
-    l2_sink: PrefetchSink,
+    l2_latency: u64,
+    llc_latency: u64,
+    prefetch_mshrs: usize,
+}
+
+/// The simulated machine (the exact cycle-interleaved serial engine).
+pub struct Machine {
+    config: SystemConfig,
+    cycle: u64,
+    cores: Vec<CoreState>,
+    fab: SharedFabric,
 }
 
 impl Machine {
-    fn new(config: SystemConfig, core_setup: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>) -> Self {
-        config.validate().expect("invalid system configuration");
-        assert!(!core_setup.is_empty(), "simulation needs at least one core");
-        assert!(
-            core_setup.len() <= config.cores,
-            "more cores supplied ({}) than the configuration allows ({})",
-            core_setup.len(),
-            config.cores
-        );
-        let cores = core_setup
-            .into_iter()
-            .enumerate()
-            .map(|(id, (mut source, l2_prefetcher))| {
-                let workload = source.meta().name;
-                let pending = source.next_record();
-                let gap = pending.map_or(0, |r| r.gap);
-                CoreState {
-                    id,
-                    workload,
-                    source,
-                    pending,
-                    gap_remaining: gap,
-                    rob: std::collections::VecDeque::with_capacity(config.core.rob_entries),
-                    rob_len: 0,
-                    load_completions: BinaryHeap::new(),
-                    l1: Cache::new(config.l1.clone()),
-                    l2: Cache::new(config.l2.clone()),
-                    l1_prefetcher: config
-                        .l1_stride_prefetcher
-                        .then(|| StridePrefetcher::new(StrideConfig::default())),
-                    l2_prefetcher,
-                    accounting: PrefetchAccounting::default(),
-                    inflight_prefetches: 0,
-                    instructions: 0,
-                    finish_cycle: 0,
-                    finished: false,
-                    last_memory_completion: 0,
-                }
-            })
-            .collect();
+    pub(crate) fn new(
+        config: SystemConfig,
+        core_setup: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>,
+    ) -> Self {
+        let cores = build_cores(&config, core_setup);
         // In-flight fills are bounded: demands by the per-core load buffers,
         // prefetches by the per-core prefetch MSHR budget. Seeding the arena
         // just past that population keeps the whole table a few KB — every
@@ -328,21 +402,25 @@ impl Machine {
         let pending_capacity = (config.cores
             * (config.prefetch_mshrs + config.core.load_buffer_entries + 16))
             .max(128);
-        Self {
-            cycle: 0,
-            cores,
+        let fab = SharedFabric {
             llc: Cache::new(config.llc.clone()),
             dram: Dram::new(config.dram, config.core.clock_mhz),
             pending: LineTable::with_capacity(pending_capacity, NO_FILL),
             ready_queue: ReadyQueue::new(),
             pollution: PollutionTracker::default(),
-            l1_sink: PrefetchSink::new(),
-            l2_sink: PrefetchSink::new(),
+            l2_latency: config.l2.latency,
+            llc_latency: config.llc.latency,
+            prefetch_mshrs: config.prefetch_mshrs,
+        };
+        Self {
+            cycle: 0,
+            cores,
+            fab,
             config,
         }
     }
 
-    fn run(&mut self) -> SimResult {
+    pub(crate) fn run(&mut self) -> SimResult {
         while !self.cores.iter().all(|c| c.finished) {
             self.step();
             if self.config.max_cycles > 0 && self.cycle > self.config.max_cycles {
@@ -375,9 +453,9 @@ impl Machine {
             .collect();
         SimResult {
             cores,
-            llc: *self.llc.stats(),
-            dram: *self.dram.stats(),
-            pollution: std::mem::take(&mut self.pollution).finish(),
+            llc: *self.fab.llc.stats(),
+            dram: *self.fab.dram.stats(),
+            pollution: std::mem::take(&mut self.fab.pollution).finish(),
             cycles,
             cache_geometry: vec![
                 self.config.l1.geometry(),
@@ -391,9 +469,9 @@ impl Machine {
         self.cycle += 1;
         let cycle = self.cycle;
         self.drain_ready_fills(cycle);
-        self.dram.advance(cycle);
-        for index in 0..self.cores.len() {
-            self.step_core(index, cycle);
+        self.fab.dram.advance(cycle);
+        for core in &mut self.cores {
+            step_core_generic(core, &mut self.fab, &self.config, cycle);
         }
     }
 
@@ -422,7 +500,7 @@ impl Machine {
         }
         let mut skip = u64::MAX;
         for core in &self.cores {
-            skip = skip.min(self.core_skip_allowance(core));
+            skip = skip.min(core_skip_allowance(core, self.cycle, &self.config));
             if skip == 0 {
                 return; // a core does non-trivial work next cycle
             }
@@ -441,22 +519,25 @@ impl Machine {
         let width = self.config.core.width;
         let rob_entries = self.config.core.rob_entries;
         for core in &mut self.cores {
-            Self::advance_core_closed_form(core, cycle, skip, width, rob_entries);
+            advance_core_closed_form(core, cycle, skip, width, rob_entries);
         }
         self.cycle += skip;
     }
+}
 
-    /// How many upcoming cycles (starting at `self.cycle + 1`) this core can
-    /// be advanced without stepping it, or `u64::MAX` if it is finished.
-    /// Zero means the next cycle must run normally. Mirrors the conditions
-    /// of `step_core` exactly.
-    fn core_skip_allowance(&self, core: &CoreState) -> u64 {
+/// How many upcoming cycles (starting at `cycle + 1`) this core can be
+/// advanced without stepping it, or `u64::MAX` if it is finished. Zero means
+/// the next cycle must run normally. Mirrors the conditions of
+/// `step_core_generic` exactly. Shared by the serial engine (which takes the
+/// minimum across cores) and the epoch engine (which skips each shard
+/// independently and uses it to size event-free epochs).
+pub(crate) fn core_skip_allowance(core: &CoreState, cycle: u64, config: &SystemConfig) -> u64 {
+    {
         if core.finished {
             return u64::MAX;
         }
-        let cycle = self.cycle;
-        let width = self.config.core.width;
-        let rob_entries = self.config.core.rob_entries;
+        let width = config.core.width;
+        let rob_entries = config.core.rob_entries;
         let head = core.rob.front().map(|e| e.completion);
         let has_records = core.pending.is_some();
 
@@ -508,7 +589,7 @@ impl Machine {
         }
         if has_records && core.rob_len < rob_entries {
             // Next up is a memory record.
-            if core.load_completions.len() < self.config.core.load_buffer_entries {
+            if core.load_completions.len() < config.core.load_buffer_entries {
                 return 0; // it issues next cycle
             }
             // Blocked on the load buffer: idle until a load completes (or
@@ -529,95 +610,97 @@ impl Machine {
             Some(h) => h.saturating_sub(cycle + 1),
         }
     }
+}
 
-    /// Applies `skip` cycles' worth of closed-form evolution to `core`
-    /// (validated by `core_skip_allowance`): gap-phase cores allocate
-    /// `width * skip` instructions, idle cores are untouched (their lazy
-    /// load-completion drain happens at the next real step, identically to
-    /// the per-cycle loop's cumulative pops).
-    fn advance_core_closed_form(
-        core: &mut CoreState,
-        cycle: u64,
-        skip: u64,
-        width: usize,
-        rob_entries: usize,
-    ) {
-        // The guard must classify the core exactly as `core_skip_allowance`
-        // did: only a core in the gap-allocation phase evolves during a skip.
-        if core.finished || core.gap_remaining == 0 || core.pending.is_none() {
-            return;
+/// Applies `skip` cycles' worth of closed-form evolution to `core`
+/// (validated by `core_skip_allowance`): gap-phase cores allocate
+/// `width * skip` instructions, idle cores are untouched (their lazy
+/// load-completion drain happens at the next real step, identically to
+/// the per-cycle loop's cumulative pops).
+pub(crate) fn advance_core_closed_form(
+    core: &mut CoreState,
+    cycle: u64,
+    skip: u64,
+    width: usize,
+    rob_entries: usize,
+) {
+    // The guard must classify the core exactly as `core_skip_allowance`
+    // did: only a core in the gap-allocation phase evolves during a skip.
+    if core.finished || core.gap_remaining == 0 || core.pending.is_none() {
+        return;
+    }
+    let gap_cycles = u64::from(core.gap_remaining) / width as u64;
+    if gap_cycles == 0 {
+        return; // partial-gap core: it was idle (ROB full) or skip is 0
+    }
+    let mut backlog = 0usize;
+    for entry in core.rob.iter() {
+        if entry.completion > cycle + 1 {
+            break;
         }
-        let gap_cycles = u64::from(core.gap_remaining) / width as u64;
-        if gap_cycles == 0 {
-            return; // partial-gap core: it was idle (ROB full) or skip is 0
-        }
-        let mut backlog = 0usize;
-        for entry in core.rob.iter() {
-            if entry.completion > cycle + 1 {
-                break;
-            }
-            backlog += entry.count as usize;
-        }
-        if backlog < width && core.rob_len >= rob_entries {
-            return; // ROB-full idle core, untouched during the skip
-        }
-        debug_assert!(skip <= gap_cycles);
-        let allocated = skip * width as u64;
-        if backlog >= width {
-            // Backlog regime: retire `width` per streak cycle, count-wise
-            // from the front runs; every allocation stays in flight (it can
-            // only retire once it reaches the head, which the backlog and
-            // any blocked run prevent until after the streak).
-            let mut to_retire = allocated as usize;
-            debug_assert!(backlog >= to_retire);
-            while to_retire > 0 {
-                let front = core.rob.front_mut().expect("backlog covers retirement");
-                let take = to_retire.min(front.count as usize);
-                front.count -= take as u32;
-                core.rob_len -= take;
-                to_retire -= take;
-                if front.count == 0 {
-                    core.rob.pop_front();
-                }
-            }
-            core.rob_push(cycle + skip + 1, allocated as u32);
-        } else {
-            // Accumulation regime: the current front retires in the first
-            // streak cycle.
-            while let Some(front) = core.rob.front() {
-                if front.completion > cycle + 1 {
-                    break;
-                }
-                core.rob_len -= front.count as usize;
+        backlog += entry.count as usize;
+    }
+    if backlog < width && core.rob_len >= rob_entries {
+        return; // ROB-full idle core, untouched during the skip
+    }
+    debug_assert!(skip <= gap_cycles);
+    let allocated = skip * width as u64;
+    if backlog >= width {
+        // Backlog regime: retire `width` per streak cycle, count-wise
+        // from the front runs; every allocation stays in flight (it can
+        // only retire once it reaches the head, which the backlog and
+        // any blocked run prevent until after the streak).
+        let mut to_retire = allocated as usize;
+        debug_assert!(backlog >= to_retire);
+        while to_retire > 0 {
+            let front = core.rob.front_mut().expect("backlog covers retirement");
+            let take = to_retire.min(front.count as usize);
+            front.count -= take as u32;
+            core.rob_len -= take;
+            to_retire -= take;
+            if front.count == 0 {
                 core.rob.pop_front();
             }
-            if core.rob.is_empty() {
-                // Steady state: each cycle's `width` allocations retire the
-                // next cycle; only the final cycle's allocation remains.
-                core.rob_push(cycle + skip + 1, width as u32);
-            } else {
-                // Blocked head: allocations accumulate behind it. Their
-                // completions (cycle+2 ..= cycle+skip+1) all precede their
-                // earliest possible retirement, so a single run at the
-                // latest completion retires identically.
-                core.rob_push(cycle + skip + 1, allocated as u32);
-            }
         }
-        core.gap_remaining -= allocated as u32;
-        core.instructions += allocated;
-        core.drain_load_completions(cycle + skip);
+        core.rob_push(cycle + skip + 1, allocated as u32);
+    } else {
+        // Accumulation regime: the current front retires in the first
+        // streak cycle.
+        while let Some(front) = core.rob.front() {
+            if front.completion > cycle + 1 {
+                break;
+            }
+            core.rob_len -= front.count as usize;
+            core.rob.pop_front();
+        }
+        if core.rob.is_empty() {
+            // Steady state: each cycle's `width` allocations retire the
+            // next cycle; only the final cycle's allocation remains.
+            core.rob_push(cycle + skip + 1, width as u32);
+        } else {
+            // Blocked head: allocations accumulate behind it. Their
+            // completions (cycle+2 ..= cycle+skip+1) all precede their
+            // earliest possible retirement, so a single run at the
+            // latest completion retires identically.
+            core.rob_push(cycle + skip + 1, allocated as u32);
+        }
     }
+    core.gap_remaining -= allocated as u32;
+    core.instructions += allocated;
+    core.drain_load_completions(cycle + skip);
+}
 
+impl Machine {
     /// Materializes DRAM fills whose data has arrived.
     fn drain_ready_fills(&mut self, cycle: u64) {
-        while let Some((_, line)) = self.ready_queue.pop_ready(cycle) {
-            let Some(fill) = self.pending.remove(line) else {
+        while let Some((_, line)) = self.fab.ready_queue.pop_ready(cycle) {
+            let Some(fill) = self.fab.pending.remove(line) else {
                 continue;
             };
             if fill.ready > cycle {
                 // A duplicate queue entry from a superseded request; requeue.
-                self.pending.insert(line, fill);
-                self.ready_queue.push(fill.ready, line);
+                self.fab.pending.insert(line, fill);
+                self.fab.ready_queue.push(fill.ready, line);
                 continue;
             }
             if fill.is_prefetch {
@@ -633,150 +716,198 @@ impl Machine {
             if fill.fill_l1 {
                 core.l1.fill(line_addr, is_prefetch, fill.low_priority);
             }
-            if let Some(eviction) = self.llc.fill(line_addr, is_prefetch, fill.low_priority) {
+            if let Some(eviction) = self.fab.llc.fill(line_addr, is_prefetch, fill.low_priority) {
                 if is_prefetch {
-                    self.pollution.record_prefetch_victim(eviction.line);
+                    self.fab.pollution.record_prefetch_victim(eviction.line);
                 }
             }
         }
     }
+}
 
-    fn step_core(&mut self, index: usize, cycle: u64) {
-        let width = self.config.core.width;
-        let rob_entries = self.config.core.rob_entries;
-        let load_buffer = self.config.core.load_buffer_entries;
+/// Steps one core for one cycle against `fab`: retire, then allocate,
+/// issuing demand accesses and prefetches through the fabric. Both engines
+/// call exactly this function, so cores evolve identically under either.
+pub(crate) fn step_core_generic<F: Fabric>(
+    core: &mut CoreState,
+    fab: &mut F,
+    config: &SystemConfig,
+    cycle: u64,
+) {
+    let width = config.core.width;
+    let rob_entries = config.core.rob_entries;
+    let load_buffer = config.core.load_buffer_entries;
 
-        // Retire completed instructions from the ROB head (in order, up to
-        // `width` per cycle; compressed runs retire count-wise).
-        {
-            let core = &mut self.cores[index];
-            if core.finished {
-                return;
-            }
-            let mut retired = 0;
-            while retired < width {
-                match core.rob.front_mut() {
-                    Some(entry) if entry.completion <= cycle => {
-                        let take = (width - retired).min(entry.count as usize);
-                        entry.count -= take as u32;
-                        core.rob_len -= take;
-                        retired += take;
-                        if entry.count == 0 {
-                            core.rob.pop_front();
-                        }
+    // Retire completed instructions from the ROB head (in order, up to
+    // `width` per cycle; compressed runs retire count-wise).
+    {
+        if core.finished {
+            return;
+        }
+        let mut retired = 0;
+        while retired < width {
+            match core.rob.front_mut() {
+                Some(entry) if entry.completion <= cycle => {
+                    let take = (width - retired).min(entry.count as usize);
+                    entry.count -= take as u32;
+                    core.rob_len -= take;
+                    retired += take;
+                    if entry.count == 0 {
+                        core.rob.pop_front();
                     }
-                    _ => break,
                 }
-            }
-            core.drain_load_completions(cycle);
-            if core.pending.is_none() && core.rob_len == 0 {
-                core.finished = true;
-                core.finish_cycle = cycle;
-                return;
+                _ => break,
             }
         }
-
-        // Allocate new instructions.
-        let mut allocated = 0;
-        while allocated < width {
-            let core = &self.cores[index];
-            if core.rob_len >= rob_entries || core.pending.is_none() {
-                break;
-            }
-            if core.gap_remaining > 0 {
-                // Batch every gap instruction this cycle can take: they all
-                // complete next cycle, so they form (or extend) one ROB run.
-                let core = &mut self.cores[index];
-                let take = (width - allocated)
-                    .min(core.gap_remaining as usize)
-                    .min(rob_entries - core.rob_len);
-                core.rob_push(cycle + 1, take as u32);
-                core.gap_remaining -= take as u32;
-                core.instructions += take as u64;
-                allocated += take;
-                continue;
-            }
-            if core.load_completions.len() >= load_buffer {
-                break;
-            }
-            let record = core.pending.expect("pending checked above");
-            // A dependent (pointer-chasing) access cannot start before the
-            // previous memory access has produced its value.
-            let issue_cycle = if record.dependent {
-                cycle.max(core.last_memory_completion)
-            } else {
-                cycle
-            };
-            let completion = self.demand_access(index, &record, issue_cycle);
-            let core = &mut self.cores[index];
-            core.last_memory_completion = completion;
-            core.rob_push(completion, 1);
-            core.load_completions.push(Reverse(completion));
-            core.instructions += 1;
-            core.pending = core.source.next_record();
-            core.gap_remaining = core.pending.map_or(0, |r| r.gap);
-            allocated += 1;
+        core.drain_load_completions(cycle);
+        if core.pending.is_none() && core.rob_len == 0 {
+            core.finished = true;
+            core.finish_cycle = cycle;
+            return;
         }
     }
 
-    /// Performs one demand access through the hierarchy and returns its
-    /// completion cycle.
-    fn demand_access(&mut self, index: usize, record: &TraceRecord, cycle: u64) -> u64 {
-        let line = record.addr.line();
-        let l1_latency = self.config.l1.latency;
-        let l2_latency = self.config.l2.latency;
-        let llc_latency = self.config.llc.latency;
-        let bandwidth = self.dram.bandwidth_quartile();
-        let access =
-            MemoryAccess::new(record.pc, record.addr, record.kind).with_core(CoreId(index));
-
-        // L1 prefetcher observes every demand access at the L1. The sink is
-        // taken out of `self` for the duration of the call (a pointer swap,
-        // not an allocation) so the borrow checker allows issuing through
-        // `&mut self` while iterating it.
-        let mut l1_sink = std::mem::take(&mut self.l1_sink);
-        l1_sink.clear();
-        {
-            let core = &mut self.cores[index];
-            if let Some(prefetcher) = core.l1_prefetcher.as_mut() {
-                let ctx = PrefetchContext::at_cycle(cycle).with_bandwidth(bandwidth);
-                prefetcher.on_access(&access, &ctx, &mut l1_sink);
-            }
+    // Allocate new instructions.
+    let mut allocated = 0;
+    while allocated < width {
+        if core.rob_len >= rob_entries || core.pending.is_none() {
+            break;
         }
-
-        // L1 probe.
-        let l1_hit = self.cores[index].l1.demand_lookup(line);
-        let completion = if l1_hit {
-            cycle + l1_latency
+        if core.gap_remaining > 0 {
+            // Batch every gap instruction this cycle can take: they all
+            // complete next cycle, so they form (or extend) one ROB run.
+            let take = (width - allocated)
+                .min(core.gap_remaining as usize)
+                .min(rob_entries - core.rob_len);
+            core.rob_push(cycle + 1, take as u32);
+            core.gap_remaining -= take as u32;
+            core.instructions += take as u64;
+            allocated += take;
+            continue;
+        }
+        if core.load_completions.len() >= load_buffer {
+            break;
+        }
+        let record = core.pending.expect("pending checked above");
+        // A dependent (pointer-chasing) access cannot start before the
+        // previous memory access has produced its value.
+        let issue_cycle = if record.dependent {
+            cycle.max(core.last_memory_completion)
         } else {
-            self.cores[index].accounting.l2_demand_accesses += 1;
-            let (latency, l2_hit) = self.access_beyond_l1(index, line, cycle, true);
-            // Train the L2 prefetcher on this L1 miss and issue its requests.
-            let mut l2_sink = std::mem::take(&mut self.l2_sink);
-            l2_sink.clear();
-            {
-                let core = &mut self.cores[index];
-                let ctx = PrefetchContext::at_cycle(cycle)
-                    .with_cache_hit(l2_hit)
-                    .with_bandwidth(bandwidth);
-                core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
-            }
-            for request in l2_sink.requests() {
-                if !self.issue_l2_prefetch(index, request, cycle) {
-                    break;
-                }
-            }
-            self.l2_sink = l2_sink;
-            cycle + l1_latency + latency
+            cycle
         };
+        let completion = demand_access_generic(core, fab, config, &record, issue_cycle);
+        core.last_memory_completion = completion;
+        core.rob_push(completion, 1);
+        core.load_completions.push(Reverse(completion));
+        core.instructions += 1;
+        core.pending = core.source.next_record();
+        core.gap_remaining = core.pending.map_or(0, |r| r.gap);
+        allocated += 1;
+    }
+}
 
-        // L1 prefetcher requests are handled after the demand so they never
-        // shorten the triggering access itself.
-        for request in l1_sink.requests() {
-            self.issue_l1_prefetch(index, request, cycle, l2_latency, llc_latency);
+/// Performs one demand access through the hierarchy and returns its
+/// completion cycle.
+pub(crate) fn demand_access_generic<F: Fabric>(
+    core: &mut CoreState,
+    fab: &mut F,
+    config: &SystemConfig,
+    record: &TraceRecord,
+    cycle: u64,
+) -> u64 {
+    let line = record.addr.line();
+    let l1_latency = config.l1.latency;
+    let bandwidth = fab.quartile();
+    let access = MemoryAccess::new(record.pc, record.addr, record.kind).with_core(CoreId(core.id));
+
+    // L1 prefetcher observes every demand access at the L1. The sink is
+    // taken out of the core for the duration of the call (a pointer swap,
+    // not an allocation) so the borrow checker allows issuing through
+    // `&mut core` while iterating it.
+    let mut l1_sink = std::mem::take(&mut core.l1_sink);
+    l1_sink.clear();
+    if let Some(prefetcher) = core.l1_prefetcher.as_mut() {
+        let ctx = PrefetchContext::at_cycle(cycle).with_bandwidth(bandwidth);
+        prefetcher.on_access(&access, &ctx, &mut l1_sink);
+    }
+
+    // L1 probe.
+    let l1_hit = core.l1.demand_lookup(line);
+    let completion = if l1_hit {
+        cycle + l1_latency
+    } else {
+        core.accounting.l2_demand_accesses += 1;
+        let (latency, l2_hit) = fab.access_beyond_l1(core, line, cycle, true);
+        // Train the L2 prefetcher on this L1 miss and issue its requests.
+        let mut l2_sink = std::mem::take(&mut core.l2_sink);
+        l2_sink.clear();
+        {
+            let ctx = PrefetchContext::at_cycle(cycle)
+                .with_cache_hit(l2_hit)
+                .with_bandwidth(bandwidth);
+            core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
         }
-        self.l1_sink = l1_sink;
-        completion
+        for request in l2_sink.requests() {
+            if !fab.issue_l2_prefetch(core, request, cycle) {
+                break;
+            }
+        }
+        core.l2_sink = l2_sink;
+        cycle + l1_latency + latency
+    };
+
+    // L1 prefetcher requests are handled after the demand so they never
+    // shorten the triggering access itself.
+    for request in l1_sink.requests() {
+        issue_l1_prefetch_generic(core, fab, request, cycle);
+    }
+    core.l1_sink = l1_sink;
+    completion
+}
+
+/// Issues one request from the L1 stride prefetcher. L1 prefetch misses
+/// also train the L2 prefetcher, matching the paper's methodology.
+fn issue_l1_prefetch_generic<F: Fabric>(
+    core: &mut CoreState,
+    fab: &mut F,
+    request: &PrefetchRequest,
+    cycle: u64,
+) {
+    let line = request.line;
+    if core.l1.prefetch_lookup(line) {
+        return;
+    }
+    // The L1 prefetch misses the L1: it becomes an L2 access that also
+    // trains the L2 prefetcher (as a prefetch-miss training event).
+    let bandwidth = fab.quartile();
+    let pc = dspatch_types::Pc::new(0);
+    let access = MemoryAccess::new(pc, line.to_addr(), dspatch_types::AccessKind::Load)
+        .with_core(CoreId(core.id));
+    let (_, l2_hit) = fab.access_beyond_l1(core, line, cycle, false);
+    // `demand_access_generic` has already put the L2 sink back before
+    // iterating the L1 requests, so taking it again here never aliases.
+    let mut l2_sink = std::mem::take(&mut core.l2_sink);
+    l2_sink.clear();
+    {
+        let ctx = PrefetchContext::at_cycle(cycle)
+            .with_cache_hit(l2_hit)
+            .with_bandwidth(bandwidth);
+        core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
+    }
+    for request in l2_sink.requests() {
+        if !fab.issue_l2_prefetch(core, request, cycle) {
+            break;
+        }
+    }
+    core.l2_sink = l2_sink;
+    // Fill the line into the L1 as a prefetch.
+    core.l1.fill(line, true, false);
+}
+
+impl Fabric for SharedFabric {
+    fn quartile(&self) -> dspatch_types::BandwidthQuartile {
+        self.dram.bandwidth_quartile()
     }
 
     /// Probes L2, LLC, the in-flight fills and DRAM for a demand access that
@@ -784,19 +915,18 @@ impl Machine {
     /// and performs the fills/accounting.
     fn access_beyond_l1(
         &mut self,
-        index: usize,
+        core: &mut CoreState,
         line: LineAddr,
         cycle: u64,
         count_coverage: bool,
     ) -> (u64, bool) {
-        let l2_latency = self.config.l2.latency;
-        let llc_latency = self.config.llc.latency;
+        let l2_latency = self.l2_latency;
+        let llc_latency = self.llc_latency;
 
         // L2 probe.
-        let (l2_hit, l2_was_unused_prefetch) = self.cores[index].l2.demand_lookup_first_use(line);
+        let (l2_hit, l2_was_unused_prefetch) = core.l2.demand_lookup_first_use(line);
         if l2_hit {
             if count_coverage && l2_was_unused_prefetch {
-                let core = &mut self.cores[index];
                 core.accounting.covered += 1;
                 core.accounting.prefetches_used += 1;
             }
@@ -807,12 +937,10 @@ impl Machine {
         let (llc_hit, llc_first_use) = self.llc.demand_lookup_first_use(line);
         if llc_hit {
             if count_coverage && llc_first_use {
-                let core = &mut self.cores[index];
                 core.accounting.covered += 1;
                 core.accounting.prefetches_used += 1;
             }
             // Fill the inner levels (demand fill).
-            let core = &mut self.cores[index];
             core.l2.fill(line, false, false);
             core.l1.fill(line, false, false);
             self.pollution.observe_demand(line, false);
@@ -832,7 +960,7 @@ impl Machine {
                 fill.used_by_demand = true;
                 fill.fill_l1 = true;
                 fill.fill_l2 = true;
-                fill.core = index;
+                fill.core = core.id;
                 let old_ready = fill.ready;
                 let promoted_ready = if was_prefetch && old_ready > issue_cycle {
                     let reissued = self.dram.access(line, issue_cycle, false);
@@ -843,7 +971,6 @@ impl Machine {
                     old_ready
                 };
                 if count_coverage && was_prefetch {
-                    let core = &mut self.cores[index];
                     core.accounting.covered += 1;
                     core.accounting.prefetches_used += 1;
                 }
@@ -854,14 +981,14 @@ impl Machine {
             Slot::Vacant(vacant) => {
                 // DRAM access.
                 if count_coverage {
-                    self.cores[index].accounting.uncovered += 1;
+                    core.accounting.uncovered += 1;
                 }
                 self.pollution.observe_demand(line, true);
                 let ready = self.dram.access(line, issue_cycle, false);
                 vacant.insert(PendingFill {
                     ready,
-                    core: index,
-                    issuer: index,
+                    core: core.id,
+                    issuer: core.id,
                     is_prefetch: false,
                     fill_l1: true,
                     fill_l2: true,
@@ -885,89 +1012,46 @@ impl Machine {
     /// within one access's issue loop, so the caller can stop iterating the
     /// remaining candidates — a full prefetch queue drops them on the
     /// floor, as the hardware's would.
-    fn issue_l2_prefetch(&mut self, index: usize, request: &PrefetchRequest, cycle: u64) -> bool {
-        if self.cores[index].inflight_prefetches >= self.config.prefetch_mshrs {
+    fn issue_l2_prefetch(
+        &mut self,
+        core: &mut CoreState,
+        request: &PrefetchRequest,
+        cycle: u64,
+    ) -> bool {
+        if core.inflight_prefetches >= self.prefetch_mshrs {
             return false;
         }
         let line = request.line;
         let key = line.as_u64();
         let fill_l2 = request.fill_level != FillLevel::Llc;
-        {
-            let core = &mut self.cores[index];
-            if core.l2.prefetch_lookup(line) {
-                return true; // already resident where it would be filled
-            }
+        if core.l2.prefetch_lookup(line) {
+            return true; // already resident where it would be filled
         }
         // One hash probe decides in-flight filtering and books the fill.
         let Slot::Vacant(vacant) = self.pending.slot(key) else {
             return true;
         };
-        self.cores[index].accounting.prefetches_issued += 1;
+        core.accounting.prefetches_issued += 1;
         let ready = if self.llc.prefetch_lookup(line) {
             // The line is on-die already: pull it into the L2 without DRAM
             // traffic; model it as arriving after an LLC round trip.
-            cycle + self.config.llc.latency
+            cycle + self.llc_latency
         } else {
             self.dram.access(line, cycle + DRAM_REQUEST_OVERHEAD, true)
         };
         vacant.insert(PendingFill {
             ready,
-            core: index,
-            issuer: index,
+            core: core.id,
+            issuer: core.id,
             is_prefetch: true,
             fill_l1: false,
             fill_l2,
             low_priority: request.low_priority,
             used_by_demand: false,
         });
-        self.cores[index].inflight_prefetches += 1;
+        core.inflight_prefetches += 1;
         self.ready_queue.push(ready, key);
         true
-    }
-
-    /// Issues one request from the L1 stride prefetcher. L1 prefetch misses
-    /// also train the L2 prefetcher, matching the paper's methodology.
-    fn issue_l1_prefetch(
-        &mut self,
-        index: usize,
-        request: &PrefetchRequest,
-        cycle: u64,
-        _l2_latency: u64,
-        _llc_latency: u64,
-    ) {
-        let line = request.line;
-        {
-            let core = &mut self.cores[index];
-            if core.l1.prefetch_lookup(line) {
-                return;
-            }
-        }
-        // The L1 prefetch misses the L1: it becomes an L2 access that also
-        // trains the L2 prefetcher (as a prefetch-miss training event).
-        let bandwidth = self.dram.bandwidth_quartile();
-        let pc = dspatch_types::Pc::new(0);
-        let access = MemoryAccess::new(pc, line.to_addr(), dspatch_types::AccessKind::Load)
-            .with_core(CoreId(index));
-        let (_, l2_hit) = self.access_beyond_l1(index, line, cycle, false);
-        // `demand_access` has already put the L2 sink back before iterating
-        // the L1 requests, so taking it again here never aliases.
-        let mut l2_sink = std::mem::take(&mut self.l2_sink);
-        l2_sink.clear();
-        {
-            let core = &mut self.cores[index];
-            let ctx = PrefetchContext::at_cycle(cycle)
-                .with_cache_hit(l2_hit)
-                .with_bandwidth(bandwidth);
-            core.l2_prefetcher.on_access(&access, &ctx, &mut l2_sink);
-        }
-        for request in l2_sink.requests() {
-            if !self.issue_l2_prefetch(index, request, cycle) {
-                break;
-            }
-        }
-        self.l2_sink = l2_sink;
-        // Fill the line into the L1 as a prefetch.
-        self.cores[index].l1.fill(line, true, false);
     }
 }
 
@@ -976,7 +1060,7 @@ impl std::fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("cycle", &self.cycle)
             .field("cores", &self.cores.len())
-            .field("pending_fills", &self.pending.len())
+            .field("pending_fills", &self.fab.pending.len())
             .finish()
     }
 }

@@ -93,6 +93,14 @@ impl<V: Copy> LineTable<V> {
         self.len == 0
     }
 
+    /// Removes every entry, keeping the allocated capacity. O(capacity);
+    /// used by the epoch engine to reset its per-epoch LLC overlay, whose
+    /// capacity stays small and steady.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
     #[inline]
     fn home(&self, key: u64) -> usize {
         (key.wrapping_mul(MIX) >> self.shift) as usize

@@ -242,7 +242,11 @@ impl<'a> IntoIterator for &'a PrefetchSink {
 ///
 /// Implementations must be deterministic functions of the access stream they
 /// observe so that simulation results are reproducible.
-pub trait Prefetcher {
+///
+/// `Send` is a supertrait so a per-core machine (which owns its prefetcher)
+/// can be moved onto an epoch worker thread by the sharded multi-core
+/// engine; prefetchers are plain state machines, so this costs nothing.
+pub trait Prefetcher: Send {
     /// Human-readable name used in reports ("SPP", "DSPatch+SPP", ...).
     fn name(&self) -> &str;
 

@@ -14,6 +14,7 @@ fn main() {
         workloads_per_category: 1,
         mixes: 1,
         threads: 8,
+        sim_workers: 0,
     };
     let workloads = scale.select_workloads(memory_intensive_suite());
     println!("{} memory-intensive workloads per point\n", workloads.len());

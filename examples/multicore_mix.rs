@@ -15,6 +15,7 @@ fn main() {
         workloads_per_category: 0,
         mixes: 1,
         threads: 1,
+        sim_workers: 0,
     };
     let mix = &heterogeneous_mixes(1, 4, 42)[0];
     let config = SystemConfig::multi_programmed();

@@ -14,6 +14,7 @@ fn main() {
         workloads_per_category: 1,
         mixes: 1,
         threads: 1,
+        sim_workers: 0,
     };
     let workload = &category_suite(WorkloadCategory::Cloud)[0];
     let config = SystemConfig::single_thread();

@@ -21,6 +21,7 @@ fn baselines_simulate_once_per_workload_and_config() {
         workloads_per_category: 1,
         mixes: 1,
         threads: 2,
+        sim_workers: 0,
     };
 
     // Figure 4: 9 categories × 1 workload, K = 3 prefetcher columns.

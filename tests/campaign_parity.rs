@@ -22,6 +22,7 @@ fn tiny() -> RunScale {
         workloads_per_category: 1,
         mixes: 1,
         threads: 4,
+        sim_workers: 0,
     }
 }
 
@@ -155,6 +156,7 @@ fn every_named_figure_runs_through_the_registry() {
         workloads_per_category: 1,
         mixes: 1,
         threads: 4,
+        sim_workers: 0,
     };
     for id in FigureId::ALL {
         let table = id.run(&scale);
@@ -249,6 +251,7 @@ fn arbitrary_spec(seed: u64) -> CampaignSpec {
             } else {
                 Some(1 + next(64) as usize)
             },
+            sim_workers: next(3) as usize,
         }),
     };
     CampaignSpec {

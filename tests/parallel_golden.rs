@@ -1,0 +1,103 @@
+//! Golden parity for the parallel multi-core engine: turning
+//! [`dspatch_sim::SystemConfig::parallel_cores`] on — with any worker
+//! count — must produce **bit-identical** [`dspatch_sim::SimResult`]s to
+//! the serial run. Multi-core simulations always execute the bounded-lag
+//! epoch schedule; the flag only chooses how many OS threads evaluate it,
+//! so equality holds by construction and these tests pin it for every
+//! registry prefetcher and across randomized configurations.
+
+use dspatch_harness::runner::PrefetcherKind;
+use dspatch_sim::{SimResult, SimulationBuilder, SystemConfig};
+use dspatch_trace::heterogeneous_mixes;
+use proptest::prelude::*;
+
+const SMOKE_ACCESSES: usize = 1_200;
+
+fn run_mix(
+    config: SystemConfig,
+    kind: PrefetcherKind,
+    accesses: usize,
+    mix_index: usize,
+) -> SimResult {
+    let mix = &heterogeneous_mixes(3, 4, 7)[mix_index];
+    let mut builder = SimulationBuilder::new(config);
+    for workload in &mix.workloads {
+        builder = builder.with_core(workload.source(accesses), kind.build_any());
+    }
+    builder.run()
+}
+
+fn parallel_config(workers: usize) -> SystemConfig {
+    let mut config = SystemConfig::multi_programmed();
+    config.parallel_cores = true;
+    config.parallel_workers = workers;
+    config
+}
+
+/// The headline guarantee: for **every** prefetcher in the registry, a
+/// heterogeneous 4-core mix simulated with `parallel_cores` on is
+/// bit-identical to the serial simulation of the same mix.
+#[test]
+fn every_registry_prefetcher_is_bit_identical_with_parallel_cores() {
+    for kind in PrefetcherKind::ALL {
+        let serial = run_mix(SystemConfig::multi_programmed(), kind, SMOKE_ACCESSES, 0);
+        let parallel = run_mix(parallel_config(4), kind, SMOKE_ACCESSES, 0);
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: parallel_cores changed the simulation result",
+            kind.label()
+        );
+    }
+}
+
+/// The worker count is a pure scheduling knob: 1, 2, 3 and 4 epoch workers
+/// (and the auto setting) all agree.
+#[test]
+fn every_worker_count_agrees() {
+    let reference = run_mix(parallel_config(1), PrefetcherKind::DspatchPlusSpp, 2_000, 1);
+    for workers in [0usize, 2, 3, 4] {
+        let result = run_mix(
+            parallel_config(workers),
+            PrefetcherKind::DspatchPlusSpp,
+            2_000,
+            1,
+        );
+        assert_eq!(
+            reference, result,
+            "worker count {workers} changed the simulation result"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized configurations: epoch length (including degenerate 1-cycle
+    /// epochs), cycle skipping, trace length and worker count never break
+    /// serial/parallel equality.
+    #[test]
+    fn random_configs_stay_bit_identical(
+        epoch_cycles in 0u64..4_000,
+        cycle_skipping in any::<bool>(),
+        workers in 2usize..=4,
+        accesses in 200usize..1_000,
+        mix_index in 0usize..3,
+    ) {
+        let mut serial = SystemConfig::multi_programmed();
+        serial.parallel_epoch_cycles = epoch_cycles;
+        serial.cycle_skipping = cycle_skipping;
+        let mut parallel = serial.clone();
+        parallel.parallel_cores = true;
+        parallel.parallel_workers = workers;
+        let kind = PrefetcherKind::DspatchPlusSpp;
+        prop_assert_eq!(
+            run_mix(serial, kind, accesses, mix_index),
+            run_mix(parallel, kind, accesses, mix_index),
+            "epoch_cycles={} cycle_skipping={} workers={}",
+            epoch_cycles,
+            cycle_skipping,
+            workers
+        );
+    }
+}
