@@ -6,6 +6,8 @@
 //! ```text
 //! dspatch-lab --figure fig12 [--scale smoke|quick|full] [--format table|json|csv]
 //! dspatch-lab --spec my_campaign.json [--scale ...] [--format ...] [--threads N]
+//! dspatch-lab --spec my_campaign.json --journal run.journal   # crash-safe record
+//! dspatch-lab --spec my_campaign.json --resume run.journal    # skip completed cells
 //! dspatch-lab --trace-file foo.champsim.txt [--prefetchers spp,dspatch_plus_spp]
 //! dspatch-lab --list        # figures, workloads and scale presets
 //! dspatch-lab --template    # print an example spec file
@@ -24,11 +26,24 @@
 //! epoch engine with N worker threads each (results are bit-identical to
 //! the serial engine); the campaign executor divides `--threads` by N so
 //! the two levels share one thread budget.
+//!
+//! `--journal FILE` appends every completed cell to a crash-safe journal;
+//! `--resume FILE` replays completed cells from it and re-executes only the
+//! missing ones, producing bit-identical output to an uninterrupted run.
+//! `--retries N` retries a transiently failing cell up to N extra times
+//! before quarantining it. Exit codes follow the `HarnessError` classes:
+//! 0 success, 1 internal failure, 2 usage error, 3 invalid spec, 4 I/O
+//! failure, 5 corrupt journal, 6 journal/campaign mismatch, 7 campaign
+//! completed with quarantined cells.
 
-use dspatch_harness::campaign::run_campaign;
+// Failures on harness paths carry typed context; panicking helpers are
+// forbidden outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use dspatch_harness::campaign::{run_campaign_with, ExecOptions};
 use dspatch_harness::figures::FigureId;
 use dspatch_harness::runner::{PrefetcherKind, RunScale};
-use dspatch_harness::{CampaignSpec, Table};
+use dspatch_harness::{CampaignSpec, HarnessError, Table};
 use dspatch_sim::{SimulationBuilder, SystemConfig};
 use dspatch_trace::io::open_trace_source;
 use dspatch_trace::suite;
@@ -43,14 +58,24 @@ fn usage() -> ! {
     eprintln!(
         "usage: dspatch-lab (--figure NAME | --spec FILE.json | --trace-file FILE | --list | --template)\n\
          \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
-         \x20                [--threads N] [--parallel-cores N] [--prefetchers KIND[,KIND...]] [--out PATH]"
+         \x20                [--threads N] [--parallel-cores N] [--prefetchers KIND[,KIND...]] [--out PATH]\n\
+         \x20                [--journal FILE | --resume FILE] [--retries N]"
     );
     std::process::exit(2);
 }
 
+/// Usage-class failure (bad flag, unknown name, invalid combination):
+/// exit 2, like `usage()`.
 fn fail(message: &str) -> ! {
     eprintln!("dspatch-lab: {message}");
-    std::process::exit(1);
+    std::process::exit(2);
+}
+
+/// Exits with the error's class-specific code (3 spec, 4 io, 5 corrupt,
+/// 6 mismatch, 7 cell) so scripts can branch on the failure mode.
+fn fail_typed(error: &HarnessError) -> ! {
+    eprintln!("dspatch-lab: {error}");
+    std::process::exit(error.class().exit_code());
 }
 
 fn main() {
@@ -63,6 +88,9 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut sim_workers: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut retries: Option<u32> = None;
     let mut list = false;
     let mut template = false;
 
@@ -101,6 +129,15 @@ fn main() {
                 )
             }
             "--out" => out = Some(value("--out")),
+            "--journal" => journal = Some(value("--journal")),
+            "--resume" => resume = Some(value("--resume")),
+            "--retries" => {
+                retries = Some(
+                    value("--retries")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--retries must be an integer")),
+                )
+            }
             "--list" => list = true,
             "--template" => template = true,
             "--help" | "-h" => usage(),
@@ -134,6 +171,16 @@ fn main() {
     {
         fail("--scale/--threads/--parallel-cores do not apply to --trace-file (the whole trace replays once per prefetcher, single-core)");
     }
+    if journal.is_some() && resume.is_some() {
+        fail("--journal and --resume are mutually exclusive (--resume appends to the same file)");
+    }
+    if (journal.is_some() || resume.is_some() || retries.is_some()) && spec_path.is_none() {
+        fail("--journal/--resume/--retries only apply to --spec campaigns");
+    }
+    // Exit code 7 when the campaign completed but quarantined cells; set in
+    // the --spec branch, applied after the report is written so partial
+    // results still land.
+    let mut exit_code = 0;
     let report = if list {
         inventory()
     } else if template {
@@ -161,26 +208,53 @@ fn main() {
             }
             (None, Some(path)) => {
                 let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-                let spec = CampaignSpec::parse(&text)
-                    .unwrap_or_else(|e| fail(&format!("invalid spec {path}: {e}")));
+                    .unwrap_or_else(|e| fail_typed(&HarnessError::io(path, "read", &e)));
+                let spec = CampaignSpec::parse(&text).unwrap_or_else(|e| {
+                    fail_typed(&HarnessError::spec(format!("invalid spec {path}: {e}")))
+                });
                 let scale = resolve_scale(
                     scale_name.as_deref(),
                     spec.scale.as_ref(),
                     threads,
                     sim_workers,
                 );
-                let result = run_campaign(&spec, &scale)
-                    .unwrap_or_else(|e| fail(&format!("spec error: {e}")));
+                let mut opts = ExecOptions::default();
+                if let Some(extra) = retries {
+                    opts.retry.attempts = extra.saturating_add(1);
+                }
+                match (&journal, &resume) {
+                    (Some(path), _) => opts.journal = Some(path.into()),
+                    (None, Some(path)) => {
+                        opts.journal = Some(path.into());
+                        opts.resume = true;
+                    }
+                    (None, None) => {}
+                }
+                let result = run_campaign_with(&spec, &scale, &opts)
+                    .unwrap_or_else(|error| fail_typed(&error));
                 eprintln!(
-                    "campaign '{}': {} rows from {} simulations ({} baselines, {} memo hits), {} threads",
+                    "campaign '{}': {} rows from {} simulations ({} baselines, {} memo hits, {} replayed from journal), {} threads",
                     result.name,
                     result.rows.len(),
                     result.stats.sims_run,
                     result.stats.baseline_sims,
                     result.stats.memo_hits,
+                    result.stats.journal_hits,
                     result.stats.threads,
                 );
+                if !result.failures.is_empty() {
+                    for failure in &result.failures {
+                        eprintln!(
+                            "dspatch-lab: quarantined cell ({} / {} / {}): {}",
+                            failure.target, failure.prefetcher, failure.config, failure.error
+                        );
+                    }
+                    eprintln!(
+                        "dspatch-lab: campaign completed with {} quarantined cell(s)",
+                        result.failures.len()
+                    );
+                    exit_code = 7;
+                }
                 match format {
                     Format::Table => result.to_table().render(),
                     Format::Json => result.to_json().render(),
@@ -195,9 +269,12 @@ fn main() {
         None => print!("{report}"),
         Some(path) => {
             std::fs::write(&path, report)
-                .unwrap_or_else(|e| fail(&format!("failed to write {path}: {e}")));
+                .unwrap_or_else(|e| fail_typed(&HarnessError::io(path.as_str(), "write", &e)));
             eprintln!("wrote {path}");
         }
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }
 
@@ -226,7 +303,8 @@ fn inventory() -> String {
     }
     listing.push_str("\nScale presets:\n");
     for name in ["smoke", "quick", "full"] {
-        let scale = RunScale::preset(name).expect("preset names are fixed");
+        let scale = RunScale::preset(name)
+            .unwrap_or_else(|| unreachable!("preset name '{name}' is fixed above"));
         let per_category = match scale.workloads_per_category {
             0 => "all workloads/category".to_owned(),
             n => format!("{n} workload(s)/category"),
@@ -251,7 +329,7 @@ fn inventory() -> String {
 /// prefetcher, streaming the file once per run via `TraceSource::fork`.
 fn replay_trace_file(path: &str, prefetchers: Option<&str>) -> Table {
     let source = open_trace_source(std::path::Path::new(path))
-        .unwrap_or_else(|e| fail(&format!("cannot open trace {path}: {e}")));
+        .unwrap_or_else(|e| fail_typed(&HarnessError::from(e)));
     let meta = source.meta();
     let kinds: Vec<PrefetcherKind> = prefetchers
         .unwrap_or("dspatch_plus_spp")

@@ -25,11 +25,21 @@
 //! `--tolerance` (default 0.30) below the committed document fails the run
 //! with exit code 1.
 
+// Failures on harness paths carry typed context; panicking helpers are
+// forbidden outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use dspatch_harness::json::Json;
 use dspatch_harness::perf::run_snapshot;
 
 const DEFAULT_ACCESSES: usize = 240_000;
 const DEFAULT_REPEATS: usize = 3;
+
+/// Usage error: print and exit 2 (matching `dspatch-lab`'s convention).
+fn die(message: &str) -> ! {
+    eprintln!("perf_snapshot: {message}");
+    std::process::exit(2);
+}
 
 /// Flattens a snapshot JSON document into `(row name, accesses_per_sec)`.
 fn rows(doc: &Json) -> Vec<(String, f64)> {
@@ -107,22 +117,34 @@ fn main() {
                 repeats = 1;
             }
             "--accesses" => {
-                let value = args.next().expect("--accesses needs a value");
-                accesses = value.parse().expect("--accesses must be an integer");
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--accesses needs a value"));
+                accesses = value
+                    .parse()
+                    .unwrap_or_else(|_| die("--accesses must be an integer"));
             }
             "--repeats" => {
-                let value = args.next().expect("--repeats needs a value");
-                repeats = value.parse().expect("--repeats must be an integer");
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--repeats needs a value"));
+                repeats = value
+                    .parse()
+                    .unwrap_or_else(|_| die("--repeats must be an integer"));
             }
             "--out" => {
-                out = args.next().expect("--out needs a path");
+                out = args.next().unwrap_or_else(|| die("--out needs a path"));
             }
             "--compare" => {
-                compare = Some(args.next().expect("--compare needs a path"));
+                compare = Some(args.next().unwrap_or_else(|| die("--compare needs a path")));
             }
             "--tolerance" => {
-                let value = args.next().expect("--tolerance needs a value");
-                tolerance = value.parse().expect("--tolerance must be a number");
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--tolerance needs a value"));
+                tolerance = value
+                    .parse()
+                    .unwrap_or_else(|_| die("--tolerance must be a number"));
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -137,14 +159,23 @@ fn main() {
     let report = run_snapshot(accesses, accesses / 4, repeats);
     println!("{}", report.summary());
     let json = report.to_json();
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("perf_snapshot: failed to write {out}: {e}");
+        std::process::exit(1);
+    });
     println!("wrote {out}");
 
     if let Some(path) = compare {
-        let committed =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("failed to read {path}: {e}"));
-        let committed = Json::parse(&committed).expect("committed snapshot is valid JSON");
-        let measured = Json::parse(&json).expect("fresh snapshot is valid JSON");
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("perf_snapshot: failed to read {path}: {e}");
+            std::process::exit(1);
+        });
+        let committed = Json::parse(&committed).unwrap_or_else(|e| {
+            eprintln!("perf_snapshot: committed snapshot {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        let measured = Json::parse(&json)
+            .unwrap_or_else(|e| unreachable!("the emitter renders valid JSON: {e}"));
         let failures = regressions(&measured, &committed, tolerance);
         if failures.is_empty() {
             println!(

@@ -23,7 +23,20 @@
 //! Every `fig*`/`table*` function in [`crate::experiments`] is a thin spec
 //! over this engine, and the `dspatch-lab` binary runs either a named figure
 //! or a custom spec file (see `CampaignSpec::from_json`).
+//!
+//! The executor is **fault tolerant**: every cell simulation runs under
+//! `catch_unwind`, failures are classified into the typed
+//! [`crate::error::HarnessError`] taxonomy, transient failures retry with a
+//! bounded deterministic backoff ([`RetryPolicy`]), and cells that exhaust
+//! their budget are **quarantined** as [`CellFailure`]s on the result
+//! instead of sinking the whole campaign. With [`ExecOptions::journal`] set,
+//! each completed cell is appended to a crash-safe JSON-lines journal
+//! ([`crate::journal`]) and a resumed campaign re-executes only the missing
+//! cells, producing bit-identical output to an uninterrupted run.
 
+use crate::error::HarnessError;
+use crate::faults::{FaultKind, FaultPlan};
+use crate::journal::{campaign_fingerprint, read_journal, JournalMeta, JournalWriter};
 use crate::json::Json;
 use crate::report::{percent, Table};
 use crate::runner::{default_threads, PrefetcherKind, RunScale};
@@ -34,7 +47,10 @@ use dspatch_trace::{heterogeneous_mixes, homogeneous_mixes, WorkloadMix, Workloa
 use dspatch_types::Prefetcher;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Rejects unrecognized keys in a spec-file object so a misspelled override
 /// (e.g. `"llcbytes"`) errors instead of silently running the defaults.
@@ -899,9 +915,15 @@ pub struct ResolvedCell {
 }
 
 /// Executor accounting, the observable proof of memoization.
+///
+/// Only the spec-deterministic fields (`sims_run`, `baseline_sims`,
+/// `memo_hits`, `threads`) appear in [`CampaignResult::to_json`]; the
+/// robustness counters below them describe *how* this particular run went
+/// (journal hits, retries, quarantines) and are deliberately excluded so a
+/// resumed campaign renders bit-identically to an uninterrupted one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
-    /// Deduplicated simulations actually run.
+    /// Deduplicated simulations with a result (fresh or journal-replayed).
     pub sims_run: usize,
     /// How many of those were no-L2-prefetcher baselines.
     pub baseline_sims: usize,
@@ -910,6 +932,12 @@ pub struct ExecStats {
     pub memo_hits: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Simulations replayed from a resume journal instead of re-executing.
+    pub journal_hits: usize,
+    /// Extra attempts spent on transiently failing cells.
+    pub retries: usize,
+    /// Cells quarantined after exhausting their retry budget.
+    pub quarantined: usize,
 }
 
 /// One output row: a (cell, target, prefetcher) observation.
@@ -929,18 +957,41 @@ pub struct CampaignRow {
     pub baseline: Option<usize>,
 }
 
+/// One quarantined grid point: the cell failed every attempt and the
+/// campaign completed without it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// The executor's job key (also the journal key).
+    pub key: String,
+    /// Target (workload or mix) name.
+    pub target: String,
+    /// Prefetcher label.
+    pub prefetcher: String,
+    /// Config label.
+    pub config: String,
+    /// Attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// The classified failure, a [`HarnessError::Quarantined`] wrapping the
+    /// final attempt's error.
+    pub error: HarnessError,
+}
+
 /// Everything a campaign produced: deduplicated simulation results, one row
 /// per grid point, and executor statistics.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// Campaign name (report title).
     pub name: String,
-    /// One row per (cell, target, prefetcher), in spec order.
+    /// One row per (cell, target, prefetcher), in spec order. Rows whose
+    /// candidate simulation was quarantined are absent (see `failures`);
+    /// rows that only lost their baseline stay, with `baseline: None`.
     pub rows: Vec<CampaignRow>,
     /// Deduplicated simulation results the rows index into.
     pub sims: Vec<SimResult>,
     /// Executor accounting.
     pub stats: ExecStats,
+    /// Quarantined cells, in job-discovery order. Empty on a clean run.
+    pub failures: Vec<CellFailure>,
 }
 
 impl CampaignResult {
@@ -1044,10 +1095,10 @@ impl CampaignResult {
             }
             Json::Obj(entries)
         });
-        Json::obj([
-            ("campaign", Json::str(&self.name)),
+        let mut document = vec![
+            ("campaign".to_owned(), Json::str(&self.name)),
             (
-                "stats",
+                "stats".to_owned(),
                 Json::obj([
                     ("sims_run", Json::num(self.stats.sims_run as f64)),
                     ("baseline_sims", Json::num(self.stats.baseline_sims as f64)),
@@ -1055,8 +1106,24 @@ impl CampaignResult {
                     ("threads", Json::num(self.stats.threads as f64)),
                 ]),
             ),
-            ("rows", Json::Arr(rows.collect())),
-        ])
+            ("rows".to_owned(), Json::Arr(rows.collect())),
+        ];
+        // Only present when something was quarantined, so the clean-run
+        // document (and with it resumed-vs-uninterrupted parity) is
+        // unchanged.
+        if !self.failures.is_empty() {
+            let failures = self.failures.iter().map(|failure| {
+                Json::obj([
+                    ("target", Json::str(&failure.target)),
+                    ("prefetcher", Json::str(&failure.prefetcher)),
+                    ("config", Json::str(&failure.config)),
+                    ("attempts", Json::num(f64::from(failure.attempts))),
+                    ("error", failure.error.to_json()),
+                ])
+            });
+            document.push(("failures".to_owned(), Json::Arr(failures.collect())));
+        }
+        Json::Obj(document)
     }
 
     /// Renders the rows as CSV with **raw numeric values** (six decimals,
@@ -1103,10 +1170,62 @@ fn round6(value: f64) -> f64 {
     crate::json::rounded(value, 1e6)
 }
 
+/// Bounded, deterministic retry for transiently failing cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per cell (1 = no retry). Clamped to at least 1.
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per further attempt
+    /// (25 ms, 50 ms, 100 ms, ...). Deterministic, not jittered: retry
+    /// timing must never make a campaign's *results* nondeterministic, and
+    /// the executor's workers are self-scheduling so thundering herds are
+    /// not a concern.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 2,
+            backoff_ms: 25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before the given 1-based attempt (zero before the first).
+    pub fn backoff_before(&self, attempt: u32) -> std::time::Duration {
+        if attempt <= 1 {
+            return std::time::Duration::ZERO;
+        }
+        let doublings = (attempt - 2).min(16);
+        std::time::Duration::from_millis(self.backoff_ms.saturating_mul(1u64 << doublings))
+    }
+}
+
+/// Execution options for [`run_campaign_with`]: retry budget, optional
+/// fault injection, optional crash-safe journaling.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Retry budget per cell.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (tests only; `None` in production).
+    pub faults: Option<FaultPlan>,
+    /// Journal file: every completed cell is appended (and flushed) here.
+    pub journal: Option<PathBuf>,
+    /// With `journal` set: replay completed cells from an existing journal
+    /// instead of re-executing them. A missing or empty journal file starts
+    /// fresh, so `resume` is safe to pass unconditionally.
+    pub resume: bool,
+}
+
 struct Job {
+    /// Memoization identity; doubles as the journal key.
+    key: String,
     target: Target,
     sel: PrefetcherSel,
     config: SystemConfig,
+    config_label: String,
 }
 
 impl Job {
@@ -1144,6 +1263,40 @@ impl Job {
 ///
 /// Returns a message for unknown workload names in the spec.
 pub fn run_campaign(spec: &CampaignSpec, scale: &RunScale) -> Result<CampaignResult, String> {
+    run_campaign_with(spec, scale, &ExecOptions::default()).map_err(|error| error.to_string())
+}
+
+/// [`run_campaign`] with explicit execution options: retry policy, fault
+/// injection, and crash-safe journaling/resume.
+///
+/// # Errors
+///
+/// * [`HarnessError::Spec`] — the spec is invalid (unknown workloads,
+///   duplicate labels, core-count mismatches, ...).
+/// * [`HarnessError::Io`] / [`HarnessError::Corrupt`] /
+///   [`HarnessError::Mismatch`] — the journal cannot be written, is
+///   damaged mid-file, or belongs to a different campaign.
+///
+/// Quarantined cells are **not** errors: the campaign completes and reports
+/// them in [`CampaignResult::failures`].
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    scale: &RunScale,
+    opts: &ExecOptions,
+) -> Result<CampaignResult, HarnessError> {
+    let cells = resolve_cells(spec, scale).map_err(HarnessError::spec)?;
+    let journal = opts.journal.as_ref().map(|path| {
+        let meta = JournalMeta {
+            campaign: spec.name.clone(),
+            fingerprint: campaign_fingerprint(&spec.to_json(), scale),
+        };
+        (path.clone(), meta)
+    });
+    execute_cells(&spec.name, &cells, scale, opts, journal)
+}
+
+/// Validates a spec and resolves its cells against the workload suite.
+fn resolve_cells(spec: &CampaignSpec, scale: &RunScale) -> Result<Vec<ResolvedCell>, String> {
     // Report rows and per-cell queries (rows_for_cell / speedups) key on the
     // label, so duplicates would silently pool unrelated cells.
     let mut labels = std::collections::HashSet::new();
@@ -1155,8 +1308,7 @@ pub fn run_campaign(spec: &CampaignSpec, scale: &RunScale) -> Result<CampaignRes
             ));
         }
     }
-    let cells = spec
-        .cells
+    spec.cells
         .iter()
         .map(|cell| {
             let targets = cell.targets.resolve(scale)?;
@@ -1215,8 +1367,7 @@ pub fn run_campaign(spec: &CampaignSpec, scale: &RunScale) -> Result<CampaignRes
                 baseline: cell.baseline,
             })
         })
-        .collect::<Result<Vec<_>, String>>()?;
-    Ok(run_cells(&spec.name, &cells, scale))
+        .collect::<Result<Vec<_>, String>>()
 }
 
 /// Executes resolved cells: deduplicates (target, prefetcher, config) jobs,
@@ -1231,6 +1382,113 @@ pub fn run_campaign(spec: &CampaignSpec, scale: &RunScale) -> Result<CampaignRes
 /// silently pool unrelated cells. (Spec files get the same condition as a
 /// clean error from [`run_campaign`] before any work happens.)
 pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> CampaignResult {
+    match execute_cells(name, cells, scale, &ExecOptions::default(), None) {
+        Ok(result) => result,
+        // The default options configure no journal, so no fallible I/O path
+        // exists; cell failures surface as quarantines, not errors.
+        Err(error) => unreachable!("journal-less execution cannot fail: {error}"),
+    }
+}
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it —
+/// the executor's shared state (journal handle, first-error slot) stays
+/// usable because every write through it is a single self-contained record.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Renders a panic payload (almost always a `&str` or `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One isolated attempt at a job: arms any injected fault, then runs the
+/// simulation under `catch_unwind` so a panic (injected or real) becomes a
+/// typed [`HarnessError`] instead of tearing down the worker pool.
+fn attempt_job(
+    job: &Job,
+    scale: &RunScale,
+    opts: &ExecOptions,
+    attempt: u32,
+) -> Result<SimResult, HarnessError> {
+    let prefetcher = job.sel.label();
+    let armed = opts
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.arm(job.target.name(), &prefetcher, attempt));
+    if matches!(armed, Some(FaultKind::Io)) {
+        return Err(HarnessError::CellIo {
+            job: job.key.clone(),
+            message: format!("injected I/O fault (attempt {attempt})"),
+        });
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        if matches!(armed, Some(FaultKind::Panic)) {
+            panic!("injected panic (attempt {attempt})");
+        }
+        job.run(scale)
+    }))
+    .map_err(|payload| HarnessError::CellPanic {
+        job: job.key.clone(),
+        message: panic_message(payload),
+    })
+}
+
+/// Runs one job to completion or quarantine: up to `retry.attempts` isolated
+/// attempts with deterministic exponential backoff between them.
+fn run_job(
+    job: &Job,
+    scale: &RunScale,
+    opts: &ExecOptions,
+    retries: &AtomicUsize,
+) -> Result<SimResult, Box<CellFailure>> {
+    let attempts = opts.retry.attempts.max(1);
+    let mut last: Option<HarnessError> = None;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(opts.retry.backoff_before(attempt));
+        }
+        match attempt_job(job, scale, opts, attempt) {
+            Ok(sim) => return Ok(sim),
+            Err(error) => last = Some(error),
+        }
+    }
+    let last = last.unwrap_or_else(|| HarnessError::CellPanic {
+        job: job.key.clone(),
+        message: "no attempt recorded an error".to_owned(),
+    });
+    Err(Box::new(CellFailure {
+        key: job.key.clone(),
+        target: job.target.name().to_owned(),
+        prefetcher: job.sel.label(),
+        config: job.config_label.clone(),
+        attempts,
+        error: HarnessError::Quarantined {
+            job: job.key.clone(),
+            attempts,
+            last: Box::new(last),
+        },
+    }))
+}
+
+/// The executor behind [`run_cells`] and [`run_campaign_with`].
+fn execute_cells(
+    name: &str,
+    cells: &[ResolvedCell],
+    scale: &RunScale,
+    opts: &ExecOptions,
+    journal: Option<(PathBuf, JournalMeta)>,
+) -> Result<CampaignResult, HarnessError> {
     let mut labels = std::collections::HashSet::new();
     for cell in cells {
         assert!(
@@ -1267,11 +1525,13 @@ pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> Campai
                     return existing;
                 }
                 let index = jobs.len();
-                job_index.insert(key, index);
+                job_index.insert(key.clone(), index);
                 jobs.push(Job {
+                    key,
                     target: target.clone(),
                     sel,
                     config: scale.apply_sim_workers(cell.config.clone()),
+                    config_label: cell.config_label.clone(),
                 });
                 index
             };
@@ -1297,7 +1557,36 @@ pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> Campai
         }
     }
 
-    let baseline_sims = jobs.iter().filter(|job| job.sel.is_baseline()).count();
+    // Journal replay: completed cells load from the verified journal and
+    // never re-execute. A missing (or not-yet-written) journal starts fresh
+    // so `resume: true` is safe on the first run too.
+    let mut replayed: Vec<Option<SimResult>> = Vec::new();
+    replayed.resize_with(jobs.len(), || None);
+    let mut journal_hits = 0usize;
+    let writer = match &journal {
+        None => None,
+        Some((path, meta)) => {
+            let resumable = opts.resume && path.exists();
+            let clean_len = if resumable {
+                let contents = read_journal(path, meta)?;
+                for (slot, job) in replayed.iter_mut().zip(&jobs) {
+                    if let Some(sim) = contents.sims.get(&job.key) {
+                        *slot = Some(sim.clone());
+                        journal_hits += 1;
+                    }
+                }
+                contents.clean_len
+            } else {
+                0
+            };
+            if clean_len == 0 {
+                Some(JournalWriter::create(path, meta)?)
+            } else {
+                Some(JournalWriter::resume(path, clean_len)?)
+            }
+        }
+    };
+    let skip: Vec<bool> = replayed.iter().map(Option::is_some).collect();
 
     // Cost-sorted execution order: multi-core mixes first so the longest
     // simulations never strand at the tail of the queue.
@@ -1316,48 +1605,154 @@ pub fn run_cells(name: &str, cells: &[ResolvedCell], scale: &RunScale) -> Campai
         .max(1);
     let threads = (scale.threads / max_intra).clamp(1, jobs.len().max(1));
     let cursor = AtomicUsize::new(0);
-    let mut sims: Vec<Option<SimResult>> = Vec::new();
-    sims.resize_with(jobs.len(), || None);
+    let stop = AtomicBool::new(false);
+    let retries = AtomicUsize::new(0);
+    let journal_sink: Mutex<Option<JournalWriter>> = Mutex::new(writer);
+    let journal_error: Mutex<Option<HarnessError>> = Mutex::new(None);
+
+    let mut slots: Vec<Option<Result<SimResult, Box<CellFailure>>>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    for (slot, sim) in slots.iter_mut().zip(replayed) {
+        if let Some(sim) = sim {
+            *slot = Some(Ok(sim));
+        }
+    }
+    let mut worker_panic: Option<HarnessError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let jobs = &jobs;
             let order = &order;
+            let skip = &skip;
             let cursor = &cursor;
+            let stop = &stop;
+            let retries = &retries;
+            let journal_sink = &journal_sink;
+            let journal_error = &journal_error;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let next = cursor.fetch_add(1, Ordering::Relaxed);
                     if next >= order.len() {
                         break;
                     }
-                    let job = order[next];
-                    local.push((job, jobs[job].run(scale)));
+                    let index = order[next];
+                    if skip[index] {
+                        continue;
+                    }
+                    let job = &jobs[index];
+                    let outcome = run_job(job, scale, opts, retries);
+                    // One flushed journal record per completed cell: the
+                    // lock is taken after the (multi-second) simulation, so
+                    // it never serializes actual work. A write failure is
+                    // fatal for the campaign (the journal's guarantee is
+                    // gone) — record the first error, stop claiming jobs.
+                    let appended = match lock_unpoisoned(journal_sink).as_mut() {
+                        None => Ok(()),
+                        Some(writer) => match &outcome {
+                            Ok(sim) => {
+                                let corrupt = opts.faults.as_ref().is_some_and(|plan| {
+                                    plan.corrupts_journal(job.target.name(), &job.sel.label())
+                                });
+                                writer.append_sim(&job.key, sim, corrupt)
+                            }
+                            Err(failure) => {
+                                writer.append_failure(&job.key, &failure.error, failure.attempts)
+                            }
+                        },
+                    };
+                    if let Err(error) = appended {
+                        lock_unpoisoned(journal_error).get_or_insert(error);
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    local.push((index, outcome));
                 }
                 local
             }));
         }
         for handle in handles {
-            for (job, result) in handle.join().expect("campaign worker panicked") {
-                sims[job] = Some(result);
+            match handle.join() {
+                Ok(local) => {
+                    for (index, outcome) in local {
+                        slots[index] = Some(outcome);
+                    }
+                }
+                // Workers wrap every simulation in catch_unwind, so this
+                // only fires on an executor bug; classify it instead of
+                // propagating the panic.
+                Err(payload) => {
+                    worker_panic = Some(HarnessError::CellPanic {
+                        job: "<executor worker>".to_owned(),
+                        message: panic_message(payload),
+                    });
+                }
             }
         }
     });
+    if let Some(error) = lock_unpoisoned(&journal_error).take() {
+        return Err(error);
+    }
+    if let Some(error) = worker_panic {
+        return Err(error);
+    }
 
-    CampaignResult {
+    // Compact the surviving simulations: quarantined jobs leave no sim, so
+    // rows are remapped onto the dense vector (a row that lost its candidate
+    // is dropped into `failures`; one that lost only its baseline stays).
+    let mut sims: Vec<SimResult> = Vec::new();
+    let mut remap: Vec<Option<usize>> = vec![None; jobs.len()];
+    let mut failures_by_job: Vec<Option<CellFailure>> = vec![None; jobs.len()];
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(sim)) => {
+                remap[index] = Some(sims.len());
+                sims.push(sim);
+            }
+            Some(Err(failure)) => failures_by_job[index] = Some(*failure),
+            None => {
+                return Err(HarnessError::CellPanic {
+                    job: jobs[index].key.clone(),
+                    message: "executor finished without a result for this job".to_owned(),
+                })
+            }
+        }
+    }
+    let rows = rows
+        .into_iter()
+        .filter_map(|row| {
+            remap[row.sim].map(|sim| CampaignRow {
+                sim,
+                baseline: row.baseline.and_then(|b| remap[b]),
+                ..row
+            })
+        })
+        .collect();
+    let failures: Vec<CellFailure> = failures_by_job.into_iter().flatten().collect();
+    let baseline_sims = jobs
+        .iter()
+        .enumerate()
+        .filter(|(index, job)| job.sel.is_baseline() && remap[*index].is_some())
+        .count();
+
+    Ok(CampaignResult {
         name: name.to_owned(),
-        rows,
-        sims: sims
-            .into_iter()
-            .map(|sim| sim.expect("every job slot filled"))
-            .collect(),
         stats: ExecStats {
-            sims_run: jobs.len(),
+            sims_run: sims.len(),
             baseline_sims,
             memo_hits,
             threads,
+            journal_hits,
+            retries: retries.load(Ordering::Relaxed),
+            quarantined: failures.len(),
         },
-    }
+        rows,
+        sims,
+        failures,
+    })
 }
 
 #[cfg(test)]

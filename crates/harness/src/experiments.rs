@@ -29,7 +29,8 @@ fn sels(kinds: &[PrefetcherKind]) -> Vec<PrefetcherSel> {
 }
 
 fn run_figure_spec(spec: &CampaignSpec, scale: &RunScale) -> CampaignResult {
-    run_campaign(spec, scale).expect("built-in figure specs are valid")
+    run_campaign(spec, scale)
+        .unwrap_or_else(|error| unreachable!("built-in figure spec rejected: {error}"))
 }
 
 /// Performance of several prefetchers per workload category plus the
@@ -239,11 +240,7 @@ fn bandwidth_scaling(figure: &str, kinds: &[PrefetcherKind], scale: &RunScale) -
             }
         })
         .collect();
-    points.sort_by(|a, b| {
-        a.peak_gbps
-            .partial_cmp(&b.peak_gbps)
-            .expect("finite bandwidth")
-    });
+    points.sort_by(|a, b| a.peak_gbps.total_cmp(&b.peak_gbps));
     BandwidthScaling {
         figure: figure.to_owned(),
         points,
@@ -523,7 +520,7 @@ pub fn fig13_memory_intensive(scale: &RunScale) -> MemoryIntensiveLine {
     rows.sort_by(|a, b| {
         let last_a = a.1.last().copied().unwrap_or(0.0);
         let last_b = b.1.last().copied().unwrap_or(0.0);
-        last_a.partial_cmp(&last_b).expect("finite deltas")
+        last_a.total_cmp(&last_b)
     });
     MemoryIntensiveLine { kinds, rows }
 }

@@ -1,0 +1,799 @@
+//! The crash-safe, append-only campaign journal.
+//!
+//! A journal is a JSON-lines file (one compact [`Json`] document per line,
+//! rendered by the existing `harness::json` layer): a meta line binding the
+//! file to one `(campaign, spec, scale)` fingerprint, then one line per
+//! completed cell — `{"sim": {...}}` with the full, exactly-serialized
+//! [`SimResult`], or `{"failure": {...}}` recording a quarantined cell.
+//! Every record is written and flushed as one line *after* its multi-second
+//! simulation finishes, so journaling never touches the per-access hot loop
+//! and a `kill -9` can lose at most the in-flight line.
+//!
+//! On resume, [`read_journal`] verifies the meta line (campaign name, spec
+//! fingerprint, journal version — a mismatch is a typed
+//! [`HarnessError::Mismatch`], not silent garbage), loads every completed
+//! sim, tolerates exactly one torn final line (the crash case, truncated
+//! away before appending resumes), and reports any *mid-file* corruption as
+//! [`HarnessError::Corrupt`] with its line number. Failure records are
+//! ignored on load so quarantined cells re-execute.
+//!
+//! The result round-trip is exact: `u64` counters encode as JSON numbers
+//! below 2^53 and as decimal strings above (the same convention spec seeds
+//! use), and `f64` fields rely on the emitter's shortest-round-trip
+//! rendering — a resumed campaign's merged output is bit-identical to an
+//! uninterrupted run (`tests/fault_tolerance.rs` asserts it).
+
+use crate::error::HarnessError;
+use crate::json::Json;
+use crate::runner::RunScale;
+use dspatch_sim::{
+    CacheGeometry, CacheStats, CoreResult, DramStats, PollutionBreakdown, PrefetchAccounting,
+    SimResult,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic value of the meta line's `journal` field.
+const JOURNAL_MAGIC: &str = "dspatch-campaign-journal";
+/// Journal format version.
+const JOURNAL_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit over a byte stream — stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint binding a journal to one `(spec, scale)` identity, rendered
+/// as 16 hex digits. `threads` is excluded: it is a machine knob that never
+/// changes results (the executor is deterministic for any worker count), so
+/// a journal written on an 8-thread box resumes on a 2-thread one.
+pub fn campaign_fingerprint(spec_json: &Json, scale: &RunScale) -> String {
+    let identity = format!(
+        "{}|a{}|w{}|m{}|s{}",
+        spec_json.render_compact(),
+        scale.accesses_per_workload,
+        scale.workloads_per_category,
+        scale.mixes,
+        scale.sim_workers,
+    );
+    format!("{:016x}", fnv1a(identity.as_bytes()))
+}
+
+fn json_u64(value: u64) -> Json {
+    // Exact round-trip: JSON numbers are f64, so values at or above 2^53
+    // travel as decimal strings (the parser accepts both forms).
+    if value < (1u64 << 53) {
+        Json::num(value as f64)
+    } else {
+        Json::str(value.to_string())
+    }
+}
+
+fn get<'a>(obj: &'a Json, key: &str, context: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{context}: missing '{key}'"))
+}
+
+fn get_u64(obj: &Json, key: &str, context: &str) -> Result<u64, String> {
+    let value = get(obj, key, context)?;
+    if let Some(text) = value.as_str() {
+        return text
+            .parse::<u64>()
+            .map_err(|_| format!("{context}: '{key}' string is not a u64: '{text}'"));
+    }
+    value
+        .as_u64()
+        .ok_or_else(|| format!("{context}: '{key}' must be a non-negative integer"))
+}
+
+fn get_f64(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
+    get(obj, key, context)?
+        .as_f64()
+        .ok_or_else(|| format!("{context}: '{key}' must be a number"))
+}
+
+fn get_str<'a>(obj: &'a Json, key: &str, context: &str) -> Result<&'a str, String> {
+    get(obj, key, context)?
+        .as_str()
+        .ok_or_else(|| format!("{context}: '{key}' must be a string"))
+}
+
+fn cache_stats_to_json(stats: &CacheStats) -> Json {
+    Json::obj([
+        ("demand_hits", json_u64(stats.demand_hits)),
+        ("demand_misses", json_u64(stats.demand_misses)),
+        ("demand_fills", json_u64(stats.demand_fills)),
+        ("prefetch_fills", json_u64(stats.prefetch_fills)),
+        ("prefetch_first_uses", json_u64(stats.prefetch_first_uses)),
+        (
+            "prefetch_unused_evictions",
+            json_u64(stats.prefetch_unused_evictions),
+        ),
+    ])
+}
+
+fn cache_stats_from_json(json: &Json, context: &str) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        demand_hits: get_u64(json, "demand_hits", context)?,
+        demand_misses: get_u64(json, "demand_misses", context)?,
+        demand_fills: get_u64(json, "demand_fills", context)?,
+        prefetch_fills: get_u64(json, "prefetch_fills", context)?,
+        prefetch_first_uses: get_u64(json, "prefetch_first_uses", context)?,
+        prefetch_unused_evictions: get_u64(json, "prefetch_unused_evictions", context)?,
+    })
+}
+
+fn accounting_to_json(accounting: &PrefetchAccounting) -> Json {
+    Json::obj([
+        (
+            "l2_demand_accesses",
+            json_u64(accounting.l2_demand_accesses),
+        ),
+        ("covered", json_u64(accounting.covered)),
+        ("uncovered", json_u64(accounting.uncovered)),
+        ("prefetches_issued", json_u64(accounting.prefetches_issued)),
+        ("prefetches_used", json_u64(accounting.prefetches_used)),
+        ("prefetches_unused", json_u64(accounting.prefetches_unused)),
+    ])
+}
+
+fn accounting_from_json(json: &Json, context: &str) -> Result<PrefetchAccounting, String> {
+    Ok(PrefetchAccounting {
+        l2_demand_accesses: get_u64(json, "l2_demand_accesses", context)?,
+        covered: get_u64(json, "covered", context)?,
+        uncovered: get_u64(json, "uncovered", context)?,
+        prefetches_issued: get_u64(json, "prefetches_issued", context)?,
+        prefetches_used: get_u64(json, "prefetches_used", context)?,
+        prefetches_unused: get_u64(json, "prefetches_unused", context)?,
+    })
+}
+
+/// Serializes a full [`SimResult`] for the journal, exactly.
+pub fn sim_result_to_json(sim: &SimResult) -> Json {
+    let cores = sim.cores.iter().map(|core| {
+        Json::obj([
+            ("workload", Json::str(&core.workload)),
+            ("prefetcher", Json::str(&core.prefetcher)),
+            ("instructions", json_u64(core.instructions)),
+            ("finish_cycle", json_u64(core.finish_cycle)),
+            ("l1", cache_stats_to_json(&core.l1)),
+            ("l2", cache_stats_to_json(&core.l2)),
+            ("accounting", accounting_to_json(&core.accounting)),
+        ])
+    });
+    let geometry = sim.cache_geometry.iter().map(|geom| {
+        Json::obj([
+            ("name", Json::str(&geom.name)),
+            ("requested_bytes", json_u64(geom.requested_bytes as u64)),
+            ("ways", json_u64(geom.ways as u64)),
+            ("sets", json_u64(geom.sets as u64)),
+            ("effective_bytes", json_u64(geom.effective_bytes as u64)),
+            ("rounded", Json::Bool(geom.rounded)),
+        ])
+    });
+    Json::obj([
+        ("cores", Json::Arr(cores.collect())),
+        ("llc", cache_stats_to_json(&sim.llc)),
+        (
+            "dram",
+            Json::obj([
+                ("cas_commands", json_u64(sim.dram.cas_commands)),
+                ("row_hits", json_u64(sim.dram.row_hits)),
+                ("row_misses", json_u64(sim.dram.row_misses)),
+                ("prefetch_accesses", json_u64(sim.dram.prefetch_accesses)),
+                // f64: the emitter's shortest-round-trip rendering is exact.
+                ("utilization_sum", Json::num(sim.dram.utilization_sum)),
+                ("windows", json_u64(sim.dram.windows)),
+            ]),
+        ),
+        (
+            "pollution",
+            Json::obj([
+                ("no_reuse", json_u64(sim.pollution.no_reuse)),
+                (
+                    "prefetched_before_use",
+                    json_u64(sim.pollution.prefetched_before_use),
+                ),
+                ("bad_pollution", json_u64(sim.pollution.bad_pollution)),
+            ]),
+        ),
+        ("cycles", json_u64(sim.cycles)),
+        ("cache_geometry", Json::Arr(geometry.collect())),
+    ])
+}
+
+/// Parses a journaled [`SimResult`], the exact inverse of
+/// [`sim_result_to_json`].
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or mistyped field.
+pub fn sim_result_from_json(json: &Json) -> Result<SimResult, String> {
+    let cores = get(json, "cores", "sim result")?
+        .as_arr()
+        .ok_or("sim result: 'cores' must be an array")?
+        .iter()
+        .map(|core| {
+            Ok(CoreResult {
+                workload: get_str(core, "workload", "core")?.to_owned(),
+                prefetcher: get_str(core, "prefetcher", "core")?.to_owned(),
+                instructions: get_u64(core, "instructions", "core")?,
+                finish_cycle: get_u64(core, "finish_cycle", "core")?,
+                l1: cache_stats_from_json(get(core, "l1", "core")?, "core l1")?,
+                l2: cache_stats_from_json(get(core, "l2", "core")?, "core l2")?,
+                accounting: accounting_from_json(
+                    get(core, "accounting", "core")?,
+                    "core accounting",
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let dram = get(json, "dram", "sim result")?;
+    let pollution = get(json, "pollution", "sim result")?;
+    let geometry = get(json, "cache_geometry", "sim result")?
+        .as_arr()
+        .ok_or("sim result: 'cache_geometry' must be an array")?
+        .iter()
+        .map(|geom| {
+            Ok(CacheGeometry {
+                name: get_str(geom, "name", "geometry")?.to_owned(),
+                requested_bytes: get_u64(geom, "requested_bytes", "geometry")? as usize,
+                ways: get_u64(geom, "ways", "geometry")? as usize,
+                sets: get_u64(geom, "sets", "geometry")? as usize,
+                effective_bytes: get_u64(geom, "effective_bytes", "geometry")? as usize,
+                rounded: get(geom, "rounded", "geometry")?
+                    .as_bool()
+                    .ok_or("geometry: 'rounded' must be a boolean")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SimResult {
+        cores,
+        llc: cache_stats_from_json(get(json, "llc", "sim result")?, "llc")?,
+        dram: DramStats {
+            cas_commands: get_u64(dram, "cas_commands", "dram")?,
+            row_hits: get_u64(dram, "row_hits", "dram")?,
+            row_misses: get_u64(dram, "row_misses", "dram")?,
+            prefetch_accesses: get_u64(dram, "prefetch_accesses", "dram")?,
+            utilization_sum: get_f64(dram, "utilization_sum", "dram")?,
+            windows: get_u64(dram, "windows", "dram")?,
+        },
+        pollution: PollutionBreakdown {
+            no_reuse: get_u64(pollution, "no_reuse", "pollution")?,
+            prefetched_before_use: get_u64(pollution, "prefetched_before_use", "pollution")?,
+            bad_pollution: get_u64(pollution, "bad_pollution", "pollution")?,
+        },
+        cycles: get_u64(json, "cycles", "sim result")?,
+        cache_geometry: geometry,
+    })
+}
+
+/// The identity a journal is bound to, checked on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Campaign name.
+    pub campaign: String,
+    /// [`campaign_fingerprint`] of the spec + scale.
+    pub fingerprint: String,
+}
+
+impl JournalMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("journal", Json::str(JOURNAL_MAGIC)),
+            ("version", json_u64(JOURNAL_VERSION)),
+            ("campaign", Json::str(&self.campaign)),
+            ("fingerprint", Json::str(&self.fingerprint)),
+        ])
+    }
+}
+
+/// Everything [`read_journal`] recovered from a journal file.
+#[derive(Debug, Default)]
+pub struct JournalContents {
+    /// Completed simulations by job key.
+    pub sims: HashMap<String, SimResult>,
+    /// Failure records seen (job key per record); informational — failed
+    /// cells re-execute on resume.
+    pub failures: Vec<String>,
+    /// Byte length of the clean prefix: everything after it (at most one
+    /// torn final line) is truncated away before appending resumes.
+    pub clean_len: u64,
+}
+
+/// Reads and verifies a journal for resumption.
+///
+/// # Errors
+///
+/// * [`HarnessError::Io`] — the file cannot be opened or read.
+/// * [`HarnessError::Mismatch`] — the meta line names a different campaign
+///   or fingerprint (or an unsupported journal version).
+/// * [`HarnessError::Corrupt`] — a record other than the final line is
+///   unparsable or structurally invalid (a torn *final* line is the normal
+///   crash case and is silently dropped; mid-file damage is not).
+pub fn read_journal(path: &Path, expected: &JournalMeta) -> Result<JournalContents, HarnessError> {
+    let display = path.display().to_string();
+    let file =
+        std::fs::File::open(path).map_err(|e| HarnessError::io(display.clone(), "open", &e))?;
+    let mut reader = BufReader::new(file);
+    let mut contents = JournalContents::default();
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    let mut offset = 0u64;
+    loop {
+        line.clear();
+        let bytes = reader
+            .read_line(&mut line)
+            .map_err(|e| HarnessError::io(display.clone(), "read", &e))?;
+        if bytes == 0 {
+            break;
+        }
+        line_no += 1;
+        let complete = line.ends_with('\n');
+        let parsed = if complete {
+            parse_journal_line(line.trim_end(), line_no, &display, expected)
+        } else {
+            Err(HarnessError::Corrupt {
+                path: display.clone(),
+                line: line_no,
+                message: "record has no trailing newline".to_owned(),
+            })
+        };
+        match parsed {
+            Ok(record) => {
+                if line_no == 1 {
+                    // Line 1 is the meta line, verified inside the parser.
+                } else {
+                    match record {
+                        JournalRecord::Meta => {}
+                        JournalRecord::Sim { key, result } => {
+                            contents.sims.insert(key, result);
+                        }
+                        JournalRecord::Failure { key } => contents.failures.push(key),
+                    }
+                }
+                offset += bytes as u64;
+            }
+            Err(error) => {
+                // A bad FINAL line is the torn-write crash signature: drop
+                // it and resume from the clean prefix. Anything earlier is
+                // real corruption. Mismatch errors always propagate — a
+                // foreign journal must never be silently overwritten.
+                let at_eof = {
+                    let probe = reader
+                        .fill_buf()
+                        .map_err(|e| HarnessError::io(display.clone(), "read", &e))?;
+                    probe.is_empty()
+                };
+                if at_eof && line_no > 1 && matches!(error, HarnessError::Corrupt { .. }) {
+                    break;
+                }
+                return Err(error);
+            }
+        }
+    }
+    contents.clean_len = offset;
+    Ok(contents)
+}
+
+enum JournalRecord {
+    Meta,
+    Sim { key: String, result: SimResult },
+    Failure { key: String },
+}
+
+fn parse_journal_line(
+    text: &str,
+    line_no: u64,
+    display: &str,
+    expected: &JournalMeta,
+) -> Result<JournalRecord, HarnessError> {
+    let corrupt = |message: String| HarnessError::Corrupt {
+        path: display.to_owned(),
+        line: line_no,
+        message,
+    };
+    let json = Json::parse(text).map_err(corrupt)?;
+    if line_no == 1 {
+        let magic = json.get("journal").and_then(Json::as_str).unwrap_or("");
+        if magic != JOURNAL_MAGIC {
+            return Err(corrupt(format!(
+                "not a campaign journal (magic '{magic}', want '{JOURNAL_MAGIC}')"
+            )));
+        }
+        let version = json.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != JOURNAL_VERSION {
+            return Err(HarnessError::Mismatch {
+                path: display.to_owned(),
+                field: "version",
+                expected: JOURNAL_VERSION.to_string(),
+                found: version.to_string(),
+            });
+        }
+        let campaign = json.get("campaign").and_then(Json::as_str).unwrap_or("");
+        if campaign != expected.campaign {
+            return Err(HarnessError::Mismatch {
+                path: display.to_owned(),
+                field: "campaign",
+                expected: expected.campaign.clone(),
+                found: campaign.to_owned(),
+            });
+        }
+        let fingerprint = json.get("fingerprint").and_then(Json::as_str).unwrap_or("");
+        if fingerprint != expected.fingerprint {
+            return Err(HarnessError::Mismatch {
+                path: display.to_owned(),
+                field: "fingerprint",
+                expected: expected.fingerprint.clone(),
+                found: fingerprint.to_owned(),
+            });
+        }
+        return Ok(JournalRecord::Meta);
+    }
+    if let Some(sim) = json.get("sim") {
+        let key = sim
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("sim record missing string 'key'".to_owned()))?
+            .to_owned();
+        let result = sim
+            .get("result")
+            .ok_or_else(|| corrupt("sim record missing 'result'".to_owned()))
+            .and_then(|result| sim_result_from_json(result).map_err(corrupt))?;
+        return Ok(JournalRecord::Sim { key, result });
+    }
+    if let Some(failure) = json.get("failure") {
+        let key = failure
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("failure record missing string 'key'".to_owned()))?
+            .to_owned();
+        return Ok(JournalRecord::Failure { key });
+    }
+    Err(corrupt(format!("unknown record shape: {text}")))
+}
+
+/// The append side: owns the file handle, writes one flushed line per
+/// completed cell. Constructed once per campaign (fresh or resumed) and
+/// shared behind a mutex by the executor's workers — the lock is taken once
+/// per finished simulation, never on the simulation hot path.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal and writes the meta line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] if the file cannot be created or
+    /// written.
+    pub fn create(path: &Path, meta: &JournalMeta) -> Result<Self, HarnessError> {
+        let display = path.display().to_string();
+        let file = std::fs::File::create(path)
+            .map_err(|e| HarnessError::io(display.clone(), "create", &e))?;
+        let mut writer = Self {
+            path: path.to_path_buf(),
+            file,
+        };
+        writer.write_line(&meta.to_json().render_compact())?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal for appending after [`read_journal`],
+    /// truncating the torn tail (if any) at `clean_len` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] if the file cannot be opened, truncated
+    /// or positioned.
+    pub fn resume(path: &Path, clean_len: u64) -> Result<Self, HarnessError> {
+        let display = path.display().to_string();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| HarnessError::io(display.clone(), "open", &e))?;
+        file.set_len(clean_len)
+            .map_err(|e| HarnessError::io(display.clone(), "truncate", &e))?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(clean_len))
+            .map_err(|e| HarnessError::io(display.clone(), "seek", &e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Appends one completed simulation. `corrupt` mangles the record (the
+    /// [`crate::faults::Fault::CorruptJournal`] injection) so recovery tests
+    /// can produce mid-file damage deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] on write failure.
+    pub fn append_sim(
+        &mut self,
+        key: &str,
+        result: &SimResult,
+        corrupt: bool,
+    ) -> Result<(), HarnessError> {
+        let record = Json::obj([(
+            "sim",
+            Json::obj([
+                ("key", Json::str(key)),
+                ("result", sim_result_to_json(result)),
+            ]),
+        )]);
+        let mut line = record.render_compact();
+        if corrupt {
+            // Deterministic mangling: chop the record in half mid-JSON.
+            line.truncate(line.len() / 2);
+        }
+        self.write_line(&line)
+    }
+
+    /// Appends one quarantined-cell failure record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] on write failure.
+    pub fn append_failure(
+        &mut self,
+        key: &str,
+        error: &HarnessError,
+        attempts: u32,
+    ) -> Result<(), HarnessError> {
+        let record = Json::obj([(
+            "failure",
+            Json::obj([
+                ("key", Json::str(key)),
+                ("attempts", json_u64(u64::from(attempts))),
+                ("error", error.to_json()),
+            ]),
+        )]);
+        self.write_line(&record.render_compact())
+    }
+
+    /// One line = one record, flushed immediately: a crash loses at most
+    /// the in-flight line, which resume recognizes as the torn tail.
+    fn write_line(&mut self, line: &str) -> Result<(), HarnessError> {
+        let display = self.path.display().to_string();
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| HarnessError::io(display, "write", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dspatch_journal_{label}_{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_sim() -> SimResult {
+        SimResult {
+            cores: vec![CoreResult {
+                workload: "stream_1".to_owned(),
+                prefetcher: "SPP".to_owned(),
+                instructions: 123_456,
+                finish_cycle: 654_321,
+                l1: CacheStats {
+                    demand_hits: 1,
+                    demand_misses: 2,
+                    demand_fills: 3,
+                    prefetch_fills: 4,
+                    prefetch_first_uses: 5,
+                    prefetch_unused_evictions: 6,
+                },
+                l2: CacheStats::default(),
+                accounting: PrefetchAccounting {
+                    l2_demand_accesses: 7,
+                    covered: 8,
+                    uncovered: 9,
+                    prefetches_issued: 10,
+                    prefetches_used: 11,
+                    prefetches_unused: 12,
+                },
+            }],
+            llc: CacheStats {
+                demand_hits: 99,
+                ..CacheStats::default()
+            },
+            dram: DramStats {
+                cas_commands: 1 << 54, // above 2^53: exercises the string form
+                row_hits: 14,
+                row_misses: 15,
+                prefetch_accesses: 16,
+                utilization_sum: 0.1 + 0.2, // a value with no short decimal form
+                windows: 17,
+            },
+            pollution: PollutionBreakdown {
+                no_reuse: 18,
+                prefetched_before_use: 19,
+                bad_pollution: 20,
+            },
+            cycles: 987_654_321,
+            cache_geometry: vec![CacheGeometry {
+                name: "LLC".to_owned(),
+                requested_bytes: 2 << 20,
+                ways: 16,
+                sets: 2048,
+                effective_bytes: 2 << 20,
+                rounded: false,
+            }],
+        }
+    }
+
+    fn meta() -> JournalMeta {
+        JournalMeta {
+            campaign: "test".to_owned(),
+            fingerprint: "00ff00ff00ff00ff".to_owned(),
+        }
+    }
+
+    #[test]
+    fn sim_results_round_trip_exactly() {
+        let sim = sample_sim();
+        let json = sim_result_to_json(&sim);
+        // Through a full render/parse cycle, like a real journal line.
+        let reparsed = Json::parse(&json.render_compact()).expect("renders valid JSON");
+        let back = sim_result_from_json(&reparsed).expect("parses back");
+        assert_eq!(back, sim);
+        assert_eq!(
+            back.dram.utilization_sum.to_bits(),
+            sim.dram.utilization_sum.to_bits()
+        );
+        assert_eq!(back.dram.cas_commands, 1 << 54);
+    }
+
+    #[test]
+    fn journal_write_read_cycle() {
+        let path = temp_path("cycle");
+        let mut writer = JournalWriter::create(&path, &meta()).expect("create");
+        let sim = sample_sim();
+        writer.append_sim("job-a", &sim, false).expect("append");
+        writer
+            .append_failure(
+                "job-b",
+                &HarnessError::CellPanic {
+                    job: "job-b".to_owned(),
+                    message: "boom".to_owned(),
+                },
+                2,
+            )
+            .expect("append failure");
+        drop(writer);
+        let contents = read_journal(&path, &meta()).expect("read back");
+        assert_eq!(contents.sims.len(), 1);
+        assert_eq!(contents.sims["job-a"], sim);
+        assert_eq!(contents.failures, vec!["job-b".to_owned()]);
+        assert_eq!(
+            contents.clean_len,
+            std::fs::metadata(&path).expect("stat").len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_truncated_on_resume() {
+        let path = temp_path("torn");
+        let mut writer = JournalWriter::create(&path, &meta()).expect("create");
+        let sim = sample_sim();
+        writer.append_sim("job-a", &sim, false).expect("append");
+        writer.append_sim("job-b", &sim, false).expect("append");
+        drop(writer);
+        // Tear the final line mid-record, like a kill -9 mid-write.
+        let bytes = std::fs::read(&path).expect("read");
+        let torn_len = bytes.len() - 40;
+        std::fs::write(&path, &bytes[..torn_len]).expect("tear");
+        let contents = read_journal(&path, &meta()).expect("torn tail is tolerated");
+        assert_eq!(contents.sims.len(), 1, "only the intact record survives");
+        assert!(contents.sims.contains_key("job-a"));
+        assert!((contents.clean_len as usize) < torn_len);
+        // Resuming truncates the tail so appends start on a clean boundary.
+        let mut writer = JournalWriter::resume(&path, contents.clean_len).expect("resume");
+        writer.append_sim("job-b", &sim, false).expect("re-append");
+        drop(writer);
+        let contents = read_journal(&path, &meta()).expect("read again");
+        assert_eq!(contents.sims.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_typed_error_with_line_number() {
+        let path = temp_path("midfile");
+        let mut writer = JournalWriter::create(&path, &meta()).expect("create");
+        let sim = sample_sim();
+        writer
+            .append_sim("job-a", &sim, true)
+            .expect("corrupt record");
+        writer
+            .append_sim("job-b", &sim, false)
+            .expect("good record");
+        drop(writer);
+        let err = read_journal(&path, &meta()).expect_err("must reject");
+        match &err {
+            HarnessError::Corrupt { line, .. } => assert_eq!(*line, 2),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_journals_are_a_mismatch_not_garbage() {
+        let path = temp_path("foreign");
+        let writer = JournalWriter::create(&path, &meta()).expect("create");
+        drop(writer);
+        let other = JournalMeta {
+            campaign: "test".to_owned(),
+            fingerprint: "1111111111111111".to_owned(),
+        };
+        let err = read_journal(&path, &other).expect_err("must reject");
+        match &err {
+            HarnessError::Mismatch { field, .. } => assert_eq!(*field, "fingerprint"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        let renamed = JournalMeta {
+            campaign: "different".to_owned(),
+            fingerprint: meta().fingerprint,
+        };
+        let err = read_journal(&path, &renamed).expect_err("must reject");
+        assert!(matches!(
+            err,
+            HarnessError::Mismatch {
+                field: "campaign",
+                ..
+            }
+        ));
+        // A non-journal file is corrupt even on line 1.
+        std::fs::write(&path, "{\"not\": \"a journal\"}\n").expect("write");
+        let err = read_journal(&path, &meta()).expect_err("must reject");
+        assert!(matches!(err, HarnessError::Corrupt { line: 1, .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprints_ignore_threads_but_track_everything_else() {
+        let spec = Json::obj([("name", Json::str("c"))]);
+        let scale = RunScale {
+            accesses_per_workload: 1000,
+            workloads_per_category: 1,
+            mixes: 1,
+            threads: 8,
+            sim_workers: 0,
+        };
+        let mut rethreaded = scale;
+        rethreaded.threads = 2;
+        assert_eq!(
+            campaign_fingerprint(&spec, &scale),
+            campaign_fingerprint(&spec, &rethreaded),
+            "threads are a machine knob, not an identity"
+        );
+        let mut rescaled = scale;
+        rescaled.accesses_per_workload = 2000;
+        assert_ne!(
+            campaign_fingerprint(&spec, &scale),
+            campaign_fingerprint(&spec, &rescaled)
+        );
+        let other_spec = Json::obj([("name", Json::str("d"))]);
+        assert_ne!(
+            campaign_fingerprint(&spec, &scale),
+            campaign_fingerprint(&other_spec, &scale)
+        );
+    }
+}

@@ -29,16 +29,26 @@
 //! assert!(fig11.plus_minus_one_fraction > 0.0);
 //! ```
 
+// Harness paths classify failures into `HarnessError` instead of panicking;
+// tests are exempt (assertions are their job).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod campaign;
+pub mod error;
 pub mod experiments;
+pub mod faults;
 pub mod figures;
+pub mod journal;
 pub mod json;
 pub mod perf;
 pub mod report;
 pub mod runner;
 
-pub use campaign::{CampaignResult, CampaignSpec, CellSpec};
+pub use campaign::{CampaignResult, CampaignSpec, CellFailure, CellSpec, ExecOptions, RetryPolicy};
+pub use error::{ErrorClass, HarnessError};
+pub use faults::{Fault, FaultPlan};
 pub use figures::FigureId;
+pub use journal::{JournalMeta, JournalWriter};
 pub use json::Json;
 pub use report::Table;
 pub use runner::{PrefetcherKind, RunScale};

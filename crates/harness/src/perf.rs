@@ -373,10 +373,13 @@ pub fn run_snapshot(
 ) -> SnapshotReport {
     let repeats = repeats.max(1);
     let best = |f: &dyn Fn() -> ScenarioThroughput| {
-        (0..repeats)
-            .map(|_| f())
-            .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
-            .expect("at least one repeat")
+        (1..repeats).map(|_| f()).fold(f(), |best, next| {
+            if next.wall_seconds < best.wall_seconds {
+                next
+            } else {
+                best
+            }
+        })
     };
     let baseline_single_thread = best(&|| run_baseline_snapshot(single_accesses));
     let dspatch_spp_single_thread = best(&|| run_single_thread_snapshot(single_accesses));

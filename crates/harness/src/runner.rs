@@ -261,6 +261,12 @@ impl RunScale {
         if self.sim_workers > 0 && config.cores > 1 {
             config.parallel_cores = true;
             config.parallel_workers = self.sim_workers;
+            // Pin the epoch length explicitly so the applied config passes
+            // `SystemConfig::validate` (which rejects 0 = auto on parallel
+            // configs). Same value the engine would pick for 0.
+            if config.parallel_epoch_cycles == 0 {
+                config.parallel_epoch_cycles = config.default_epoch_cycles();
+            }
         }
         config
     }
@@ -355,14 +361,12 @@ pub fn speedups_over_baseline(
         baseline: true,
     };
     let result = run_cells("speedups_over_baseline", &[cell], scale);
+    // Baseline cells always carry speedups; a quarantined baseline would
+    // drop its row rather than poison the aggregate with a placeholder.
     result
         .rows
         .iter()
-        .map(|row| {
-            result
-                .speedup(row)
-                .expect("baseline cells always carry speedups")
-        })
+        .filter_map(|row| result.speedup(row))
         .collect()
 }
 

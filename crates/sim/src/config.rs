@@ -264,6 +264,33 @@ impl SystemConfig {
         self
     }
 
+    /// The epoch length the sharded engine uses when none is set
+    /// explicitly: the bandwidth-tracker window (4×tRC in core cycles), the
+    /// cadence at which the hardware itself broadcasts shared DRAM state.
+    /// Mirrors `BandwidthTracker::window_cycles` exactly.
+    pub fn default_epoch_cycles(&self) -> u64 {
+        let cycles_per_ns = self.core.clock_mhz as f64 / 1000.0;
+        (4.0 * self.dram.t_rc_ns() * cycles_per_ns).round().max(1.0) as u64
+    }
+
+    /// Resolves the `0 = auto` parallel knobs into the explicit values the
+    /// engine would pick: `parallel_workers` via [`Self::effective_workers`]
+    /// and `parallel_epoch_cycles` via [`Self::default_epoch_cycles`].
+    /// Engine entry points call this before [`Self::validate`], which
+    /// rejects the auto sentinels; configs that are already explicit pass
+    /// through unchanged.
+    pub fn resolved_parallel(mut self) -> Self {
+        if self.parallel_cores && self.cores > 1 {
+            if self.parallel_workers == 0 {
+                self.parallel_workers = self.effective_workers();
+            }
+            if self.parallel_epoch_cycles == 0 {
+                self.parallel_epoch_cycles = self.default_epoch_cycles();
+            }
+        }
+        self
+    }
+
     /// Validates structural parameters.
     ///
     /// # Errors
@@ -281,6 +308,25 @@ impl SystemConfig {
         }
         if self.prefetch_mshrs == 0 {
             return Err("prefetch MSHR budget must be positive".to_owned());
+        }
+        // The epoch engine treats 0 as "auto" for both parallel knobs, but a
+        // validated config must be explicit: campaigns that accept 0 here
+        // fail deep inside `epoch.rs` with machine-dependent behavior
+        // instead of at spec time. `effective_workers()` and
+        // `default_epoch_cycles()` compute the auto values to store.
+        if self.parallel_cores && self.cores > 1 {
+            if self.parallel_workers == 0 {
+                return Err(format!(
+                    "parallel_cores with {} cores requires an explicit parallel_workers \
+                     (got 0 = auto; use effective_workers() to resolve it first)",
+                    self.cores
+                ));
+            }
+            if self.parallel_epoch_cycles == 0 {
+                return Err("parallel_cores requires an explicit parallel_epoch_cycles \
+                     (got 0 = auto; use default_epoch_cycles() to resolve it first)"
+                    .to_owned());
+            }
         }
         for cache in [&self.l1, &self.l2, &self.llc] {
             let _ = cache.validate()?;
@@ -378,6 +424,53 @@ mod tests {
         let mut cfg = SystemConfig::single_thread();
         cfg.dram.channels = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_auto_parallel_knobs() {
+        // 0 = auto is an engine-level convenience; a validated config must
+        // be explicit so campaigns fail at spec time, not deep in epoch.rs.
+        let mut cfg = SystemConfig::multi_programmed();
+        cfg.parallel_cores = true;
+        cfg.parallel_workers = 0;
+        cfg.parallel_epoch_cycles = cfg.default_epoch_cycles();
+        let err = cfg.validate().expect_err("auto workers must be rejected");
+        assert!(err.contains("parallel_workers"), "got: {err}");
+
+        cfg.parallel_workers = 2;
+        cfg.parallel_epoch_cycles = 0;
+        let err = cfg.validate().expect_err("auto epoch must be rejected");
+        assert!(err.contains("parallel_epoch_cycles"), "got: {err}");
+
+        cfg.parallel_epoch_cycles = cfg.default_epoch_cycles();
+        assert!(cfg.validate().is_ok());
+
+        // Non-parallel multi-core configs keep 0 = auto (multi_programmed's
+        // own defaults must stay valid).
+        assert!(SystemConfig::multi_programmed().validate().is_ok());
+        // Single-core parallel configs degenerate to the serial loop; the
+        // knobs are ignored there and stay unconstrained.
+        let mut single = SystemConfig::single_thread();
+        single.parallel_cores = true;
+        assert!(single.validate().is_ok());
+    }
+
+    #[test]
+    fn default_epoch_cycles_matches_bandwidth_tracker_window() {
+        use crate::dram::BandwidthTracker;
+        for speed in DramSpeedGrade::ALL {
+            for channels in [1usize, 2] {
+                for clock_mhz in [1000u64, 2500, 4000] {
+                    let mut cfg = SystemConfig::single_thread().with_dram(channels, speed);
+                    cfg.core.clock_mhz = clock_mhz;
+                    assert_eq!(
+                        cfg.default_epoch_cycles(),
+                        BandwidthTracker::new(&cfg.dram, clock_mhz).window_cycles(),
+                        "{speed:?} {channels}ch @ {clock_mhz} MHz"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 
 use crate::cache::Cache;
 use crate::config::SystemConfig;
-use crate::dram::{BandwidthTracker, Dram};
+use crate::dram::Dram;
 use crate::stats::{CoreResult, SimResult};
 use crate::system::{
     advance_core_closed_form, build_cores, core_skip_allowance, step_core_generic, CoreState,
@@ -864,8 +864,9 @@ pub(crate) fn run_sharded(
         config.parallel_epoch_cycles
     } else {
         // The hardware's own shared-state broadcast cadence: the bandwidth
-        // tracker window (4×tRC).
-        BandwidthTracker::new(&config.dram, config.core.clock_mhz).window_cycles()
+        // tracker window (4×tRC). Matches `SystemConfig::default_epoch_cycles`
+        // (asserted by a unit test) — validated configs store it explicitly.
+        config.default_epoch_cycles()
     };
     let mut shards: Vec<Shard> = cores
         .into_iter()

@@ -287,7 +287,14 @@ pub(crate) fn build_cores(
     config: &SystemConfig,
     core_setup: Vec<(Box<dyn TraceSource>, AnyPrefetcher)>,
 ) -> Vec<CoreState> {
-    config.validate().expect("invalid system configuration");
+    // `0 = auto` on the parallel knobs is an engine-level convenience;
+    // validate the resolved form (`validate` itself rejects the sentinels
+    // so spec-time callers get an explicit, machine-independent config).
+    config
+        .clone()
+        .resolved_parallel()
+        .validate()
+        .expect("invalid system configuration");
     assert!(!core_setup.is_empty(), "simulation needs at least one core");
     assert!(
         core_setup.len() <= config.cores,

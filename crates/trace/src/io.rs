@@ -47,6 +47,125 @@ const MAGIC: &[u8; 4] = b"DSPT";
 const VERSION: u32 = 1;
 /// On-disk bytes per record: pc (8) + addr (8) + flags (1) + gap (4).
 const RECORD_BYTES: u64 = 21;
+/// Upper bound on the embedded trace-name length. A hostile header can claim
+/// up to 4 GiB here; cap it before allocating the name buffer.
+const MAX_NAME_LEN: u32 = 1 << 16;
+
+/// A typed, contextual error from opening or validating a trace file.
+///
+/// Every variant carries the offending path; parse-level variants add the
+/// structural detail (observed length, line number, header field) so callers
+/// can report actionable messages without string-matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFileError {
+    /// OS-level failure opening, reading, or statting the file.
+    Io {
+        /// The file the operation targeted.
+        path: PathBuf,
+        /// The failing operation (`"open"`, `"read"`, `"stat"`, `"seek"`).
+        op: &'static str,
+        /// The underlying `io::Error`, rendered.
+        message: String,
+    },
+    /// The file is shorter than the 4-byte format magic, so its format
+    /// cannot even be sniffed.
+    TooShort {
+        /// The file in question.
+        path: PathBuf,
+        /// Its observed length in bytes.
+        len: u64,
+    },
+    /// Structural problem in a `DSPT` binary header (bad magic, unsupported
+    /// version, oversized or non-UTF-8 name, truncated fixed fields).
+    Header {
+        /// The file in question.
+        path: PathBuf,
+        /// What was wrong with the header.
+        message: String,
+    },
+    /// The header's record count is inconsistent with the file size (a
+    /// truncated, overgrown, or corrupt file).
+    SizeMismatch {
+        /// The file in question.
+        path: PathBuf,
+        /// The record count the header promised.
+        record_count: u64,
+        /// The observed file size in bytes.
+        actual_bytes: u64,
+    },
+    /// A malformed line in a ChampSim-style text trace.
+    Malformed {
+        /// The file in question.
+        path: PathBuf,
+        /// 1-based line number of the first bad line.
+        line: u64,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, op, message } => {
+                write!(f, "{}: {op} failed: {message}", path.display())
+            }
+            Self::TooShort { path, len } => write!(
+                f,
+                "{}: file is {len} bytes, shorter than the 4-byte format magic",
+                path.display()
+            ),
+            Self::Header { path, message } => {
+                write!(f, "{}: bad trace header: {message}", path.display())
+            }
+            Self::SizeMismatch {
+                path,
+                record_count,
+                actual_bytes,
+            } => write!(
+                f,
+                "{}: header promises {record_count} records but the file is \
+                 {actual_bytes} bytes",
+                path.display()
+            ),
+            Self::Malformed {
+                path,
+                line,
+                message,
+            } => write!(f, "{}:{line}: {message}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl TraceFileError {
+    fn io(path: &Path, op: &'static str, error: &io::Error) -> Self {
+        Self::Io {
+            path: path.to_path_buf(),
+            op,
+            message: error.to_string(),
+        }
+    }
+
+    /// Maps an `io::Error` from header parsing to the right variant:
+    /// `InvalidData` carries a structural message, everything else (notably
+    /// `UnexpectedEof` from a truncated header) is wrapped with the
+    /// operation name.
+    fn from_header_error(path: &Path, error: &io::Error) -> Self {
+        match error.kind() {
+            io::ErrorKind::InvalidData => Self::Header {
+                path: path.to_path_buf(),
+                message: error.to_string(),
+            },
+            io::ErrorKind::UnexpectedEof => Self::Header {
+                path: path.to_path_buf(),
+                message: "truncated header".to_owned(),
+            },
+            _ => Self::io(path, "read", error),
+        }
+    }
+}
 
 /// Writes a trace to `writer` in the binary format.
 ///
@@ -91,8 +210,15 @@ fn read_header<R: Read>(reader: &mut R) -> io::Result<(String, u64)> {
             format!("unsupported trace version {version}"),
         ));
     }
-    let name_len = read_u32(reader)? as usize;
-    let mut name_bytes = vec![0u8; name_len];
+    let name_len = read_u32(reader)?;
+    // Cap before allocating: a hostile header can claim a 4 GiB name.
+    if name_len > MAX_NAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("trace name length {name_len} exceeds the {MAX_NAME_LEN}-byte cap"),
+        ));
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
     reader.read_exact(&mut name_bytes)?;
     let name =
         String::from_utf8(name_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -179,29 +305,33 @@ impl FileTraceSource {
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be opened, the header is
-    /// malformed, or the file size does not match the header's record count
-    /// (a truncated or overgrown file).
-    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+    /// Returns a [`TraceFileError`] if the file cannot be opened, is shorter
+    /// than the format magic, the header is malformed, or the file size does
+    /// not match the header's record count (a truncated or overgrown file).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
         let path = path.as_ref().to_path_buf();
-        let file = File::open(&path)?;
+        let actual = std::fs::metadata(&path)
+            .map_err(|e| TraceFileError::io(&path, "stat", &e))?
+            .len();
+        if actual < MAGIC.len() as u64 {
+            return Err(TraceFileError::TooShort { path, len: actual });
+        }
+        let file = File::open(&path).map_err(|e| TraceFileError::io(&path, "open", &e))?;
         let mut reader = BufReader::new(file);
-        let (name, record_count) = read_header(&mut reader)?;
+        let (name, record_count) =
+            read_header(&mut reader).map_err(|e| TraceFileError::from_header_error(&path, &e))?;
         let records_start = (4 + 4 + 4 + name.len() + 8) as u64;
         // Checked arithmetic: a corrupt header with a record count near
-        // u64::MAX must be a clean InvalidData, not an overflow.
+        // u64::MAX must be a clean typed error, not an overflow.
         let expected = record_count
             .checked_mul(RECORD_BYTES)
             .and_then(|bytes| bytes.checked_add(records_start));
-        let actual = std::fs::metadata(&path)?.len();
         if expected != Some(actual) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "{}: header promises {record_count} records but the file is {actual} bytes",
-                    path.display()
-                ),
-            ));
+            return Err(TraceFileError::SizeMismatch {
+                path,
+                record_count,
+                actual_bytes: actual,
+            });
         }
         Ok(Self {
             path,
@@ -296,23 +426,27 @@ impl ChampsimTextSource {
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be opened or any line fails to
-    /// parse (the message carries `path:line`).
-    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+    /// Returns a [`TraceFileError`] if the file cannot be opened or any line
+    /// fails to parse (the error carries the path and 1-based line number).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
         let path = path.as_ref().to_path_buf();
         let name = path
             .file_stem()
             .map(|stem| stem.to_string_lossy().into_owned())
             .unwrap_or_else(|| "champsim-trace".to_owned());
         // Validation pass: parse every line, count records and instructions.
-        let mut reader = BufReader::new(File::open(&path)?);
+        let file = File::open(&path).map_err(|e| TraceFileError::io(&path, "open", &e))?;
+        let mut reader = BufReader::new(file);
         let mut line = String::new();
         let mut line_no = 0u64;
         let mut record_count = 0u64;
         let mut instructions = 0u64;
         loop {
             line.clear();
-            if reader.read_line(&mut line)? == 0 {
+            let bytes = reader
+                .read_line(&mut line)
+                .map_err(|e| TraceFileError::io(&path, "read", &e))?;
+            if bytes == 0 {
                 break;
             }
             line_no += 1;
@@ -323,14 +457,17 @@ impl ChampsimTextSource {
                 }
                 Ok(None) => {}
                 Err(message) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}:{line_no}: {message}", path.display()),
-                    ));
+                    return Err(TraceFileError::Malformed {
+                        path,
+                        line: line_no,
+                        message,
+                    });
                 }
             }
         }
-        reader.seek(SeekFrom::Start(0))?;
+        reader
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| TraceFileError::io(&path, "seek", &e))?;
         Ok(Self {
             path,
             reader,
@@ -488,16 +625,28 @@ fn parse_number(text: &str) -> Option<u64> {
 ///
 /// # Errors
 ///
-/// Returns any error from opening or validating the file in the selected
-/// format.
-pub fn open_trace_source(path: impl AsRef<Path>) -> io::Result<Box<dyn TraceSource>> {
+/// Returns a [`TraceFileError`] if the file cannot be opened, is shorter
+/// than the 4-byte magic (so its format cannot be sniffed — the error
+/// carries the path and observed length), or fails validation in the
+/// selected format.
+pub fn open_trace_source(path: impl AsRef<Path>) -> Result<Box<dyn TraceSource>, TraceFileError> {
     let path = path.as_ref();
     let mut magic = [0u8; 4];
-    let mut file = File::open(path)?;
+    let mut file = File::open(path).map_err(|e| TraceFileError::io(path, "open", &e))?;
     let sniffed = match file.read_exact(&mut magic) {
         Ok(()) => &magic == MAGIC,
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => false,
-        Err(e) => return Err(e),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            // Shorter than the magic: report the observed length instead of
+            // guessing a format for a file that cannot hold one.
+            let len = std::fs::metadata(path)
+                .map_err(|stat_err| TraceFileError::io(path, "stat", &stat_err))?
+                .len();
+            return Err(TraceFileError::TooShort {
+                path: path.to_path_buf(),
+                len,
+            });
+        }
+        Err(e) => return Err(TraceFileError::io(path, "read", &e)),
     };
     drop(file);
     if sniffed {
@@ -609,8 +758,79 @@ mod tests {
         let bytes = std::fs::read(&path).expect("read back");
         std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
         let err = FileTraceSource::open(&path).expect_err("must reject");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(
+                err,
+                TraceFileError::SizeMismatch {
+                    record_count: 3,
+                    ..
+                }
+            ),
+            "got: {err:?}"
+        );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn files_shorter_than_the_magic_get_a_typed_error() {
+        for (label, contents) in [("empty", &b""[..]), ("two_bytes", &b"DS"[..])] {
+            let path = temp_path(&format!("too_short_{label}"), "trace");
+            std::fs::write(&path, contents).expect("write");
+            let err = match open_trace_source(&path) {
+                Ok(_) => panic!("must reject a {label} file"),
+                Err(e) => e,
+            };
+            match &err {
+                TraceFileError::TooShort { path: p, len } => {
+                    assert_eq!(p, &path);
+                    assert_eq!(*len, contents.len() as u64);
+                }
+                other => panic!("expected TooShort, got {other:?}"),
+            }
+            assert!(err
+                .to_string()
+                .contains(&format!("{} bytes", contents.len())));
+            let err = FileTraceSource::open(&path).expect_err("binary open must reject too");
+            assert!(
+                matches!(err, TraceFileError::TooShort { .. }),
+                "got: {err:?}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn hostile_name_length_is_capped_before_allocation() {
+        let path = temp_path("hostile_name_len", "trace");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB name claim
+        std::fs::write(&path, &bytes).expect("write");
+        let err = FileTraceSource::open(&path).expect_err("must reject");
+        match &err {
+            TraceFileError::Header { message, .. } => {
+                assert!(message.contains("name length"), "got: {message}");
+            }
+            other => panic!("expected Header, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_file_errors_render_the_path() {
+        let path = temp_path("missing_for_display", "nope");
+        let err = FileTraceSource::open(&path).expect_err("must fail");
+        assert!(
+            matches!(err, TraceFileError::Io { op: "stat", .. }),
+            "got: {err:?}"
+        );
+        assert!(err.to_string().contains("missing_for_display"));
+        let err = ChampsimTextSource::open(&path).expect_err("must fail");
+        assert!(
+            matches!(err, TraceFileError::Io { op: "open", .. }),
+            "got: {err:?}"
+        );
     }
 
     #[test]

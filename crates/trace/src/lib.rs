@@ -38,6 +38,7 @@
 
 pub mod io;
 pub mod mixes;
+pub use io::TraceFileError;
 pub mod record;
 pub mod source;
 pub mod synth;

@@ -290,6 +290,154 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hostile bytes never panic the trace openers. A valid binary trace is
+    /// arbitrarily truncated and byte-flipped; `FileTraceSource::open` and
+    /// `open_trace_source` must then either succeed — and the stream drain
+    /// exactly as many records as the header promises — or return a typed
+    /// [`dspatch_trace::TraceFileError`]. (A damaged magic demotes the file
+    /// to the text importer, so this also feeds binary garbage through the
+    /// ChampSim parser.) The in-memory `read_trace` gets the same bytes.
+    #[test]
+    fn mutated_binary_traces_fail_typed_or_stream_exactly(
+        raw in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<bool>(), any::<u32>()),
+            0..40,
+        ),
+        cut in any::<u64>(),
+        flip_at in any::<u64>(),
+        flip_to in any::<u8>(),
+        mutation in 0u8..4,
+    ) {
+        use dspatch_trace::io::{open_trace_source, read_trace, write_trace, FileTraceSource};
+        use dspatch_trace::{LengthHint, Trace, TraceRecord, TraceSource};
+
+        let records: Vec<TraceRecord> = raw
+            .into_iter()
+            .map(|(pc, addr, store, gap)| {
+                let record = if store {
+                    TraceRecord::store(pc, addr)
+                } else {
+                    TraceRecord::load(pc, addr)
+                };
+                record.with_gap(gap)
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        write_trace(&Trace::new("fuzz", records), &mut bytes).expect("serialize");
+        // Mutation 0 leaves the trace intact so the Ok path is exercised too.
+        if mutation == 1 || mutation == 3 {
+            let keep = (cut % (bytes.len() as u64 + 1)) as usize;
+            bytes.truncate(keep);
+        }
+        if (mutation == 2 || mutation == 3) && !bytes.is_empty() {
+            let at = (flip_at % bytes.len() as u64) as usize;
+            bytes[at] = flip_to;
+        }
+
+        // read_trace consumes the bytes directly: typed error or full trace.
+        let _ = read_trace(bytes.as_slice());
+
+        let path = std::env::temp_dir().join(format!(
+            "dspatch_fuzz_binary_{}.dspt",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).expect("temp file");
+        // Ok at open time must mean the whole stream is replayable: the
+        // openers promise "validated once, never fails mid-run".
+        if let Ok(mut source) = FileTraceSource::open(&path) {
+            let promised = match source.meta().accesses {
+                LengthHint::Exact(n) => n,
+                other => return Err(TestCaseError::fail(format!("binary source hint {other:?}"))),
+            };
+            let mut drained = 0u64;
+            while source.next_record().is_some() {
+                drained += 1;
+            }
+            prop_assert_eq!(drained, promised);
+        }
+        if let Ok(mut source) = open_trace_source(&path) {
+            let mut drained = 0u64;
+            while source.next_record().is_some() {
+                drained += 1;
+            }
+            if let LengthHint::Exact(promised) = source.meta().accesses {
+                prop_assert_eq!(drained, promised);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Hostile text never panics the ChampSim importer: for arbitrary lines
+    /// (printable junk and well-formed records interleaved),
+    /// `ChampsimTextSource::open` either returns a typed error whose line
+    /// number points into the file, or succeeds — and then replay yields
+    /// exactly the validated record count.
+    #[test]
+    fn hostile_champsim_text_fails_typed_or_streams_exactly(
+        lines in proptest::collection::vec(
+            (0usize..16, any::<u32>(), any::<u32>(), 0u32..50).prop_map(
+                |(variant, pc, addr, gap)| match variant {
+                    // Well-formed records in the accepted spellings.
+                    0 => format!("0x{pc:x} {addr} L {gap}"),
+                    1 => format!("{pc} 0x{addr:x} S"),
+                    2 => format!("{pc} {addr} load {gap} d"),
+                    3 => format!("  {pc} {addr} WRITE 0 DEP  "),
+                    // Blanks and comments (skipped by the parser).
+                    4 => String::new(),
+                    5 => format!("# comment {pc}"),
+                    // Malformed in every structural way the parser checks.
+                    6 => format!("{pc}"),
+                    7 => format!("{pc} {addr}"),
+                    8 => format!("{pc} {addr} X {gap}"),
+                    9 => format!("{pc} {addr} L {gap} q"),
+                    10 => format!("{pc} {addr} L {gap} d extra"),
+                    11 => format!("0xzz {addr} L"),
+                    12 => format!("{pc} 99999999999999999999999999 L"),
+                    13 => format!("{pc},{addr},L"),
+                    14 => "\u{7f}\u{1b}[31mjunk\tbytes".to_owned(),
+                    _ => format!("-{pc} {addr} L"),
+                }
+            ),
+            0..30,
+        ),
+    ) {
+        use dspatch_trace::io::ChampsimTextSource;
+        use dspatch_trace::{LengthHint, TraceFileError, TraceSource};
+
+        let path = std::env::temp_dir().join(format!(
+            "dspatch_fuzz_text_{}.trace",
+            std::process::id()
+        ));
+        let text: String = lines.iter().map(|line| format!("{line}\n")).collect();
+        std::fs::write(&path, text).expect("temp file");
+        match ChampsimTextSource::open(&path) {
+            Ok(mut source) => {
+                let promised = match source.meta().accesses {
+                    LengthHint::Exact(n) => n,
+                    other => {
+                        return Err(TestCaseError::fail(format!("text source hint {other:?}")))
+                    }
+                };
+                let mut drained = 0u64;
+                while source.next_record().is_some() {
+                    drained += 1;
+                }
+                prop_assert_eq!(drained, promised);
+            }
+            Err(TraceFileError::Malformed { line, .. }) => {
+                prop_assert!(line >= 1 && line <= lines.len() as u64);
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error class {other:?}")))
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The simulator conserves instructions (every trace record and gap is
