@@ -31,7 +31,11 @@
 //! `--resume FILE` replays completed cells from it and re-executes only the
 //! missing ones, producing bit-identical output to an uninterrupted run.
 //! `--retries N` retries a transiently failing cell up to N extra times
-//! before quarantining it. Exit codes follow the `HarnessError` classes:
+//! before quarantining it. `--store DIR` opens the content-addressed result
+//! store `dspatch-serve` uses (`DIR/results.jsonl`): cells already present
+//! are served from it and fresh results are appended, so identical cells
+//! never simulate twice across CLI runs or service restarts. Exit codes
+//! follow the `HarnessError` classes:
 //! 0 success, 1 internal failure, 2 usage error, 3 invalid spec, 4 I/O
 //! failure, 5 corrupt journal, 6 journal/campaign mismatch, 7 campaign
 //! completed with quarantined cells.
@@ -59,7 +63,7 @@ fn usage() -> ! {
         "usage: dspatch-lab (--figure NAME | --spec FILE.json | --trace-file FILE | --list | --template)\n\
          \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
          \x20                [--threads N] [--parallel-cores N] [--prefetchers KIND[,KIND...]] [--out PATH]\n\
-         \x20                [--journal FILE | --resume FILE] [--retries N]"
+         \x20                [--journal FILE | --resume FILE] [--retries N] [--store DIR]"
     );
     std::process::exit(2);
 }
@@ -85,12 +89,14 @@ fn main() {
     let mut prefetchers: Option<String> = None;
     let mut scale_name: Option<String> = None;
     let mut format = Format::Table;
+    let mut format_set = false;
     let mut threads: Option<usize> = None;
     let mut sim_workers: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut journal: Option<String> = None;
     let mut resume: Option<String> = None;
     let mut retries: Option<u32> = None;
+    let mut store: Option<String> = None;
     let mut list = false;
     let mut template = false;
 
@@ -107,6 +113,7 @@ fn main() {
             "--prefetchers" => prefetchers = Some(value("--prefetchers")),
             "--scale" => scale_name = Some(value("--scale")),
             "--format" => {
+                format_set = true;
                 format = match value("--format").as_str() {
                     "table" => Format::Table,
                     "json" => Format::Json,
@@ -138,6 +145,7 @@ fn main() {
                         .unwrap_or_else(|_| fail("--retries must be an integer")),
                 )
             }
+            "--store" => store = Some(value("--store")),
             "--list" => list = true,
             "--template" => template = true,
             "--help" | "-h" => usage(),
@@ -174,8 +182,21 @@ fn main() {
     if journal.is_some() && resume.is_some() {
         fail("--journal and --resume are mutually exclusive (--resume appends to the same file)");
     }
-    if (journal.is_some() || resume.is_some() || retries.is_some()) && spec_path.is_none() {
-        fail("--journal/--resume/--retries only apply to --spec campaigns");
+    if (journal.is_some() || resume.is_some() || retries.is_some() || store.is_some())
+        && spec_path.is_none()
+    {
+        // Without a campaign these flags would be silently ignored; refuse
+        // instead (exit 2) so a typo'd invocation can't masquerade as a
+        // journaled or store-backed run.
+        fail("--journal/--resume/--retries/--store only apply to --spec campaigns");
+    }
+    // --list/--template ignore the report-shaping flags entirely; reject the
+    // combination rather than silently dropping them (--out is meaningful:
+    // `--template --out spec.json`).
+    if (list || template)
+        && (scale_name.is_some() || threads.is_some() || sim_workers.is_some() || format_set)
+    {
+        fail("--scale/--threads/--parallel-cores/--format do not apply to --list/--template");
     }
     // Exit code 7 when the campaign completed but quarantined cells; set in
     // the --spec branch, applied after the report is written so partial
@@ -230,16 +251,23 @@ fn main() {
                     }
                     (None, None) => {}
                 }
+                if let Some(dir) = &store {
+                    let result_store =
+                        dspatch_harness::ResultStore::open(std::path::Path::new(dir))
+                            .unwrap_or_else(|error| fail_typed(&error));
+                    opts.store = Some(std::sync::Arc::new(std::sync::Mutex::new(result_store)));
+                }
                 let result = run_campaign_with(&spec, &scale, &opts)
                     .unwrap_or_else(|error| fail_typed(&error));
                 eprintln!(
-                    "campaign '{}': {} rows from {} simulations ({} baselines, {} memo hits, {} replayed from journal), {} threads",
+                    "campaign '{}': {} rows from {} simulations ({} baselines, {} memo hits, {} replayed from journal, {} from store), {} threads",
                     result.name,
                     result.rows.len(),
                     result.stats.sims_run,
                     result.stats.baseline_sims,
                     result.stats.memo_hits,
                     result.stats.journal_hits,
+                    result.stats.store_hits,
                     result.stats.threads,
                 );
                 if !result.failures.is_empty() {

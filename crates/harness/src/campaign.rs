@@ -882,8 +882,9 @@ impl Target {
 
     /// Memoization identity. The full `WorkloadSpec` (generator included)
     /// participates so two targets that share a name and seed but differ in
-    /// generator parameters never alias to one simulation.
-    fn key(&self) -> String {
+    /// generator parameters never alias to one simulation. Also the target
+    /// component of the durable store's [`crate::store::cell_fingerprint`].
+    pub fn key(&self) -> String {
         let workload_key = |w: &WorkloadSpec| format!("{}:{:x}:{:?}", w.name, w.seed, w.generator);
         match self {
             Target::Workload(workload) => format!("w:{}", workload_key(workload)),
@@ -919,8 +920,9 @@ pub struct ResolvedCell {
 /// Only the spec-deterministic fields (`sims_run`, `baseline_sims`,
 /// `memo_hits`, `threads`) appear in [`CampaignResult::to_json`]; the
 /// robustness counters below them describe *how* this particular run went
-/// (journal hits, retries, quarantines) and are deliberately excluded so a
-/// resumed campaign renders bit-identically to an uninterrupted one.
+/// (journal hits, store hits, retries, quarantines) and are deliberately
+/// excluded so a resumed or store-served campaign renders bit-identically
+/// to an uninterrupted, cold-cache one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Deduplicated simulations with a result (fresh or journal-replayed).
@@ -934,6 +936,9 @@ pub struct ExecStats {
     pub threads: usize,
     /// Simulations replayed from a resume journal instead of re-executing.
     pub journal_hits: usize,
+    /// Simulations served from the content-addressed [`crate::store`]
+    /// instead of re-executing (cross-campaign, cross-process memoization).
+    pub store_hits: usize,
     /// Extra attempts spent on transiently failing cells.
     pub retries: usize,
     /// Cells quarantined after exhausting their retry budget.
@@ -1203,9 +1208,84 @@ impl RetryPolicy {
     }
 }
 
+/// How one grid cell obtained its result, reported in
+/// [`ProgressEvent::CellFinished`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Freshly simulated this run.
+    Fresh,
+    /// Replayed from the campaign's resume journal.
+    Journal,
+    /// Served from the content-addressed result store.
+    Store,
+    /// Quarantined after exhausting its retry budget.
+    Quarantined,
+}
+
+impl CellOutcome {
+    /// Stable lower-case name (the serve layer's event vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            CellOutcome::Fresh => "fresh",
+            CellOutcome::Journal => "journal",
+            CellOutcome::Store => "store",
+            CellOutcome::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One executor progress notification, delivered through
+/// [`ExecOptions::progress`]. Cached cells (journal or store hits) are
+/// announced up-front, before the worker pool starts; fresh and quarantined
+/// cells as they finish.
+#[derive(Debug, Clone)]
+pub enum ProgressEvent {
+    /// The grid is resolved: `total` deduplicated jobs, of which `cached`
+    /// were satisfied by the journal or store before any worker started.
+    Started {
+        /// Deduplicated job count.
+        total: usize,
+        /// Jobs already satisfied from the journal or store.
+        cached: usize,
+    },
+    /// One job finished (or was served from a cache).
+    CellFinished {
+        /// The executor's job key.
+        key: String,
+        /// Target (workload or mix) name.
+        target: String,
+        /// Prefetcher label.
+        prefetcher: String,
+        /// Config label.
+        config: String,
+        /// How the result was obtained.
+        outcome: CellOutcome,
+        /// Jobs completed so far (including this one).
+        completed: usize,
+        /// Deduplicated job count.
+        total: usize,
+    },
+    /// The campaign is complete.
+    Finished {
+        /// Simulations with a result.
+        sims: usize,
+        /// Cells quarantined.
+        quarantined: usize,
+    },
+}
+
+/// Callback receiving [`ProgressEvent`]s; invoked from executor worker
+/// threads, so it must be cheap and must not block on the caller.
+pub type ProgressSink = std::sync::Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// Shared handle to the durable result store (one per process, shared across
+/// campaigns and with the serve layer's query endpoints).
+pub type SharedStore = std::sync::Arc<Mutex<crate::store::ResultStore>>;
+
 /// Execution options for [`run_campaign_with`]: retry budget, optional
-/// fault injection, optional crash-safe journaling.
-#[derive(Debug, Clone, Default)]
+/// fault injection, optional crash-safe journaling, optional durable result
+/// store, optional progress callbacks.
+#[derive(Clone, Default)]
 pub struct ExecOptions {
     /// Retry budget per cell.
     pub retry: RetryPolicy,
@@ -1217,11 +1297,34 @@ pub struct ExecOptions {
     /// instead of re-executing them. A missing or empty journal file starts
     /// fresh, so `resume` is safe to pass unconditionally.
     pub resume: bool,
+    /// Content-addressed durable store: cells whose
+    /// [`crate::store::cell_fingerprint`] is present are served from it
+    /// (counted in [`ExecStats::store_hits`]), and every fresh result is
+    /// appended to it — so identical cells never simulate twice across
+    /// campaigns, requests, or process restarts.
+    pub store: Option<SharedStore>,
+    /// Progress callback; see [`ProgressEvent`].
+    pub progress: Option<ProgressSink>,
+}
+
+impl std::fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("retry", &self.retry)
+            .field("faults", &self.faults)
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("store", &self.store.as_ref().map(|_| "<store>"))
+            .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 struct Job {
     /// Memoization identity; doubles as the journal key.
     key: String,
+    /// Content address in the durable store ([`crate::store::cell_fingerprint`]).
+    fingerprint: String,
     target: Target,
     sel: PrefetcherSel,
     config: SystemConfig,
@@ -1526,11 +1629,19 @@ fn execute_cells(
                 }
                 let index = jobs.len();
                 job_index.insert(key.clone(), index);
+                let config = scale.apply_sim_workers(cell.config.clone());
+                let fingerprint = crate::store::cell_fingerprint(
+                    &target_key,
+                    &format!("{sel:?}"),
+                    &config,
+                    scale.accesses_per_workload,
+                );
                 jobs.push(Job {
                     key,
+                    fingerprint,
                     target: target.clone(),
                     sel,
-                    config: scale.apply_sim_workers(cell.config.clone()),
+                    config,
                     config_label: cell.config_label.clone(),
                 });
                 index
@@ -1586,7 +1697,65 @@ fn execute_cells(
             }
         }
     };
+    let mut cached_outcome: Vec<Option<CellOutcome>> = replayed
+        .iter()
+        .map(|slot| slot.as_ref().map(|_| CellOutcome::Journal))
+        .collect();
+
+    // Store replay: cells already simulated by ANY prior campaign — this
+    // one's journal aside, another request's grid or a previous process
+    // incarnation's — load from the content-addressed store. Store-served
+    // cells are appended to the journal (if one is active) so its
+    // completeness guarantee holds, and journal-replayed cells are
+    // backfilled into the store so resumed campaigns populate it too.
+    let mut writer = writer;
+    let mut store_hits = 0usize;
+    if let Some(shared) = &opts.store {
+        let mut store = lock_unpoisoned(shared);
+        for (index, job) in jobs.iter().enumerate() {
+            if let Some(sim) = &replayed[index] {
+                store.insert(&job.fingerprint, sim)?;
+                continue;
+            }
+            let hit = store.get(&job.fingerprint).cloned();
+            if let Some(sim) = hit {
+                if let Some(writer) = writer.as_mut() {
+                    writer.append_sim(&job.key, &sim, false)?;
+                }
+                replayed[index] = Some(sim);
+                cached_outcome[index] = Some(CellOutcome::Store);
+                store_hits += 1;
+            }
+        }
+    }
     let skip: Vec<bool> = replayed.iter().map(Option::is_some).collect();
+
+    // Progress: announce the resolved grid, then every cache-satisfied cell
+    // (in job-discovery order) before the worker pool starts.
+    let total_jobs = jobs.len();
+    let cached = skip.iter().filter(|&&hit| hit).count();
+    if let Some(sink) = &opts.progress {
+        sink(&ProgressEvent::Started {
+            total: total_jobs,
+            cached,
+        });
+        let mut announced = 0usize;
+        for (index, outcome) in cached_outcome.iter().enumerate() {
+            if let Some(outcome) = outcome {
+                announced += 1;
+                let job = &jobs[index];
+                sink(&ProgressEvent::CellFinished {
+                    key: job.key.clone(),
+                    target: job.target.name().to_owned(),
+                    prefetcher: job.sel.label(),
+                    config: job.config_label.clone(),
+                    outcome: *outcome,
+                    completed: announced,
+                    total: total_jobs,
+                });
+            }
+        }
+    }
 
     // Cost-sorted execution order: multi-core mixes first so the longest
     // simulations never strand at the tail of the queue.
@@ -1607,8 +1776,9 @@ fn execute_cells(
     let cursor = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let retries = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(cached);
     let journal_sink: Mutex<Option<JournalWriter>> = Mutex::new(writer);
-    let journal_error: Mutex<Option<HarnessError>> = Mutex::new(None);
+    let write_error: Mutex<Option<HarnessError>> = Mutex::new(None);
 
     let mut slots: Vec<Option<Result<SimResult, Box<CellFailure>>>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
@@ -1627,8 +1797,9 @@ fn execute_cells(
             let cursor = &cursor;
             let stop = &stop;
             let retries = &retries;
+            let completed = &completed;
             let journal_sink = &journal_sink;
-            let journal_error = &journal_error;
+            let write_error = &write_error;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
@@ -1665,9 +1836,40 @@ fn execute_cells(
                         },
                     };
                     if let Err(error) = appended {
-                        lock_unpoisoned(journal_error).get_or_insert(error);
+                        lock_unpoisoned(write_error).get_or_insert(error);
                         stop.store(true, Ordering::Relaxed);
                         break;
+                    }
+                    // Durable store append: every fresh result becomes
+                    // addressable by all future campaigns. Like the journal,
+                    // a write failure voids the store's guarantee and is
+                    // fatal for the campaign.
+                    let stored = match (&opts.store, &outcome) {
+                        (Some(shared), Ok(sim)) => lock_unpoisoned(shared)
+                            .insert(&job.fingerprint, sim)
+                            .map(|_| ()),
+                        _ => Ok(()),
+                    };
+                    if let Err(error) = stored {
+                        lock_unpoisoned(write_error).get_or_insert(error);
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    if let Some(sink) = &opts.progress {
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        sink(&ProgressEvent::CellFinished {
+                            key: job.key.clone(),
+                            target: job.target.name().to_owned(),
+                            prefetcher: job.sel.label(),
+                            config: job.config_label.clone(),
+                            outcome: if outcome.is_ok() {
+                                CellOutcome::Fresh
+                            } else {
+                                CellOutcome::Quarantined
+                            },
+                            completed: done,
+                            total: total_jobs,
+                        });
                     }
                     local.push((index, outcome));
                 }
@@ -1693,7 +1895,7 @@ fn execute_cells(
             }
         }
     });
-    if let Some(error) = lock_unpoisoned(&journal_error).take() {
+    if let Some(error) = lock_unpoisoned(&write_error).take() {
         return Err(error);
     }
     if let Some(error) = worker_panic {
@@ -1738,6 +1940,13 @@ fn execute_cells(
         .filter(|(index, job)| job.sel.is_baseline() && remap[*index].is_some())
         .count();
 
+    if let Some(sink) = &opts.progress {
+        sink(&ProgressEvent::Finished {
+            sims: sims.len(),
+            quarantined: failures.len(),
+        });
+    }
+
     Ok(CampaignResult {
         name: name.to_owned(),
         stats: ExecStats {
@@ -1746,6 +1955,7 @@ fn execute_cells(
             memo_hits,
             threads,
             journal_hits,
+            store_hits,
             retries: retries.load(Ordering::Relaxed),
             quarantined: failures.len(),
         },

@@ -40,7 +40,7 @@ const JOURNAL_MAGIC: &str = "dspatch-campaign-journal";
 const JOURNAL_VERSION: u64 = 1;
 
 /// FNV-1a 64-bit over a byte stream — stable, dependency-free fingerprint.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &byte in bytes {
         hash ^= u64::from(byte);
@@ -399,7 +399,7 @@ fn parse_journal_line(
         line: line_no,
         message,
     };
-    let json = Json::parse(text).map_err(corrupt)?;
+    let json = Json::parse(text).map_err(|e| corrupt(e.to_string()))?;
     if line_no == 1 {
         let magic = json.get("journal").and_then(Json::as_str).unwrap_or("");
         if magic != JOURNAL_MAGIC {

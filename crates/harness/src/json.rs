@@ -10,6 +10,80 @@
 
 use std::fmt;
 
+/// What went wrong while parsing a JSON document. The parser sits on a
+/// socket boundary (`dspatch-serve` feeds it raw network bytes), so hostile
+/// shapes get their own kinds: callers can distinguish a resource-exhaustion
+/// attempt ([`JsonErrorKind::DepthExceeded`]) from a merely malformed
+/// document without string-matching the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JsonErrorKind {
+    /// Malformed syntax (bad literal, missing delimiter, bad number, ...).
+    Syntax,
+    /// An object repeats a key. `get()` returns the first occurrence, so a
+    /// duplicate would silently shadow the later value — classic
+    /// request-smuggling material on a network boundary.
+    DuplicateKey,
+    /// A `\uD800`–`\uDBFF` escape without its low surrogate (or a bare low
+    /// surrogate): such strings have no UTF-8 meaning.
+    UnpairedSurrogate,
+    /// The document nests deeper than [`MAX_DEPTH`] levels — a stack-
+    /// overflow bomb, rejected before it can recurse.
+    DepthExceeded,
+    /// Non-whitespace bytes follow the first complete document.
+    TrailingData,
+}
+
+impl JsonErrorKind {
+    /// Stable lower-case label for logs and error documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            JsonErrorKind::Syntax => "syntax",
+            JsonErrorKind::DuplicateKey => "duplicate_key",
+            JsonErrorKind::UnpairedSurrogate => "unpaired_surrogate",
+            JsonErrorKind::DepthExceeded => "depth_exceeded",
+            JsonErrorKind::TrailingData => "trailing_data",
+        }
+    }
+}
+
+/// A typed JSON parse failure: the kind, the byte offset of the problem,
+/// and a human-readable message (which already includes the offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Coarse classification of the failure.
+    pub kind: JsonErrorKind,
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// Rendered description (includes the offset).
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(kind: JsonErrorKind, offset: usize, message: String) -> Self {
+        Self {
+            kind,
+            offset,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Most existing callers propagate parse failures as `String`; the typed
+/// error converts losslessly (the message embeds kind-specific context).
+impl From<JsonError> for String {
+    fn from(error: JsonError) -> String {
+        error.message
+    }
+}
+
 /// An ordered JSON value. Objects preserve insertion order so emitted
 /// documents are deterministic and diffable.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,9 +259,11 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a message with the byte offset of the first syntax error, or
-    /// if trailing non-whitespace follows the document.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// Returns a typed [`JsonError`] carrying the failure kind and the byte
+    /// offset of the first problem (syntax error, duplicate object key,
+    /// unpaired surrogate, nesting past [`MAX_DEPTH`], or trailing
+    /// non-whitespace after the document).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -197,9 +273,13 @@ impl Json {
         let value = parser.value()?;
         parser.skip_ws();
         if parser.pos != parser.bytes.len() {
-            return Err(format!(
-                "trailing characters after JSON document at byte {}",
-                parser.pos
+            return Err(JsonError::new(
+                JsonErrorKind::TrailingData,
+                parser.pos,
+                format!(
+                    "trailing characters after JSON document at byte {}",
+                    parser.pos
+                ),
             ));
         }
         Ok(value)
@@ -254,7 +334,7 @@ fn write_string(out: &mut String, s: &str) {
 
 /// Parser recursion limit: nesting past this depth is a parse error rather
 /// than a stack overflow (serde_json uses the same bound).
-const MAX_DEPTH: usize = 128;
+pub const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -263,6 +343,11 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// A [`JsonErrorKind::Syntax`] error at the current position.
+    fn syntax(&self, message: String) -> JsonError {
+        JsonError::new(JsonErrorKind::Syntax, self.pos, message)
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.bytes.len()
             && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
@@ -275,12 +360,12 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+            Err(self.syntax(format!("expected '{}' at byte {}", byte as char, self.pos)))
         }
     }
 
@@ -293,13 +378,17 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonError> {
         self.skip_ws();
         self.depth += 1;
         if self.depth > MAX_DEPTH {
-            return Err(format!(
-                "document nested deeper than {MAX_DEPTH} levels at byte {}",
-                self.pos
+            return Err(JsonError::new(
+                JsonErrorKind::DepthExceeded,
+                self.pos,
+                format!(
+                    "document nested deeper than {MAX_DEPTH} levels at byte {}",
+                    self.pos
+                ),
             ));
         }
         let value = match self.peek() {
@@ -310,13 +399,13 @@ impl<'a> Parser<'a> {
             Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
             Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected character at byte {}", self.pos)),
+            _ => Err(self.syntax(format!("unexpected character at byte {}", self.pos))),
         };
         self.depth -= 1;
         value
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
@@ -331,7 +420,11 @@ impl<'a> Parser<'a> {
             // get() returns the first occurrence, so a duplicate would
             // silently shadow the later value; reject it instead.
             if entries.iter().any(|(k, _)| *k == key) {
-                return Err(format!("duplicate object key '{key}' at byte {key_pos}"));
+                return Err(JsonError::new(
+                    JsonErrorKind::DuplicateKey,
+                    key_pos,
+                    format!("duplicate object key '{key}' at byte {key_pos}"),
+                ));
             }
             self.skip_ws();
             self.expect(b':')?;
@@ -344,12 +437,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Json::Obj(entries));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(self.syntax(format!("expected ',' or '}}' at byte {}", self.pos))),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut values = Vec::new();
         self.skip_ws();
@@ -366,12 +459,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Json::Arr(values));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(self.syntax(format!("expected ',' or ']' at byte {}", self.pos))),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -382,16 +475,16 @@ impl<'a> Parser<'a> {
                 }
                 // RFC 8259: control characters must be escaped.
                 if c < 0x20 {
-                    return Err(format!(
+                    return Err(self.syntax(format!(
                         "unescaped control character in string at byte {}",
                         self.pos
-                    ));
+                    )));
                 }
                 self.pos += 1;
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?,
+                    .map_err(|_| self.syntax(format!("invalid UTF-8 in string at byte {start}")))?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -400,9 +493,9 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let escape = self
-                        .peek()
-                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
+                    let escape = self.peek().ok_or_else(|| {
+                        self.syntax(format!("unterminated escape at byte {}", self.pos))
+                    })?;
                     self.pos += 1;
                     match escape {
                         b'"' => out.push('"'),
@@ -415,53 +508,72 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'u' => {
                             let code = self.hex4()?;
-                            // Decode surrogate pairs for completeness.
+                            // Decode surrogate pairs; a lone half has no
+                            // UTF-8 meaning and gets the typed kind.
                             let c = if (0xD800..0xDC00).contains(&code) {
                                 if !self.eat_literal("\\u") {
-                                    return Err(format!("unpaired surrogate at byte {}", self.pos));
+                                    return Err(JsonError::new(
+                                        JsonErrorKind::UnpairedSurrogate,
+                                        self.pos,
+                                        format!("unpaired surrogate at byte {}", self.pos),
+                                    ));
                                 }
                                 let low = self.hex4()?;
                                 if !(0xDC00..0xE000).contains(&low) {
-                                    return Err(format!(
-                                        "high surrogate not followed by a low surrogate at byte {}",
-                                        self.pos
+                                    return Err(JsonError::new(
+                                        JsonErrorKind::UnpairedSurrogate,
+                                        self.pos,
+                                        format!(
+                                            "high surrogate not followed by a low surrogate \
+                                             at byte {}",
+                                            self.pos
+                                        ),
                                     ));
                                 }
                                 let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(JsonError::new(
+                                    JsonErrorKind::UnpairedSurrogate,
+                                    self.pos,
+                                    format!("lone low surrogate at byte {}", self.pos),
+                                ));
                             } else {
                                 char::from_u32(code)
                             };
                             out.push(c.ok_or_else(|| {
-                                format!("invalid \\u escape ending at byte {}", self.pos)
+                                self.syntax(format!(
+                                    "invalid \\u escape ending at byte {}",
+                                    self.pos
+                                ))
                             })?);
                         }
                         other => {
-                            return Err(format!(
+                            return Err(self.syntax(format!(
                                 "invalid escape '\\{}' at byte {}",
                                 other as char, self.pos
-                            ))
+                            )))
                         }
                     }
                 }
-                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+                _ => return Err(self.syntax(format!("unterminated string at byte {}", self.pos))),
             }
         }
     }
 
-    fn hex4(&mut self) -> Result<u32, String> {
+    fn hex4(&mut self) -> Result<u32, JsonError> {
         if self.pos + 4 > self.bytes.len() {
-            return Err(format!("truncated \\u escape at byte {}", self.pos));
+            return Err(self.syntax(format!("truncated \\u escape at byte {}", self.pos)));
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+            .map_err(|_| self.syntax(format!("invalid \\u escape at byte {}", self.pos)))?;
         let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+            .map_err(|_| self.syntax(format!("invalid \\u escape at byte {}", self.pos)))?;
         self.pos += 4;
         Ok(code)
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -473,10 +585,10 @@ impl<'a> Parser<'a> {
         }
         let int_len = self.pos - int_start;
         if int_len == 0 {
-            return Err(format!("number needs a digit at byte {}", self.pos));
+            return Err(self.syntax(format!("number needs a digit at byte {}", self.pos)));
         }
         if int_len > 1 && self.bytes[int_start] == b'0' {
-            return Err(format!("number has a leading zero at byte {start}"));
+            return Err(self.syntax(format!("number has a leading zero at byte {start}")));
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
@@ -485,10 +597,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             if self.pos == frac_start {
-                return Err(format!(
+                return Err(self.syntax(format!(
                     "number needs a digit after '.' at byte {}",
                     self.pos
-                ));
+                )));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
@@ -501,23 +613,23 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             if self.pos == exp_start {
-                return Err(format!(
+                return Err(self.syntax(format!(
                     "number needs a digit in its exponent at byte {}",
                     self.pos
-                ));
+                )));
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| format!("invalid number at byte {start}"))?;
+            .map_err(|_| self.syntax(format!("invalid number at byte {start}")))?;
         let value: f64 = text
             .parse()
-            .map_err(|_| format!("invalid number '{text}' at byte {start}"))?;
+            .map_err(|_| self.syntax(format!("invalid number '{text}' at byte {start}")))?;
         // Rust parses overflowing literals to infinity; rendering would then
         // turn them into null, so reject them up front.
         if !value.is_finite() {
-            return Err(format!(
+            return Err(self.syntax(format!(
                 "number '{text}' overflows a double at byte {start}"
-            ));
+            )));
         }
         Ok(Json::Num(value))
     }
@@ -608,10 +720,34 @@ mod tests {
     fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
         let bomb = "[".repeat(200_000) + &"]".repeat(200_000);
         let err = Json::parse(&bomb).unwrap_err();
-        assert!(err.contains("nested deeper"), "got: {err}");
+        assert_eq!(err.kind, JsonErrorKind::DepthExceeded);
+        assert!(err.message.contains("nested deeper"), "got: {err}");
         // Nesting below the limit still parses.
         let fine = "[".repeat(100) + &"]".repeat(100);
         assert!(Json::parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn hostile_input_errors_are_typed() {
+        use JsonErrorKind::*;
+        for (bad, kind) in [
+            (r#"{"a": 1, "a": 2}"#.to_string(), DuplicateKey),
+            (r#""\ud800A""#.to_string(), UnpairedSurrogate),
+            (r#""\ud800""#.to_string(), UnpairedSurrogate),
+            ("\"\\ud800\\u0041\"".to_string(), UnpairedSurrogate),
+            (r#""\udc00""#.to_string(), UnpairedSurrogate),
+            (
+                "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1),
+                DepthExceeded,
+            ),
+            ("1 2".to_string(), TrailingData),
+            ("{\"a\":}".to_string(), Syntax),
+        ] {
+            let err = Json::parse(&bad).unwrap_err();
+            assert_eq!(err.kind, kind, "for {bad:?}: {err}");
+            assert!(!err.kind.label().is_empty());
+            assert!(err.offset <= bad.len(), "offset past end for {bad:?}");
+        }
     }
 
     #[test]

@@ -43,12 +43,17 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod store;
 
-pub use campaign::{CampaignResult, CampaignSpec, CellFailure, CellSpec, ExecOptions, RetryPolicy};
+pub use campaign::{
+    CampaignResult, CampaignSpec, CellFailure, CellOutcome, CellSpec, ExecOptions, ProgressEvent,
+    ProgressSink, RetryPolicy, SharedStore,
+};
 pub use error::{ErrorClass, HarnessError};
 pub use faults::{Fault, FaultPlan};
 pub use figures::FigureId;
 pub use journal::{JournalMeta, JournalWriter};
-pub use json::Json;
+pub use json::{Json, JsonError, JsonErrorKind};
 pub use report::Table;
 pub use runner::{PrefetcherKind, RunScale};
+pub use store::ResultStore;

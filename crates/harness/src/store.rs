@@ -1,0 +1,418 @@
+//! Content-addressed, append-only result store: the durable cross-campaign
+//! memo table behind `dspatch-serve` and `dspatch-lab --store`.
+//!
+//! Where a [`crate::journal`] binds to **one** `(spec, scale)` identity so a
+//! crashed campaign can resume, the store is campaign-agnostic: every record
+//! is keyed by a [`cell_fingerprint`] — FNV-1a over the `(code version,
+//! target, prefetcher, normalized config, accesses-per-workload)` identity of
+//! one simulation cell — so *any* campaign, submitted by *any* request or
+//! process incarnation, that reaches an already-simulated cell is served from
+//! disk instead of re-simulating. The format follows the journal's crash-safe
+//! discipline: one flushed JSON line per record, a torn final line silently
+//! truncated on open, mid-file damage a typed [`HarnessError::Corrupt`].
+//!
+//! The fingerprint deliberately excludes the parallelism knobs
+//! (`parallel_cores` / `parallel_workers` / `parallel_epoch_cycles`): the
+//! epoch engine is bit-identical for every worker count by construction, so a
+//! result simulated with 4 intra-sim workers answers a single-threaded
+//! request for the same cell. It deliberately *includes* the crate version:
+//! a simulator change invalidates old results by changing the key, never by
+//! rewriting the file.
+
+use crate::error::HarnessError;
+use crate::journal::{fnv1a, sim_result_from_json, sim_result_to_json};
+use crate::json::Json;
+use dspatch_sim::{SimResult, SystemConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic value of the meta line's `store` field.
+const STORE_MAGIC: &str = "dspatch-result-store";
+/// Store format version.
+const STORE_VERSION: u64 = 1;
+/// File name inside the store directory.
+pub const STORE_FILE: &str = "results.jsonl";
+
+/// The crate version participating in every [`cell_fingerprint`], so results
+/// simulated by older code are never served for newer code (or vice versa).
+pub fn code_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// Content address of one simulation cell, rendered as 16 hex digits.
+///
+/// The identity is `(code version, target key, prefetcher selection,
+/// normalized config, accesses per workload)`. The config is normalized by
+/// zeroing the parallelism knobs — they never change results (bit-identity
+/// for any worker count is a tested guarantee of the epoch engine) — and
+/// hashed through its `Debug` rendering, which is stable within one crate
+/// version; `code_version()` in the identity covers renderings drifting
+/// *across* versions.
+pub fn cell_fingerprint(
+    target_key: &str,
+    prefetcher: &str,
+    config: &SystemConfig,
+    accesses_per_workload: usize,
+) -> String {
+    let mut normalized = config.clone();
+    normalized.parallel_cores = false;
+    normalized.parallel_workers = 0;
+    normalized.parallel_epoch_cycles = 0;
+    let identity = format!(
+        "v{}|{target_key}|{prefetcher}|{normalized:?}|a{accesses_per_workload}",
+        code_version()
+    );
+    format!("{:016x}", fnv1a(identity.as_bytes()))
+}
+
+/// The append-only on-disk memo table: an in-memory index over
+/// `<dir>/results.jsonl`, with one flushed line per inserted result.
+///
+/// Opened once per process and shared behind a mutex; the lock is taken per
+/// lookup/insert, never on the simulation hot path.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    file: std::fs::File,
+    results: HashMap<String, SimResult>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store under `dir`, replaying every
+    /// existing record into the in-memory index. A torn final line — the
+    /// crash signature of an interrupted append — is truncated away;
+    /// mid-file damage is a typed error.
+    ///
+    /// # Errors
+    ///
+    /// * [`HarnessError::Io`] — the directory or file cannot be created,
+    ///   read, or truncated.
+    /// * [`HarnessError::Mismatch`] — the file exists but carries a foreign
+    ///   magic or an unsupported version (never silently overwritten).
+    /// * [`HarnessError::Corrupt`] — a record before the final line is
+    ///   unparsable or structurally invalid.
+    pub fn open(dir: &Path) -> Result<Self, HarnessError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| HarnessError::io(dir.display().to_string(), "create_dir", &e))?;
+        let path = dir.join(STORE_FILE);
+        let display = path.display().to_string();
+        if !path.exists() {
+            let file = std::fs::File::create(&path)
+                .map_err(|e| HarnessError::io(display.clone(), "create", &e))?;
+            let mut store = Self {
+                path,
+                file,
+                results: HashMap::new(),
+            };
+            store.write_line(&meta_json().render_compact())?;
+            return Ok(store);
+        }
+
+        let (results, clean_len) = Self::replay(&path, &display)?;
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| HarnessError::io(display.clone(), "open", &e))?;
+        file.set_len(clean_len)
+            .map_err(|e| HarnessError::io(display.clone(), "truncate", &e))?;
+        file.seek(SeekFrom::Start(clean_len))
+            .map_err(|e| HarnessError::io(display.clone(), "seek", &e))?;
+        let mut store = Self {
+            path,
+            file,
+            results,
+        };
+        if clean_len == 0 {
+            // The file existed but was empty (or all torn): re-stamp it.
+            store.write_line(&meta_json().render_compact())?;
+        }
+        Ok(store)
+    }
+
+    /// Reads every record, returning the index and the clean byte prefix.
+    fn replay(
+        path: &Path,
+        display: &str,
+    ) -> Result<(HashMap<String, SimResult>, u64), HarnessError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| HarnessError::io(display.to_owned(), "open", &e))?;
+        let mut reader = BufReader::new(file);
+        let mut results = HashMap::new();
+        let mut line = String::new();
+        let mut line_no = 0u64;
+        let mut offset = 0u64;
+        loop {
+            line.clear();
+            let bytes = reader
+                .read_line(&mut line)
+                .map_err(|e| HarnessError::io(display.to_owned(), "read", &e))?;
+            if bytes == 0 {
+                break;
+            }
+            line_no += 1;
+            let parsed = if line.ends_with('\n') {
+                parse_store_line(line.trim_end(), line_no, display)
+            } else {
+                Err(HarnessError::Corrupt {
+                    path: display.to_owned(),
+                    line: line_no,
+                    message: "record has no trailing newline".to_owned(),
+                })
+            };
+            match parsed {
+                Ok(StoreRecord::Meta) => offset += bytes as u64,
+                Ok(StoreRecord::Result { cell, result }) => {
+                    results.insert(cell, result);
+                    offset += bytes as u64;
+                }
+                Err(error) => {
+                    let at_eof = {
+                        let probe = reader
+                            .fill_buf()
+                            .map_err(|e| HarnessError::io(display.to_owned(), "read", &e))?;
+                        probe.is_empty()
+                    };
+                    // A bad FINAL line is a torn append: drop it and keep
+                    // the clean prefix. Anything earlier is real damage,
+                    // and a foreign meta line always propagates.
+                    if at_eof && line_no > 1 && matches!(error, HarnessError::Corrupt { .. }) {
+                        break;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+        Ok((results, offset))
+    }
+
+    /// Looks up a cell by fingerprint.
+    pub fn get(&self, fingerprint: &str) -> Option<&SimResult> {
+        self.results.get(fingerprint)
+    }
+
+    /// Inserts one result, appending a flushed record; a fingerprint already
+    /// present is a no-op (returns `false`, writes nothing), so replaying
+    /// overlapping campaigns into one store stays idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] on write failure.
+    pub fn insert(&mut self, fingerprint: &str, result: &SimResult) -> Result<bool, HarnessError> {
+        if self.results.contains_key(fingerprint) {
+            return Ok(false);
+        }
+        let record = Json::obj([(
+            "cell",
+            Json::obj([
+                ("fingerprint", Json::str(fingerprint)),
+                ("result", sim_result_to_json(result)),
+            ]),
+        )]);
+        self.write_line(&record.render_compact())?;
+        self.results.insert(fingerprint.to_owned(), result.clone());
+        Ok(true)
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Iterates over `(fingerprint, result)` pairs in index order
+    /// (unspecified, not insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SimResult)> {
+        self.results.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), HarnessError> {
+        let display = self.path.display().to_string();
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| HarnessError::io(display, "write", &e))
+    }
+}
+
+fn meta_json() -> Json {
+    Json::obj([
+        ("store", Json::str(STORE_MAGIC)),
+        ("version", Json::num(STORE_VERSION as u32)),
+    ])
+}
+
+enum StoreRecord {
+    Meta,
+    Result { cell: String, result: SimResult },
+}
+
+fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreRecord, HarnessError> {
+    let corrupt = |message: String| HarnessError::Corrupt {
+        path: display.to_owned(),
+        line: line_no,
+        message,
+    };
+    let json = Json::parse(text).map_err(|e| corrupt(e.to_string()))?;
+    if line_no == 1 {
+        let magic = json.get("store").and_then(Json::as_str).unwrap_or("");
+        if magic != STORE_MAGIC {
+            return Err(HarnessError::Mismatch {
+                path: display.to_owned(),
+                field: "store",
+                expected: STORE_MAGIC.to_owned(),
+                found: magic.to_owned(),
+            });
+        }
+        let version = json.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != STORE_VERSION {
+            return Err(HarnessError::Mismatch {
+                path: display.to_owned(),
+                field: "version",
+                expected: STORE_VERSION.to_string(),
+                found: version.to_string(),
+            });
+        }
+        return Ok(StoreRecord::Meta);
+    }
+    let cell = json
+        .get("cell")
+        .ok_or_else(|| corrupt(format!("unknown record shape: {text}")))?;
+    let fingerprint = cell
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt("cell record missing string 'fingerprint'".to_owned()))?
+        .to_owned();
+    let result = cell
+        .get("result")
+        .ok_or_else(|| corrupt("cell record missing 'result'".to_owned()))
+        .and_then(|result| sim_result_from_json(result).map_err(corrupt))?;
+    Ok(StoreRecord::Result {
+        cell: fingerprint,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dspatch_sim::{SimulationBuilder, SystemConfig};
+    use dspatch_trace::{Trace, TraceRecord};
+    use dspatch_types::NullPrefetcher;
+
+    fn tiny_sim() -> SimResult {
+        let records: Vec<TraceRecord> = (0..32).map(|i| TraceRecord::load(0x400, i * 64)).collect();
+        SimulationBuilder::new(SystemConfig::single_thread())
+            .with_core(Trace::new("store-test", records), NullPrefetcher::new())
+            .run()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dspatch_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let sim = tiny_sim();
+        let fp = cell_fingerprint(
+            "w:test",
+            "Kind(Baseline)",
+            &SystemConfig::single_thread(),
+            32,
+        );
+        {
+            let mut store = ResultStore::open(&dir).expect("open fresh");
+            assert!(store.is_empty());
+            assert!(store.insert(&fp, &sim).expect("insert"));
+            // Idempotent: a second insert writes nothing.
+            assert!(!store.insert(&fp, &sim).expect("reinsert"));
+            assert_eq!(store.len(), 1);
+        }
+        let store = ResultStore::open(&dir).expect("reopen");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&fp), Some(&sim));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_but_midfile_damage_is_typed() {
+        let dir = temp_dir("torn");
+        let sim = tiny_sim();
+        let fp_a = cell_fingerprint("w:a", "Kind(Spp)", &SystemConfig::single_thread(), 32);
+        let fp_b = cell_fingerprint("w:b", "Kind(Spp)", &SystemConfig::single_thread(), 32);
+        {
+            let mut store = ResultStore::open(&dir).expect("open");
+            store.insert(&fp_a, &sim).expect("insert a");
+            store.insert(&fp_b, &sim).expect("insert b");
+        }
+        let path = dir.join(STORE_FILE);
+        let text = std::fs::read_to_string(&path).expect("read");
+        // Tear the final record mid-line: the reopen drops it, keeps the rest.
+        std::fs::write(&path, &text[..text.len() - 40]).expect("tear");
+        let store = ResultStore::open(&dir).expect("reopen torn");
+        assert_eq!(store.len(), 1);
+        drop(store);
+        // Damage a NON-final line: that is real corruption.
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled = format!(
+            "{}\n{}\n{}\n",
+            lines[0],
+            &lines[1][..lines[1].len() / 2],
+            lines[2]
+        );
+        std::fs::write(&path, mangled).expect("mangle");
+        let err = ResultStore::open(&dir).expect_err("mid-file damage");
+        assert!(
+            matches!(err, HarnessError::Corrupt { line: 2, .. }),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_a_mismatch() {
+        let dir = temp_dir("foreign");
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(dir.join(STORE_FILE), "{\"store\": \"something-else\"}\n").expect("write");
+        let err = ResultStore::open(&dir).expect_err("foreign magic");
+        assert!(
+            matches!(err, HarnessError::Mismatch { field: "store", .. }),
+            "{err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_ignores_parallel_knobs_but_not_the_rest() {
+        let base = SystemConfig::single_thread();
+        let fp = cell_fingerprint("w:x", "Kind(Dspatch)", &base, 1000);
+        let mut parallel = base.clone();
+        parallel.parallel_cores = true;
+        parallel.parallel_workers = 4;
+        parallel.parallel_epoch_cycles = 5000;
+        // Worker-count knobs never change results, so they share an address.
+        assert_eq!(
+            fp,
+            cell_fingerprint("w:x", "Kind(Dspatch)", &parallel, 1000)
+        );
+        let mut other = base.clone();
+        other.prefetch_mshrs += 1;
+        assert_ne!(fp, cell_fingerprint("w:x", "Kind(Dspatch)", &other, 1000));
+        assert_ne!(fp, cell_fingerprint("w:y", "Kind(Dspatch)", &base, 1000));
+        assert_ne!(fp, cell_fingerprint("w:x", "Kind(Spp)", &base, 1000));
+        assert_ne!(fp, cell_fingerprint("w:x", "Kind(Dspatch)", &base, 2000));
+    }
+}

@@ -30,6 +30,66 @@ fn dspatch_lab(args: &[&str]) -> String {
     String::from_utf8(output.stdout).expect("utf-8 output")
 }
 
+/// Runs `dspatch-lab` expecting a failure; returns (exit code, stderr).
+fn dspatch_lab_fails(args: &[&str]) -> (i32, String) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "dspatch-harness",
+            "--bin",
+            "dspatch-lab",
+            "--",
+        ])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn dspatch-lab {args:?}: {e}"));
+    assert!(
+        !output.status.success(),
+        "dspatch-lab {args:?} unexpectedly succeeded:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn misplaced_flags_are_usage_errors_not_silently_ignored() {
+    // Campaign-only flags without a campaign used to be dropped on the
+    // floor; each must now exit 2 with a usage message.
+    for args in [
+        &["--figure", "table1", "--retries", "2"] as &[&str],
+        &["--figure", "table1", "--resume", "run.journal"],
+        &["--figure", "table1", "--store", "store-dir"],
+        &["--list", "--retries", "2"],
+    ] {
+        let (code, stderr) = dspatch_lab_fails(args);
+        assert_eq!(code, 2, "dspatch-lab {args:?}: {stderr}");
+        assert!(
+            stderr.contains("only apply to --spec campaigns"),
+            "dspatch-lab {args:?}: {stderr}"
+        );
+    }
+    // Report-shaping flags are meaningless for --list/--template.
+    for args in [
+        &["--list", "--format", "json"] as &[&str],
+        &["--template", "--scale", "smoke"],
+        &["--list", "--threads", "4"],
+    ] {
+        let (code, stderr) = dspatch_lab_fails(args);
+        assert_eq!(code, 2, "dspatch-lab {args:?}: {stderr}");
+        assert!(
+            stderr.contains("do not apply to --list/--template"),
+            "dspatch-lab {args:?}: {stderr}"
+        );
+    }
+}
+
 #[test]
 fn runs_a_paper_figure_in_every_format() {
     // Table 1 and Figure 11 need no simulation, keeping the test quick while

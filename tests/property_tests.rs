@@ -465,3 +465,93 @@ proptest! {
         prop_assert!(result.cores[0].finish_cycle > 0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Hostile bytes never panic the JSON parser now sitting on a socket
+    /// boundary: a valid `CampaignSpec` document is spliced, truncated,
+    /// byte-flipped, and seeded with the classic parser traps (duplicate
+    /// keys, lone surrogates, nesting bombs). `Json::parse` must either
+    /// succeed or return a typed [`JsonError`] whose offset points into the
+    /// document, and `CampaignSpec::parse` must turn every surviving
+    /// document into a spec or a readable error — never a panic.
+    #[test]
+    fn mutated_spec_corpora_fail_typed_or_parse(
+        corpus in 0usize..3,
+        mutation in 0u8..6,
+        cut in any::<u64>(),
+        flip_at in any::<u64>(),
+        flip_to in any::<u8>(),
+        splice_at in any::<u64>(),
+        trap in 0usize..7,
+    ) {
+        use dspatch_harness::json::{Json, JsonError, JsonErrorKind, MAX_DEPTH};
+        use dspatch_harness::CampaignSpec;
+
+        let seed = match corpus {
+            0 => CampaignSpec::template().to_json().render(),
+            1 => concat!(
+                r#"{"name": "fuzz", "cells": [{"label": "c", "#,
+                r#""targets": {"category": "sensitive"}, "#,
+                r#""prefetchers": ["dspatch"], "configs": [{"base": "single"}]}]}"#
+            ).to_string(),
+            _ => r#"{"scale": {"accesses_per_workload": 600, "threads": 2}}"#.to_string(),
+        };
+        let traps: [&str; 7] = [
+            r#""\ud800""#,
+            r#""\udc00x""#,
+            r#"{"k": 1, "k": 2}"#,
+            "\u{0}",
+            "1e400",
+            "{\"a\":",
+            "\"\\u",
+        ];
+
+        let mut bytes = seed.into_bytes();
+        // Mutation 0 leaves the document intact so the Ok path is hit too.
+        if mutation == 1 || mutation == 3 {
+            let keep = (cut % (bytes.len() as u64 + 1)) as usize;
+            bytes.truncate(keep);
+        }
+        if (mutation == 2 || mutation == 3) && !bytes.is_empty() {
+            let at = (flip_at % bytes.len() as u64) as usize;
+            bytes[at] = flip_to;
+        }
+        if mutation == 4 {
+            let at = (splice_at % (bytes.len() as u64 + 1)) as usize;
+            let mut spliced = bytes[..at].to_vec();
+            spliced.extend_from_slice(traps[trap].as_bytes());
+            spliced.extend_from_slice(&bytes[at..]);
+            bytes = spliced;
+        }
+        if mutation == 5 {
+            // Nesting bomb wrapped around the document.
+            let depth = MAX_DEPTH + 2;
+            let mut bomb = "[".repeat(depth).into_bytes();
+            bomb.extend_from_slice(&bytes);
+            bomb.extend_from_slice("]".repeat(depth).as_bytes());
+            bytes = bomb;
+        }
+
+        // The parser takes &str; non-UTF-8 mutants exercise the lossy path a
+        // network server would apply before parsing.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        match Json::parse(&text) {
+            Ok(doc) => {
+                // A parsed document must re-render to something re-parseable.
+                prop_assert!(Json::parse(&doc.render()).is_ok());
+            }
+            Err(JsonError { kind, offset, message }) => {
+                prop_assert!(offset <= text.len(), "offset {offset} past end");
+                prop_assert!(!message.is_empty());
+                let _ = kind.label();
+                if mutation == 5 {
+                    prop_assert_eq!(kind, JsonErrorKind::DepthExceeded);
+                }
+            }
+        }
+        // Spec parsing layers its own validation on top; it must never panic.
+        let _ = CampaignSpec::parse(&text);
+    }
+}
