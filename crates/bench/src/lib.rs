@@ -20,6 +20,7 @@ pub fn bench_scale() -> RunScale {
         mixes: 2,
         threads: dspatch_harness::runner::default_threads(),
         sim_workers: 0,
+        sampling: None,
     }
 }
 
@@ -31,5 +32,6 @@ pub fn measured_scale() -> RunScale {
         mixes: 1,
         threads: 1,
         sim_workers: 0,
+        sampling: None,
     }
 }

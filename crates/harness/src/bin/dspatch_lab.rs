@@ -27,6 +27,16 @@
 //! the serial engine); the campaign executor divides `--threads` by N so
 //! the two levels share one thread budget.
 //!
+//! `--sample warmup=N,interval=N,n=K[,seed=S]` switches `--figure`/`--spec`
+//! runs to sampled simulation: each workload fast-forwards through a
+//! functional warm-up (caches and predictor tables updated, timing
+//! skipped), then measures only `n` seed-placed intervals of `interval`
+//! accesses each, reporting mean ± 95% CI per row. Values take `k`/`m`/`g`
+//! suffixes. One neutral warm-up checkpoint per (workload, config) is
+//! shared across all prefetcher columns; `--checkpoint-dir DIR` caches
+//! those checkpoints on disk across runs. Sampled scales are
+//! single-core-only (mixes are rejected as a spec error).
+//!
 //! `--journal FILE` appends every completed cell to a crash-safe journal;
 //! `--resume FILE` replays completed cells from it and re-executes only the
 //! missing ones, producing bit-identical output to an uninterrupted run.
@@ -63,7 +73,8 @@ fn usage() -> ! {
         "usage: dspatch-lab (--figure NAME | --spec FILE.json | --trace-file FILE | --list | --template)\n\
          \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
          \x20                [--threads N] [--parallel-cores N] [--prefetchers KIND[,KIND...]] [--out PATH]\n\
-         \x20                [--journal FILE | --resume FILE] [--retries N] [--store DIR]"
+         \x20                [--journal FILE | --resume FILE] [--retries N] [--store DIR]\n\
+         \x20                [--sample warmup=N,interval=N,n=K[,seed=S]] [--checkpoint-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -97,6 +108,8 @@ fn main() {
     let mut resume: Option<String> = None;
     let mut retries: Option<u32> = None;
     let mut store: Option<String> = None;
+    let mut sample: Option<String> = None;
+    let mut checkpoint_dir: Option<String> = None;
     let mut list = false;
     let mut template = false;
 
@@ -146,6 +159,8 @@ fn main() {
                 )
             }
             "--store" => store = Some(value("--store")),
+            "--sample" => sample = Some(value("--sample")),
+            "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")),
             "--list" => list = true,
             "--template" => template = true,
             "--help" | "-h" => usage(),
@@ -182,6 +197,17 @@ fn main() {
     if journal.is_some() && resume.is_some() {
         fail("--journal and --resume are mutually exclusive (--resume appends to the same file)");
     }
+    if sample.is_some() && figure.is_none() && spec_path.is_none() {
+        // A sampling plan without a run to sample would be silently
+        // dropped; refuse (exit 2) like every other misplaced flag.
+        fail("--sample only applies to --figure and --spec runs");
+    }
+    if checkpoint_dir.is_some() && sample.is_none() {
+        fail("--checkpoint-dir needs --sample (checkpoints exist only for sampled runs)");
+    }
+    if checkpoint_dir.is_some() && spec_path.is_none() {
+        fail("--checkpoint-dir only applies to --spec campaigns");
+    }
     if (journal.is_some() || resume.is_some() || retries.is_some() || store.is_some())
         && spec_path.is_none()
     {
@@ -194,13 +220,25 @@ fn main() {
     // combination rather than silently dropping them (--out is meaningful:
     // `--template --out spec.json`).
     if (list || template)
-        && (scale_name.is_some() || threads.is_some() || sim_workers.is_some() || format_set)
+        && (scale_name.is_some()
+            || threads.is_some()
+            || sim_workers.is_some()
+            || format_set
+            || sample.is_some()
+            || checkpoint_dir.is_some())
     {
-        fail("--scale/--threads/--parallel-cores/--format do not apply to --list/--template");
+        fail(
+            "--scale/--threads/--parallel-cores/--format/--sample/--checkpoint-dir do not \
+             apply to --list/--template",
+        );
     }
     // Exit code 7 when the campaign completed but quarantined cells; set in
     // the --spec branch, applied after the report is written so partial
     // results still land.
+    let sampling = sample.as_deref().map(|spec| {
+        dspatch_harness::SamplingPlan::parse(spec)
+            .unwrap_or_else(|e| fail(&format!("--sample: {e}")))
+    });
     let mut exit_code = 0;
     let report = if list {
         inventory()
@@ -219,7 +257,8 @@ fn main() {
             (Some(name), None) => {
                 let id = FigureId::parse(name)
                     .unwrap_or_else(|| fail(&format!("unknown figure '{name}' (see --list)")));
-                let scale = resolve_scale(scale_name.as_deref(), None, threads, sim_workers);
+                let scale = resolve_scale(scale_name.as_deref(), None, threads, sim_workers)
+                    .with_sampling(sampling);
                 let table = id.run(&scale);
                 match format {
                     Format::Table => table.render(),
@@ -238,8 +277,19 @@ fn main() {
                     spec.scale.as_ref(),
                     threads,
                     sim_workers,
-                );
+                )
+                .with_sampling(sampling.or_else(|| {
+                    // A spec file's embedded custom scale may carry its own
+                    // sampling block; the flag wins when both are present.
+                    spec.scale
+                        .as_ref()
+                        .and_then(|s| s.resolve().ok())
+                        .and_then(|s| s.sampling)
+                }));
                 let mut opts = ExecOptions::default();
+                if let Some(dir) = &checkpoint_dir {
+                    opts.checkpoint_dir = Some(dir.into());
+                }
                 if let Some(extra) = retries {
                     opts.retry.attempts = extra.saturating_add(1);
                 }
@@ -270,6 +320,15 @@ fn main() {
                     result.stats.store_hits,
                     result.stats.threads,
                 );
+                if scale.sampling.is_some() {
+                    // The warm-up counter is the shared-checkpoint proof CI
+                    // asserts on: N (workload, config) groups -> N warm-ups,
+                    // however many prefetcher columns fork from each.
+                    eprintln!(
+                        "campaign '{}': sampled run, {} warm-up checkpoint(s) computed",
+                        result.name, result.stats.warmups_run,
+                    );
+                }
                 if !result.failures.is_empty() {
                     for failure in &result.failures {
                         eprintln!(
@@ -346,6 +405,14 @@ fn inventory() -> String {
             name, scale.accesses_per_workload
         ));
     }
+    listing.push_str("\nSampling (--sample warmup=N,interval=N,n=K[,seed=S]; k/m/g suffixes):\n");
+    listing.push_str("  smoke    e.g. --sample warmup=400,interval=100,n=4\n");
+    listing.push_str("  quick    e.g. --sample warmup=1k,interval=250,n=8\n");
+    listing.push_str("  full     e.g. --sample warmup=8k,interval=1k,n=16\n");
+    listing.push_str(
+        "  checkpoints: one neutral warm-up per (workload, config), shared across \
+         prefetcher columns; cache with --checkpoint-dir DIR\n",
+    );
     listing.push_str("\nPrefetchers (for --prefetchers and spec files):\n  ");
     let kinds: Vec<&str> = PrefetcherKind::ALL.iter().map(|k| k.spec_name()).collect();
     listing.push_str(&kinds.join(", "));

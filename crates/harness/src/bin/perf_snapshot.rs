@@ -53,6 +53,7 @@ fn rows(doc: &Json) -> Vec<(String, f64)> {
         "baseline_single_thread",
         "dspatch_spp_single_thread",
         "streaming_single_thread",
+        "sampled_single_thread",
         "four_core",
     ] {
         if let Some(row) = doc.get(name) {

@@ -40,6 +40,7 @@ use crate::journal::{campaign_fingerprint, read_journal, JournalMeta, JournalWri
 use crate::json::Json;
 use crate::report::{percent, Table};
 use crate::runner::{default_threads, PrefetcherKind, RunScale};
+use crate::sampling::SamplingPlan;
 use dspatch_prefetchers::{SmsConfig, SmsPrefetcher};
 use dspatch_sim::{DramSpeedGrade, SimResult, SimulationBuilder, SystemConfig};
 use dspatch_trace::workloads::{category_suite, memory_intensive_suite, suite, WorkloadCategory};
@@ -639,6 +640,8 @@ pub enum ScaleSpec {
         /// Epoch workers inside each multi-core simulation (0 = serial
         /// multi-core engine).
         sim_workers: usize,
+        /// Interval-sampling plan (`None` = exact simulation).
+        sampling: Option<SamplingPlan>,
     },
 }
 
@@ -658,12 +661,14 @@ impl ScaleSpec {
                 mixes,
                 threads,
                 sim_workers,
+                sampling,
             } => Ok(RunScale {
                 accesses_per_workload: *accesses_per_workload,
                 workloads_per_category: *workloads_per_category,
                 mixes: *mixes,
                 threads: threads.unwrap_or_else(default_threads).max(1),
                 sim_workers: *sim_workers,
+                sampling: *sampling,
             }),
         }
     }
@@ -678,6 +683,7 @@ impl ScaleSpec {
                 mixes,
                 threads,
                 sim_workers,
+                sampling,
             } => {
                 let mut entries = vec![
                     (
@@ -695,6 +701,20 @@ impl ScaleSpec {
                 }
                 if *sim_workers > 0 {
                     entries.push(("sim_workers".to_owned(), Json::num(*sim_workers as f64)));
+                }
+                if let Some(plan) = sampling {
+                    entries.push((
+                        "sampling".to_owned(),
+                        Json::Obj(vec![
+                            ("warmup".to_owned(), Json::num(plan.warmup_accesses as f64)),
+                            (
+                                "interval".to_owned(),
+                                Json::num(plan.interval_accesses as f64),
+                            ),
+                            ("n".to_owned(), Json::num(f64::from(plan.intervals))),
+                            ("seed".to_owned(), Json::num(plan.seed as f64)),
+                        ]),
+                    ));
                 }
                 Json::Obj(entries)
             }
@@ -718,6 +738,7 @@ impl ScaleSpec {
                 "mixes",
                 "threads",
                 "sim_workers",
+                "sampling",
             ],
             "custom scale",
         )?;
@@ -747,8 +768,35 @@ impl ScaleSpec {
                     .ok_or("custom scale 'sim_workers' must be a non-negative integer")?
                     as usize,
             },
+            sampling: match json.get("sampling") {
+                None | Some(Json::Null) => None,
+                Some(plan) => Some(sampling_plan_from_json(plan)?),
+            },
         })
     }
+}
+
+/// Parses the nested `sampling` object of a custom scale.
+fn sampling_plan_from_json(json: &Json) -> Result<SamplingPlan, String> {
+    reject_unknown_keys(json, &["warmup", "interval", "n", "seed"], "sampling")?;
+    let field = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("sampling needs integer '{key}'"))
+    };
+    let plan = SamplingPlan {
+        warmup_accesses: field("warmup")?,
+        interval_accesses: field("interval")?,
+        intervals: u32::try_from(field("n")?).map_err(|_| "sampling 'n' is too large")?,
+        seed: match json.get("seed") {
+            None | Some(Json::Null) => 0,
+            Some(seed) => seed
+                .as_u64()
+                .ok_or("sampling 'seed' must be a non-negative integer")?,
+        },
+    };
+    plan.validate().map_err(|e| e.to_string())?;
+    Ok(plan)
 }
 
 /// A complete campaign description, loadable from a JSON spec file.
@@ -943,6 +991,11 @@ pub struct ExecStats {
     pub retries: usize,
     /// Cells quarantined after exhausting their retry budget.
     pub quarantined: usize,
+    /// Warm-up checkpoints **computed** by this campaign (sampled scales
+    /// only). Checkpoints restored from `checkpoint_dir` do not count: the
+    /// counter proves one warm-up is shared across all prefetcher columns
+    /// of a (target, config) group, not recomputed per column.
+    pub warmups_run: usize,
 }
 
 /// One output row: a (cell, target, prefetcher) observation.
@@ -1098,6 +1151,22 @@ impl CampaignResult {
                     entries.push(("delta".to_owned(), Json::Null));
                 }
             }
+            // Sampled rows carry their confidence intervals; exact rows
+            // keep the historical byte layout (no key at all).
+            if let Some(stats) = &self.sim_of(row).sampling {
+                entries.push((
+                    "sampling".to_owned(),
+                    Json::obj([
+                        ("ipc", Json::num(round6(stats.ipc.mean))),
+                        ("ipc_ci95", Json::num(round6(stats.ipc.ci95))),
+                        ("coverage", Json::num(round6(stats.coverage.mean))),
+                        ("coverage_ci95", Json::num(round6(stats.coverage.ci95))),
+                        ("accuracy", Json::num(round6(stats.accuracy.mean))),
+                        ("accuracy_ci95", Json::num(round6(stats.accuracy.ci95))),
+                        ("intervals", Json::num(f64::from(stats.intervals))),
+                    ]),
+                ));
+            }
             Json::Obj(entries)
         });
         let mut document = vec![
@@ -1137,18 +1206,25 @@ impl CampaignResult {
     /// spreadsheet/pandas pipelines. Baseline-less rows leave the speedup
     /// and delta fields empty.
     pub fn to_csv(&self) -> String {
-        let mut table = Table::new(
-            self.name.clone(),
-            vec![
-                "Cell".into(),
-                "Target".into(),
-                "Config".into(),
-                "Prefetcher".into(),
-                "IPC".into(),
-                "Speedup".into(),
-                "Delta".into(),
-            ],
-        );
+        // CI columns appear only when at least one row is sampled, so
+        // exact-run CSVs keep their historical column set byte-for-byte.
+        let sampled = self
+            .rows
+            .iter()
+            .any(|row| self.sim_of(row).sampling.is_some());
+        let mut header = vec![
+            "Cell".into(),
+            "Target".into(),
+            "Config".into(),
+            "Prefetcher".into(),
+            "IPC".into(),
+            "Speedup".into(),
+            "Delta".into(),
+        ];
+        if sampled {
+            header.extend(["IpcCi95".into(), "Coverage".into(), "CoverageCi95".into()]);
+        }
+        let mut table = Table::new(self.name.clone(), header);
         for row in &self.rows {
             let (speedup, delta) = match self.speedup(row) {
                 Some(speedup) => (
@@ -1157,7 +1233,7 @@ impl CampaignResult {
                 ),
                 None => (String::new(), String::new()),
             };
-            table.add_row(vec![
+            let mut fields = vec![
                 row.cell.clone(),
                 row.target.clone(),
                 row.config.clone(),
@@ -1165,7 +1241,18 @@ impl CampaignResult {
                 round6(self.row_ipc(row)).to_string(),
                 speedup,
                 delta,
-            ]);
+            ];
+            if sampled {
+                match &self.sim_of(row).sampling {
+                    Some(stats) => fields.extend([
+                        round6(stats.ipc.ci95).to_string(),
+                        round6(stats.coverage.mean).to_string(),
+                        round6(stats.coverage.ci95).to_string(),
+                    ]),
+                    None => fields.extend([String::new(), String::new(), String::new()]),
+                }
+            }
+            table.add_row(fields);
         }
         table.to_csv()
     }
@@ -1305,6 +1392,10 @@ pub struct ExecOptions {
     pub store: Option<SharedStore>,
     /// Progress callback; see [`ProgressEvent`].
     pub progress: Option<ProgressSink>,
+    /// With a sampled scale: directory caching warm-up checkpoints across
+    /// processes (`<token>.ckpt` per (target, config, warm-up) identity).
+    /// A corrupt or version-skewed file is recomputed, never trusted.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ExecOptions {
@@ -1316,6 +1407,7 @@ impl std::fmt::Debug for ExecOptions {
             .field("resume", &self.resume)
             .field("store", &self.store.as_ref().map(|_| "<store>"))
             .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
+            .field("checkpoint_dir", &self.checkpoint_dir)
             .finish()
     }
 }
@@ -1329,10 +1421,30 @@ struct Job {
     sel: PrefetcherSel,
     config: SystemConfig,
     config_label: String,
+    /// Sampled scales only: the shared neutral warm-up checkpoint this
+    /// column restores instead of re-warming (one per (target, config)).
+    warm: Option<std::sync::Arc<dspatch_sim::MachineState>>,
 }
 
 impl Job {
     fn run(&self, scale: &RunScale) -> SimResult {
+        if let Some(plan) = &scale.sampling {
+            // resolve_cells rejects mixes under sampling, so the target is
+            // always a single workload here.
+            let Target::Workload(workload) = &self.target else {
+                panic!("job '{}': sampled scales cannot run mixes", self.key)
+            };
+            let source = Box::new(workload.source(scale.accesses_per_workload))
+                as Box<dyn dspatch_trace::TraceSource>;
+            return crate::sampling::run_sampled(
+                source,
+                self.sel.build_any(),
+                &self.config,
+                plan,
+                self.warm.as_deref(),
+            )
+            .unwrap_or_else(|error| panic!("sampled job '{}': {error}", self.key));
+        }
         // Workloads stream into the machine as lazy sources: a campaign's
         // resident memory is independent of `accesses_per_workload`, however
         // many workers run concurrently.
@@ -1437,6 +1549,20 @@ fn resolve_cells(spec: &CampaignSpec, scale: &RunScale) -> Result<Vec<ResolvedCe
                         "cell '{}': duplicate prefetcher '{}'",
                         cell.label,
                         sel.label()
+                    ));
+                }
+            }
+            if let Some(plan) = &scale.sampling {
+                plan.validate_for(scale.accesses_per_workload as u64)
+                    .map_err(|e| format!("cell '{}': {e}", cell.label))?;
+                if let Some(mix) = targets.iter().find_map(|t| match t {
+                    Target::Mix(mix) => Some(mix),
+                    Target::Workload(_) => None,
+                }) {
+                    return Err(format!(
+                        "cell '{}': sampled scales are single-core-only, but target \
+                         '{}' is a multi-programmed mix (drop --sample or the mixes)",
+                        cell.label, mix.name
                     ));
                 }
             }
@@ -1584,6 +1710,50 @@ fn run_job(
     }))
 }
 
+/// Computes (or loads from `checkpoint_dir`) the neutral warm-up checkpoint
+/// for one (target, config) group of a sampled campaign. Returns the state
+/// and whether it was computed fresh (`true`) rather than loaded from disk.
+/// One warm-up group's result: the shared checkpoint plus whether it was
+/// freshly computed (`true`) or loaded from a checkpoint directory.
+type WarmupOutcome = Result<(std::sync::Arc<dspatch_sim::MachineState>, bool), HarnessError>;
+
+fn warm_group(
+    job: &Job,
+    token: &str,
+    plan: &SamplingPlan,
+    scale: &RunScale,
+    checkpoint_dir: Option<&std::path::Path>,
+) -> WarmupOutcome {
+    let path = checkpoint_dir.map(|dir| dir.join(format!("{token}.ckpt")));
+    if let Some(path) = &path {
+        if let Ok(bytes) = std::fs::read(path) {
+            if let Ok(state) = dspatch_sim::MachineState::from_bytes(bytes) {
+                return Ok((std::sync::Arc::new(state), false));
+            }
+            // Corrupt or version-skewed bytes: recompute below (the token
+            // embeds the snapshot format version, so skew is rare).
+        }
+    }
+    let Target::Workload(workload) = &job.target else {
+        return Err(HarnessError::spec(format!(
+            "job '{}': sampled scales cannot warm mixes",
+            job.key
+        )));
+    };
+    let source = Box::new(workload.source(scale.accesses_per_workload))
+        as Box<dyn dspatch_trace::TraceSource>;
+    let state = crate::sampling::warmup_checkpoint(source, &job.config, plan)?;
+    if let Some(path) = &path {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| HarnessError::io(dir.display().to_string(), "create_dir", &e))?;
+        }
+        std::fs::write(path, state.as_bytes())
+            .map_err(|e| HarnessError::io(path.display().to_string(), "write", &e))?;
+    }
+    Ok((std::sync::Arc::new(state), true))
+}
+
 /// The executor behind [`run_cells`] and [`run_campaign_with`].
 fn execute_cells(
     name: &str,
@@ -1630,11 +1800,12 @@ fn execute_cells(
                 let index = jobs.len();
                 job_index.insert(key.clone(), index);
                 let config = scale.apply_sim_workers(cell.config.clone());
-                let fingerprint = crate::store::cell_fingerprint(
+                let fingerprint = crate::store::cell_fingerprint_sampled(
                     &target_key,
                     &format!("{sel:?}"),
                     &config,
                     scale.accesses_per_workload,
+                    scale.sampling.as_ref(),
                 );
                 jobs.push(Job {
                     key,
@@ -1643,6 +1814,7 @@ fn execute_cells(
                     sel,
                     config,
                     config_label: cell.config_label.clone(),
+                    warm: None,
                 });
                 index
             };
@@ -1729,6 +1901,70 @@ fn execute_cells(
         }
     }
     let skip: Vec<bool> = replayed.iter().map(Option::is_some).collect();
+
+    // Sampled scales: one neutral warm-up checkpoint per (target, config)
+    // group, computed (or loaded from `checkpoint_dir`) before the worker
+    // pool starts and forked across every prefetcher column of the group.
+    let mut warmups_run = 0usize;
+    if let Some(plan) = &scale.sampling {
+        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+        for (index, job) in jobs.iter().enumerate() {
+            if skip[index] {
+                continue;
+            }
+            let token = crate::sampling::checkpoint_token(&job.target.key(), &job.config, plan);
+            groups.entry(token).or_default().push(index);
+        }
+        let groups: Vec<(String, Vec<usize>)> = groups.into_iter().collect();
+        let warm_cursor = AtomicUsize::new(0);
+        let warm_threads = scale.threads.clamp(1, groups.len().max(1));
+        let mut warmed: Vec<Option<WarmupOutcome>> = Vec::new();
+        warmed.resize_with(groups.len(), || None);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(warm_threads);
+            for _ in 0..warm_threads {
+                let groups = &groups;
+                let jobs = &jobs;
+                let warm_cursor = &warm_cursor;
+                let checkpoint_dir = opts.checkpoint_dir.as_deref();
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let next = warm_cursor.fetch_add(1, Ordering::Relaxed);
+                        if next >= groups.len() {
+                            break;
+                        }
+                        let (token, indices) = &groups[next];
+                        let job = &jobs[indices[0]];
+                        local.push((next, warm_group(job, token, plan, scale, checkpoint_dir)));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                // Warm-up closures don't panic on simulation content (the
+                // plan was validated in resolve_cells); a join failure is
+                // an executor bug and surfaces as the slot staying empty.
+                if let Ok(local) = handle.join() {
+                    for (index, outcome) in local {
+                        warmed[index] = Some(outcome);
+                    }
+                }
+            }
+        });
+        for ((_, indices), slot) in groups.iter().zip(warmed) {
+            let (state, computed) = slot.ok_or_else(|| HarnessError::CellPanic {
+                job: jobs[indices[0]].key.clone(),
+                message: "warm-up worker died before reporting".to_owned(),
+            })??;
+            if computed {
+                warmups_run += 1;
+            }
+            for &index in indices {
+                jobs[index].warm = Some(state.clone());
+            }
+        }
+    }
 
     // Progress: announce the resolved grid, then every cache-satisfied cell
     // (in job-discovery order) before the worker pool starts.
@@ -1958,6 +2194,7 @@ fn execute_cells(
             store_hits,
             retries: retries.load(Ordering::Relaxed),
             quarantined: failures.len(),
+            warmups_run,
         },
         rows,
         sims,
@@ -1976,7 +2213,127 @@ mod tests {
             mixes: 1,
             threads: 2,
             sim_workers: 0,
+            sampling: None,
         }
+    }
+
+    fn sampled_tiny() -> RunScale {
+        RunScale {
+            accesses_per_workload: 20_000,
+            sampling: Some(SamplingPlan {
+                warmup_accesses: 2_000,
+                interval_accesses: 400,
+                intervals: 4,
+                seed: 1,
+            }),
+            ..tiny()
+        }
+    }
+
+    fn sampled_cell() -> CellSpec {
+        CellSpec {
+            label: "sampled".to_owned(),
+            targets: TargetSelector::Category(WorkloadCategory::Cloud),
+            prefetchers: vec![
+                PrefetcherSel::Kind(PrefetcherKind::Bop),
+                PrefetcherSel::Kind(PrefetcherKind::Spp),
+                PrefetcherSel::Kind(PrefetcherKind::DspatchPlusSpp),
+            ],
+            config: ConfigSpec::single_thread(),
+            baseline: true,
+        }
+    }
+
+    #[test]
+    fn sampled_campaigns_share_one_warmup_across_columns() {
+        let spec = CampaignSpec::single_cell("sampled", sampled_cell());
+        let result = run_campaign(&spec, &sampled_tiny()).expect("valid spec");
+        // 1 workload × (1 baseline + 3 candidates), all forked from ONE
+        // neutral warm-up checkpoint — the counter proves the sharing.
+        assert_eq!(result.stats.sims_run, 4);
+        assert_eq!(result.stats.warmups_run, 1);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            let stats = result.sim_of(row).sampling.expect("sampled rows carry CIs");
+            assert_eq!(stats.intervals, 4);
+            assert!(result.row_ipc(row) > 0.0);
+        }
+        // The row surface carries the CIs in JSON and CSV.
+        let json = result.to_json().render_compact();
+        assert!(json.contains("\"ipc_ci95\""));
+        let csv = result.to_csv();
+        assert!(csv.contains("IpcCi95"));
+        // Exact runs keep their historical surfaces untouched.
+        let exact = run_campaign(&spec, &tiny()).expect("valid spec");
+        assert_eq!(exact.stats.warmups_run, 0);
+        assert!(!exact.to_json().render_compact().contains("ipc_ci95"));
+        assert!(!exact.to_csv().contains("IpcCi95"));
+    }
+
+    #[test]
+    fn checkpoint_dir_reuses_warmups_across_campaigns() {
+        let dir = std::env::temp_dir().join(format!("dspatch_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = CampaignSpec::single_cell("ckpt", sampled_cell());
+        let opts = ExecOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..ExecOptions::default()
+        };
+        let first = run_campaign_with(&spec, &sampled_tiny(), &opts).expect("valid spec");
+        assert_eq!(first.stats.warmups_run, 1);
+        // Second process incarnation: the warm-up loads from disk.
+        let second = run_campaign_with(&spec, &sampled_tiny(), &opts).expect("valid spec");
+        assert_eq!(second.stats.warmups_run, 0);
+        assert_eq!(first.sims, second.sims);
+        // A corrupt checkpoint is recomputed, never trusted.
+        for entry in std::fs::read_dir(&dir).expect("dir exists") {
+            std::fs::write(entry.expect("entry").path(), b"garbage").expect("writable");
+        }
+        let third = run_campaign_with(&spec, &sampled_tiny(), &opts).expect("valid spec");
+        assert_eq!(third.stats.warmups_run, 1);
+        assert_eq!(first.sims, third.sims);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_scales_reject_mixes_and_oversized_plans() {
+        let mixes = CampaignSpec::single_cell(
+            "mixes",
+            CellSpec {
+                targets: TargetSelector::HomogeneousMixes { cores: 4 },
+                config: ConfigSpec::multi_programmed(),
+                ..sampled_cell()
+            },
+        );
+        let err = run_campaign(&mixes, &sampled_tiny()).unwrap_err();
+        assert!(err.contains("single-core-only"), "{err}");
+        let oversized = RunScale {
+            accesses_per_workload: 3_000,
+            ..sampled_tiny()
+        };
+        let spec = CampaignSpec::single_cell("oversized", sampled_cell());
+        let err = run_campaign(&spec, &oversized).unwrap_err();
+        assert!(err.contains("sampling plan needs"), "{err}");
+    }
+
+    #[test]
+    fn sampled_and_exact_cells_never_alias_in_the_store() {
+        let config = ConfigSpec::single_thread().build();
+        let exact = crate::store::cell_fingerprint("w:a", "Kind(Spp)", &config, 20_000);
+        let plan = SamplingPlan {
+            warmup_accesses: 2_000,
+            interval_accesses: 400,
+            intervals: 4,
+            seed: 1,
+        };
+        let sampled = crate::store::cell_fingerprint_sampled(
+            "w:a",
+            "Kind(Spp)",
+            &config,
+            20_000,
+            Some(&plan),
+        );
+        assert_ne!(exact, sampled);
     }
 
     #[test]

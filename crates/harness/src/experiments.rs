@@ -971,6 +971,7 @@ mod tests {
             mixes: 1,
             threads: 4,
             sim_workers: 0,
+            sampling: None,
         }
     }
 

@@ -189,6 +189,7 @@ mod tests {
             mixes: 1,
             threads: 1,
             sim_workers: 0,
+            sampling: None,
         };
         assert!(FigureId::Table1.run(&scale).render().contains("SPT"));
         assert!(FigureId::Table3.run(&scale).render().contains("DSPatch"));

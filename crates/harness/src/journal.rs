@@ -26,6 +26,7 @@
 use crate::error::HarnessError;
 use crate::json::Json;
 use crate::runner::RunScale;
+use dspatch_sim::stats::{IntervalEstimate, SamplingStats};
 use dspatch_sim::{
     CacheGeometry, CacheStats, CoreResult, DramStats, PollutionBreakdown, PrefetchAccounting,
     SimResult,
@@ -54,7 +55,7 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
 /// changes results (the executor is deterministic for any worker count), so
 /// a journal written on an 8-thread box resumes on a 2-thread one.
 pub fn campaign_fingerprint(spec_json: &Json, scale: &RunScale) -> String {
-    let identity = format!(
+    let mut identity = format!(
         "{}|a{}|w{}|m{}|s{}",
         spec_json.render_compact(),
         scale.accesses_per_workload,
@@ -62,6 +63,12 @@ pub fn campaign_fingerprint(spec_json: &Json, scale: &RunScale) -> String {
         scale.mixes,
         scale.sim_workers,
     );
+    // Sampled and exact runs of the same spec must never alias: the plan
+    // joins the identity, but only when present so existing exact journals
+    // keep their fingerprints.
+    if let Some(plan) = &scale.sampling {
+        identity.push_str(&plan.fingerprint_suffix());
+    }
     format!("{:016x}", fnv1a(identity.as_bytes()))
 }
 
@@ -177,7 +184,7 @@ pub fn sim_result_to_json(sim: &SimResult) -> Json {
             ("rounded", Json::Bool(geom.rounded)),
         ])
     });
-    Json::obj([
+    let mut json = Json::obj([
         ("cores", Json::Arr(cores.collect())),
         ("llc", cache_stats_to_json(&sim.llc)),
         (
@@ -205,7 +212,54 @@ pub fn sim_result_to_json(sim: &SimResult) -> Json {
         ),
         ("cycles", json_u64(sim.cycles)),
         ("cache_geometry", Json::Arr(geometry.collect())),
+    ]);
+    // Exact runs keep their historical byte layout: the key only appears
+    // for sampled results.
+    if let Some(stats) = &sim.sampling {
+        if let Json::Obj(entries) = &mut json {
+            entries.push(("sampling".to_owned(), sampling_stats_to_json(stats)));
+        }
+    }
+    json
+}
+
+fn estimate_to_json(estimate: &IntervalEstimate) -> Json {
+    Json::obj([
+        ("mean", Json::num(estimate.mean)),
+        ("ci95", Json::num(estimate.ci95)),
     ])
+}
+
+fn estimate_from_json(json: &Json, context: &str) -> Result<IntervalEstimate, String> {
+    Ok(IntervalEstimate {
+        mean: get_f64(json, "mean", context)?,
+        ci95: get_f64(json, "ci95", context)?,
+    })
+}
+
+fn sampling_stats_to_json(stats: &SamplingStats) -> Json {
+    Json::obj([
+        ("warmup_accesses", json_u64(stats.warmup_accesses)),
+        ("interval_accesses", json_u64(stats.interval_accesses)),
+        ("intervals", json_u64(u64::from(stats.intervals))),
+        ("seed", json_u64(stats.seed)),
+        ("ipc", estimate_to_json(&stats.ipc)),
+        ("coverage", estimate_to_json(&stats.coverage)),
+        ("accuracy", estimate_to_json(&stats.accuracy)),
+    ])
+}
+
+fn sampling_stats_from_json(json: &Json) -> Result<SamplingStats, String> {
+    Ok(SamplingStats {
+        warmup_accesses: get_u64(json, "warmup_accesses", "sampling")?,
+        interval_accesses: get_u64(json, "interval_accesses", "sampling")?,
+        intervals: u32::try_from(get_u64(json, "intervals", "sampling")?)
+            .map_err(|_| "sampling: 'intervals' is too large")?,
+        seed: get_u64(json, "seed", "sampling")?,
+        ipc: estimate_from_json(get(json, "ipc", "sampling")?, "sampling ipc")?,
+        coverage: estimate_from_json(get(json, "coverage", "sampling")?, "sampling coverage")?,
+        accuracy: estimate_from_json(get(json, "accuracy", "sampling")?, "sampling accuracy")?,
+    })
 }
 
 /// Parses a journaled [`SimResult`], the exact inverse of
@@ -271,6 +325,10 @@ pub fn sim_result_from_json(json: &Json) -> Result<SimResult, String> {
         },
         cycles: get_u64(json, "cycles", "sim result")?,
         cache_geometry: geometry,
+        sampling: match json.get("sampling") {
+            None | Some(Json::Null) => None,
+            Some(stats) => Some(sampling_stats_from_json(stats)?),
+        },
     })
 }
 
@@ -353,7 +411,7 @@ pub fn read_journal(path: &Path, expected: &JournalMeta) -> Result<JournalConten
                     match record {
                         JournalRecord::Meta => {}
                         JournalRecord::Sim { key, result } => {
-                            contents.sims.insert(key, result);
+                            contents.sims.insert(key, *result);
                         }
                         JournalRecord::Failure { key } => contents.failures.push(key),
                     }
@@ -384,7 +442,7 @@ pub fn read_journal(path: &Path, expected: &JournalMeta) -> Result<JournalConten
 
 enum JournalRecord {
     Meta,
-    Sim { key: String, result: SimResult },
+    Sim { key: String, result: Box<SimResult> },
     Failure { key: String },
 }
 
@@ -446,7 +504,10 @@ fn parse_journal_line(
             .get("result")
             .ok_or_else(|| corrupt("sim record missing 'result'".to_owned()))
             .and_then(|result| sim_result_from_json(result).map_err(corrupt))?;
-        return Ok(JournalRecord::Sim { key, result });
+        return Ok(JournalRecord::Sim {
+            key,
+            result: Box::new(result),
+        });
     }
     if let Some(failure) = json.get("failure") {
         let key = failure
@@ -636,6 +697,31 @@ mod tests {
                 effective_bytes: 2 << 20,
                 rounded: false,
             }],
+            sampling: None,
+        }
+    }
+
+    fn sampled_sim() -> SimResult {
+        SimResult {
+            sampling: Some(SamplingStats {
+                warmup_accesses: 2_000_000,
+                interval_accesses: 200_000,
+                intervals: 10,
+                seed: 3,
+                ipc: IntervalEstimate {
+                    mean: 1.25,
+                    ci95: 0.04,
+                },
+                coverage: IntervalEstimate {
+                    mean: 0.5,
+                    ci95: 0.01,
+                },
+                accuracy: IntervalEstimate {
+                    mean: 0.75,
+                    ci95: 0.02,
+                },
+            }),
+            ..sample_sim()
         }
     }
 
@@ -659,6 +745,50 @@ mod tests {
             sim.dram.utilization_sum.to_bits()
         );
         assert_eq!(back.dram.cas_commands, 1 << 54);
+        // Byte parity for exact runs: the optional sampling key must be
+        // absent, not null, so pre-sampling journals stay byte-identical.
+        assert!(!json.render_compact().contains("sampling"));
+    }
+
+    #[test]
+    fn sampled_sim_results_round_trip_with_cis() {
+        let sim = sampled_sim();
+        let json = sim_result_to_json(&sim);
+        let reparsed = Json::parse(&json.render_compact()).expect("renders valid JSON");
+        let back = sim_result_from_json(&reparsed).expect("parses back");
+        assert_eq!(back, sim);
+        let stats = back.sampling.expect("sampling survives the round trip");
+        assert_eq!(stats.intervals, 10);
+        assert!((stats.ipc.ci95 - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_plans_change_the_campaign_fingerprint() {
+        let spec = Json::obj([("name", Json::str("fp"))]);
+        let exact = RunScale::smoke();
+        let sampled = RunScale {
+            sampling: Some(crate::sampling::SamplingPlan {
+                warmup_accesses: 100,
+                interval_accesses: 10,
+                intervals: 2,
+                seed: 0,
+            }),
+            ..RunScale::smoke()
+        };
+        assert_ne!(
+            campaign_fingerprint(&spec, &exact),
+            campaign_fingerprint(&spec, &sampled)
+        );
+        let reseeded = RunScale {
+            sampling: sampled
+                .sampling
+                .map(|p| crate::sampling::SamplingPlan { seed: 9, ..p }),
+            ..sampled
+        };
+        assert_ne!(
+            campaign_fingerprint(&spec, &sampled),
+            campaign_fingerprint(&spec, &reseeded)
+        );
     }
 
     #[test]
@@ -776,6 +906,7 @@ mod tests {
             mixes: 1,
             threads: 8,
             sim_workers: 0,
+            sampling: None,
         };
         let mut rethreaded = scale;
         rethreaded.threads = 2;

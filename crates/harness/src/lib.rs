@@ -43,6 +43,7 @@ pub mod json;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod store;
 
 pub use campaign::{
@@ -56,4 +57,5 @@ pub use journal::{JournalMeta, JournalWriter};
 pub use json::{Json, JsonError, JsonErrorKind};
 pub use report::Table;
 pub use runner::{PrefetcherKind, RunScale};
+pub use sampling::SamplingPlan;
 pub use store::ResultStore;

@@ -68,6 +68,14 @@ pub struct SnapshotReport {
     /// streaming layer directly: same records, same machine, different
     /// delivery.
     pub streaming_single_thread: ScenarioThroughput,
+    /// The DSPatch+SPP single-thread scenario under **interval sampling**
+    /// (2% functional warm-up, ten 0.2% measured intervals, gaps skipped
+    /// at trace speed). `accesses`
+    /// counts the whole trace — fast-forwarded records included — so
+    /// `accesses_per_sec` is the *effective* rate sampling buys: the same
+    /// workload coverage per wall-clock second a user of `--sample` sees,
+    /// not the detailed-simulation rate.
+    pub sampled_single_thread: ScenarioThroughput,
     /// Four cores (DSPatch+SPP each) sharing LLC and DRAM.
     pub four_core: ScenarioThroughput,
     /// The same 4-core scenario on the parallel epoch engine
@@ -116,6 +124,10 @@ impl SnapshotReport {
                 "streaming_single_thread",
                 scenario(&self.streaming_single_thread),
             ),
+            (
+                "sampled_single_thread",
+                scenario(&self.sampled_single_thread),
+            ),
             ("four_core", scenario(&self.four_core)),
             (
                 "multi_core_parallel",
@@ -150,6 +162,10 @@ impl SnapshotReport {
             self.four_core.accesses_per_sec(),
             self.four_core.cycles_per_sec() / 1e6,
         );
+        line.push_str(&format!(
+            " | sampled 1T: {:.0} eff acc/s",
+            self.sampled_single_thread.accesses_per_sec()
+        ));
         for (workers, s) in &self.multi_core_parallel {
             line.push_str(&format!(
                 " | 4-core {}w: {:.0} acc/s",
@@ -296,6 +312,39 @@ pub fn run_streaming_snapshot(accesses: usize) -> ScenarioThroughput {
     )
 }
 
+/// The sampling plan behind the `sampled_single_thread` row: 2% of the
+/// trace as functional warm-up (which also bounds each interval's re-warm),
+/// then ten seed-placed intervals of 0.2% each — ~2% simulated in detail,
+/// ~22% functionally warmed, the rest skipped at trace speed. These are
+/// the ratios a real 100M+-access sampled campaign uses, so the row prices
+/// the speedup `--sample` actually delivers.
+pub fn snapshot_sampling_plan(accesses: usize) -> crate::sampling::SamplingPlan {
+    crate::sampling::SamplingPlan {
+        warmup_accesses: (accesses / 50).max(1) as u64,
+        interval_accesses: (accesses / 500).max(1) as u64,
+        intervals: 10,
+        seed: 0xD5,
+    }
+}
+
+/// Runs the sampled variant of the DSPatch+SPP single-thread scenario and
+/// times it. `accesses` counts the whole trace (warm-up and fast-forward
+/// included), so the row reports *effective* accesses per second.
+pub fn run_sampled_snapshot(accesses: usize) -> ScenarioThroughput {
+    let plan = snapshot_sampling_plan(accesses);
+    measure(accesses as u64, move || {
+        crate::sampling::run_sampled(
+            Box::new(snapshot_single_source(accesses)),
+            dspatch_plus_spp(),
+            &SystemConfig::single_thread(),
+            &plan,
+            None,
+        )
+        .map(|sim| sim.cycles)
+        .unwrap_or_else(|error| panic!("sampled snapshot scenario failed: {error}"))
+    })
+}
+
 /// Runs the single-thread snapshot for one registry prefetcher kind.
 pub fn run_prefetcher_snapshot(kind: PrefetcherKind, accesses: usize) -> ScenarioThroughput {
     run_single(
@@ -401,6 +450,7 @@ pub fn run_snapshot(
         baseline_single_thread,
         dspatch_spp_single_thread,
         streaming_single_thread: best(&|| run_streaming_snapshot(single_accesses)),
+        sampled_single_thread: best(&|| run_sampled_snapshot(single_accesses)),
         four_core: best(&|| run_four_core_snapshot(per_core_accesses)),
         multi_core_parallel: PARALLEL_WORKER_ROWS
             .iter()
@@ -448,6 +498,12 @@ mod tests {
         assert_eq!(report.baseline_single_thread.accesses, 400);
         assert_eq!(report.dspatch_spp_single_thread.accesses, 400);
         assert_eq!(report.streaming_single_thread.accesses, 400);
+        assert_eq!(report.sampled_single_thread.accesses, 400);
+        assert!(report.sampled_single_thread.cycles > 0);
+        assert!(
+            report.sampled_single_thread.cycles < report.dspatch_spp_single_thread.cycles,
+            "sampling must simulate fewer detailed cycles than the exact run"
+        );
         assert_eq!(report.four_core.accesses, 800);
         assert!(report.dspatch_spp_single_thread.cycles > 0);
         // One row per configured worker count, and every worker count
@@ -477,6 +533,7 @@ mod tests {
         assert!(json.contains("\"accesses_per_sec\""));
         assert!(json.contains("\"baseline_single_thread\""));
         assert!(json.contains("\"streaming_single_thread\""));
+        assert!(json.contains("\"sampled_single_thread\""));
         assert!(json.contains("\"four_core\""));
         assert!(json.contains("\"multi_core_parallel\""));
         assert!(json.contains("\"workers_4\""));

@@ -192,6 +192,11 @@ pub struct RunScale {
     /// result is bit-identical either way; the campaign executor divides
     /// [`RunScale::threads`] by this so the two levels share one budget.
     pub sim_workers: usize,
+    /// Interval-sampling plan: `None` runs every access in detail (exact),
+    /// `Some` fast-forwards through functional warm-up and measures only
+    /// the plan's intervals (see [`crate::sampling`]). Sampled scales are
+    /// single-core-only and report mean ± 95% CI on each result.
+    pub sampling: Option<crate::sampling::SamplingPlan>,
 }
 
 impl RunScale {
@@ -203,6 +208,7 @@ impl RunScale {
             mixes: 2,
             threads: default_threads(),
             sim_workers: 0,
+            sampling: None,
         }
     }
 
@@ -215,6 +221,7 @@ impl RunScale {
             mixes: 4,
             threads: default_threads(),
             sim_workers: 0,
+            sampling: None,
         }
     }
 
@@ -226,6 +233,7 @@ impl RunScale {
             mixes: 0,
             threads: default_threads(),
             sim_workers: 0,
+            sampling: None,
         }
     }
 
@@ -250,6 +258,12 @@ impl RunScale {
     /// per multi-core simulation (0 disables it again).
     pub fn with_sim_workers(mut self, workers: usize) -> Self {
         self.sim_workers = workers;
+        self
+    }
+
+    /// Attaches (or clears) an interval-sampling plan.
+    pub fn with_sampling(mut self, plan: Option<crate::sampling::SamplingPlan>) -> Self {
+        self.sampling = plan;
         self
     }
 
@@ -305,6 +319,19 @@ pub fn run_workload(
     config: &SystemConfig,
     scale: &RunScale,
 ) -> SimResult {
+    if scale.sampling.is_some() {
+        // Sampled scales measure seed-placed intervals instead of the whole
+        // trace; the scale was validated upstream, so a plan that does not
+        // fit here is a caller bug worth the panic.
+        return crate::sampling::run_sampled_workload(
+            workload,
+            kind.build_any(),
+            config,
+            scale,
+            None,
+        )
+        .unwrap_or_else(|error| panic!("sampled workload '{}': {error}", workload.name));
+    }
     SimulationBuilder::new(config.clone())
         .with_core(
             workload.source(scale.accesses_per_workload),
@@ -321,6 +348,14 @@ pub fn run_mix(
     config: &SystemConfig,
     scale: &RunScale,
 ) -> SimResult {
+    // Checkpoints and interval placement are single-core-only; campaign
+    // specs get this as a clean spec error, so reaching it here means the
+    // caller skipped validation.
+    assert!(
+        scale.sampling.is_none(),
+        "sampled scales cannot run multi-programmed mixes (mix '{}')",
+        mix.name
+    );
     let mut builder = SimulationBuilder::new(config.clone());
     for workload in &mix.workloads {
         builder = builder.with_core(

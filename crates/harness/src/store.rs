@@ -55,14 +55,30 @@ pub fn cell_fingerprint(
     config: &SystemConfig,
     accesses_per_workload: usize,
 ) -> String {
+    cell_fingerprint_sampled(target_key, prefetcher, config, accesses_per_workload, None)
+}
+
+/// [`cell_fingerprint`] with an optional sampling plan: sampled and exact
+/// results of the same cell get distinct identities (a sampled IPC is an
+/// estimate and must never be served where an exact one was asked for).
+pub fn cell_fingerprint_sampled(
+    target_key: &str,
+    prefetcher: &str,
+    config: &SystemConfig,
+    accesses_per_workload: usize,
+    sampling: Option<&crate::sampling::SamplingPlan>,
+) -> String {
     let mut normalized = config.clone();
     normalized.parallel_cores = false;
     normalized.parallel_workers = 0;
     normalized.parallel_epoch_cycles = 0;
-    let identity = format!(
+    let mut identity = format!(
         "v{}|{target_key}|{prefetcher}|{normalized:?}|a{accesses_per_workload}",
         code_version()
     );
+    if let Some(plan) = sampling {
+        identity.push_str(&plan.fingerprint_suffix());
+    }
     format!("{:016x}", fnv1a(identity.as_bytes()))
 }
 
@@ -163,7 +179,7 @@ impl ResultStore {
             match parsed {
                 Ok(StoreRecord::Meta) => offset += bytes as u64,
                 Ok(StoreRecord::Result { cell, result }) => {
-                    results.insert(cell, result);
+                    results.insert(cell, *result);
                     offset += bytes as u64;
                 }
                 Err(error) => {
@@ -254,7 +270,10 @@ fn meta_json() -> Json {
 
 enum StoreRecord {
     Meta,
-    Result { cell: String, result: SimResult },
+    Result {
+        cell: String,
+        result: Box<SimResult>,
+    },
 }
 
 fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreRecord, HarnessError> {
@@ -299,7 +318,7 @@ fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreReco
         .and_then(|result| sim_result_from_json(result).map_err(corrupt))?;
     Ok(StoreRecord::Result {
         cell: fingerprint,
-        result,
+        result: Box::new(result),
     })
 }
 

@@ -9,6 +9,7 @@
 //! position, standing in for the prefetch-aware dead-block-oriented LLC
 //! policy of Table 2.
 
+use dspatch_types::snapshot::{SnapshotError, SnapshotState, StateReader, StateWriter};
 use dspatch_types::{LineAddr, CACHE_LINE_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -459,6 +460,63 @@ impl Cache {
     /// Number of resident lines (for occupancy checks in tests).
     pub fn resident_lines(&self) -> usize {
         self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
+    }
+
+    /// Zeroes the statistics while keeping contents, LRU state and the
+    /// clock — the sampling engine calls this at each measurement-interval
+    /// boundary so per-interval stats reflect only the interval.
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+impl SnapshotState for Cache {
+    fn snapshot_tag(&self) -> &'static str {
+        "cache"
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), SnapshotError> {
+        writer.put_len(self.tags.len());
+        for tag in &self.tags {
+            writer.put_u64(*tag);
+        }
+        for stamp in &self.stamps {
+            writer.put_u64(*stamp);
+        }
+        writer.put_u64(self.clock);
+        writer.put_u64(self.stats.demand_hits);
+        writer.put_u64(self.stats.demand_misses);
+        writer.put_u64(self.stats.demand_fills);
+        writer.put_u64(self.stats.prefetch_fills);
+        writer.put_u64(self.stats.prefetch_first_uses);
+        writer.put_u64(self.stats.prefetch_unused_evictions);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let slots = reader.get_len()?;
+        if slots != self.tags.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "cache {:?} has {} slots but the snapshot holds {}",
+                self.config.name,
+                self.tags.len(),
+                slots
+            )));
+        }
+        for tag in &mut self.tags {
+            *tag = reader.get_u64()?;
+        }
+        for stamp in &mut self.stamps {
+            *stamp = reader.get_u64()?;
+        }
+        self.clock = reader.get_u64()?;
+        self.stats.demand_hits = reader.get_u64()?;
+        self.stats.demand_misses = reader.get_u64()?;
+        self.stats.demand_fills = reader.get_u64()?;
+        self.stats.prefetch_fills = reader.get_u64()?;
+        self.stats.prefetch_first_uses = reader.get_u64()?;
+        self.stats.prefetch_unused_evictions = reader.get_u64()?;
+        Ok(())
     }
 }
 

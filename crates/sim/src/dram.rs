@@ -7,6 +7,7 @@
 //! Section 3.2).
 
 use crate::config::DramConfig;
+use dspatch_types::snapshot::{SnapshotError, SnapshotState, StateReader, StateWriter};
 use dspatch_types::{BandwidthQuartile, LineAddr};
 use serde::{Deserialize, Serialize};
 
@@ -368,6 +369,93 @@ impl Dram {
         // bus, so the utilization tracker never exceeds the physical peak.
         self.tracker.record_cas(data_ready, &mut self.stats);
         completion
+    }
+
+    /// Rewinds the timing state to cycle 0 for a fresh measurement
+    /// interval: statistics are zeroed, bank/bus reservations are released,
+    /// and the tracker's window restarts. The *learnt* state carries over —
+    /// open rows stay open and the hysteresis counter (and therefore the
+    /// broadcast quartile) keeps its value, so the bandwidth signal the
+    /// prefetchers see is continuous across the interval boundary.
+    pub(crate) fn reset_interval(&mut self) {
+        self.stats = DramStats::default();
+        for channel in &mut self.channels {
+            for bank in &mut channel.banks {
+                bank.busy_until = 0;
+            }
+            channel.data_bus_free = 0;
+            channel.demand_bus_free = 0;
+        }
+        self.tracker.window_end = self.tracker.window_cycles;
+        self.tracker.current_window_cas = 0;
+    }
+}
+
+impl SnapshotState for Dram {
+    fn snapshot_tag(&self) -> &'static str {
+        "dram"
+    }
+
+    fn save_state(&self, writer: &mut StateWriter) -> Result<(), SnapshotError> {
+        writer.put_len(self.channels.len());
+        for channel in &self.channels {
+            writer.put_len(channel.banks.len());
+            for bank in &channel.banks {
+                writer.put_opt_u64(bank.open_row);
+                writer.put_u64(bank.busy_until);
+            }
+            writer.put_u64(channel.data_bus_free);
+            writer.put_u64(channel.demand_bus_free);
+        }
+        writer.put_u64(self.tracker.window_end);
+        writer.put_f64(self.tracker.counter);
+        writer.put_u64(self.tracker.current_window_cas);
+        writer.put_u8(self.tracker.quartile.as_bits());
+        writer.put_u64(self.stats.cas_commands);
+        writer.put_u64(self.stats.row_hits);
+        writer.put_u64(self.stats.row_misses);
+        writer.put_u64(self.stats.prefetch_accesses);
+        writer.put_f64(self.stats.utilization_sum);
+        writer.put_u64(self.stats.windows);
+        Ok(())
+    }
+
+    fn load_state(&mut self, reader: &mut StateReader<'_>) -> Result<(), SnapshotError> {
+        let channels = reader.get_len()?;
+        if channels != self.channels.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "DRAM has {} channels but the snapshot holds {}",
+                self.channels.len(),
+                channels
+            )));
+        }
+        for channel in &mut self.channels {
+            let banks = reader.get_len()?;
+            if banks != channel.banks.len() {
+                return Err(SnapshotError::Invalid(format!(
+                    "DRAM channel has {} banks but the snapshot holds {}",
+                    channel.banks.len(),
+                    banks
+                )));
+            }
+            for bank in &mut channel.banks {
+                bank.open_row = reader.get_opt_u64()?;
+                bank.busy_until = reader.get_u64()?;
+            }
+            channel.data_bus_free = reader.get_u64()?;
+            channel.demand_bus_free = reader.get_u64()?;
+        }
+        self.tracker.window_end = reader.get_u64()?;
+        self.tracker.counter = reader.get_f64()?;
+        self.tracker.current_window_cas = reader.get_u64()?;
+        self.tracker.quartile = BandwidthQuartile::from_bits(reader.get_u8()?);
+        self.stats.cas_commands = reader.get_u64()?;
+        self.stats.row_hits = reader.get_u64()?;
+        self.stats.row_misses = reader.get_u64()?;
+        self.stats.prefetch_accesses = reader.get_u64()?;
+        self.stats.utilization_sum = reader.get_f64()?;
+        self.stats.windows = reader.get_u64()?;
+        Ok(())
     }
 }
 

@@ -846,6 +846,7 @@ fn assemble(mut shards: Vec<Shard>, shared: TrueShared, config: &SystemConfig) -
             config.l2.geometry(),
             config.llc.geometry(),
         ],
+        sampling: None,
     }
 }
 

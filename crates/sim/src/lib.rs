@@ -49,6 +49,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod epoch;
+pub mod snapshot;
 pub mod stats;
 pub mod system;
 pub mod tables;
@@ -56,5 +57,6 @@ pub mod tables;
 pub use cache::{Cache, CacheConfig, CacheGeometry, CacheStats};
 pub use config::{CoreConfig, DramConfig, DramSpeedGrade, SystemConfig};
 pub use dram::{BandwidthTracker, Dram, DramStats};
+pub use snapshot::MachineState;
 pub use stats::{CoreResult, PollutionBreakdown, PrefetchAccounting, SimResult};
 pub use system::{simulations_started, Machine, SimulationBuilder};

@@ -133,6 +133,47 @@ impl CoreResult {
     }
 }
 
+/// Mean and half-width of a 95% confidence interval over per-interval
+/// estimates from a sampled run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalEstimate {
+    /// Arithmetic mean of the per-interval values.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval around [`Self::mean`]
+    /// (Student's t for small interval counts). Zero when only one
+    /// interval was measured.
+    pub ci95: f64,
+}
+
+impl IntervalEstimate {
+    /// Whether `value` falls inside `mean ± ci95` (inclusive).
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95 + 1e-12
+    }
+}
+
+/// How a sampled (interval-sampling) run was configured and how its
+/// per-interval measurements spread. Attached to a [`SimResult`] only when
+/// the run was sampled; exact runs leave it `None` so their serialized
+/// form is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingStats {
+    /// Records consumed in functional warm-up before the first interval.
+    pub warmup_accesses: u64,
+    /// Records measured in detail per interval.
+    pub interval_accesses: u64,
+    /// Number of measurement intervals aggregated.
+    pub intervals: u32,
+    /// Seed that placed the intervals within the trace.
+    pub seed: u64,
+    /// Per-interval IPC estimate (mean ± 95% CI).
+    pub ipc: IntervalEstimate,
+    /// Per-interval prefetch-coverage estimate.
+    pub coverage: IntervalEstimate,
+    /// Per-interval prefetch-accuracy estimate.
+    pub accuracy: IntervalEstimate,
+}
+
 /// The complete outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -151,6 +192,10 @@ pub struct SimResult {
     /// rounded up, `rounded` and `effective_bytes` record what was actually
     /// modeled.
     pub cache_geometry: Vec<CacheGeometry>,
+    /// Sampling methodology and confidence intervals when this result came
+    /// from a sampled run (`None` for exact runs). The headline counters
+    /// above then aggregate the measured intervals only.
+    pub sampling: Option<SamplingStats>,
 }
 
 impl SimResult {
@@ -224,6 +269,7 @@ mod tests {
             pollution: PollutionBreakdown::default(),
             cycles: 0,
             cache_geometry: Vec::new(),
+            sampling: None,
         }
     }
 

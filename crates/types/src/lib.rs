@@ -28,6 +28,7 @@ pub mod access;
 pub mod address;
 pub mod bandwidth;
 pub mod prefetch;
+pub mod snapshot;
 
 pub use access::{AccessKind, CoreId, MemoryAccess, Pc};
 pub use address::{
@@ -38,3 +39,4 @@ pub use bandwidth::BandwidthQuartile;
 pub use prefetch::{
     FillLevel, NullPrefetcher, PrefetchContext, PrefetchRequest, PrefetchSink, Prefetcher,
 };
+pub use snapshot::{SnapshotError, SnapshotState, StateReader, StateWriter};

@@ -15,6 +15,7 @@ fn main() {
         mixes: 1,
         threads: 8,
         sim_workers: 0,
+        sampling: None,
     };
     let workloads = scale.select_workloads(memory_intensive_suite());
     println!("{} memory-intensive workloads per point\n", workloads.len());

@@ -23,6 +23,7 @@ fn main() {
             mixes: 1,
             threads: None, // available_parallelism
             sim_workers: 0,
+            sampling: None,
         }),
         cells: vec![
             CellSpec {

@@ -16,6 +16,7 @@ fn main() {
         mixes: 1,
         threads: 1,
         sim_workers: 0,
+        sampling: None,
     };
     let mix = &heterogeneous_mixes(1, 4, 42)[0];
     let config = SystemConfig::multi_programmed();

@@ -15,6 +15,7 @@ fn main() {
         mixes: 1,
         threads: 1,
         sim_workers: 0,
+        sampling: None,
     };
     let workload = &category_suite(WorkloadCategory::Cloud)[0];
     let config = SystemConfig::single_thread();

@@ -22,6 +22,7 @@ fn baselines_simulate_once_per_workload_and_config() {
         mixes: 1,
         threads: 2,
         sim_workers: 0,
+        sampling: None,
     };
 
     // Figure 4: 9 categories × 1 workload, K = 3 prefetcher columns.

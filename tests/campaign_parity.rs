@@ -23,6 +23,7 @@ fn tiny() -> RunScale {
         mixes: 1,
         threads: 4,
         sim_workers: 0,
+        sampling: None,
     }
 }
 
@@ -157,6 +158,7 @@ fn every_named_figure_runs_through_the_registry() {
         mixes: 1,
         threads: 4,
         sim_workers: 0,
+        sampling: None,
     };
     for id in FigureId::ALL {
         let table = id.run(&scale);
@@ -252,6 +254,16 @@ fn arbitrary_spec(seed: u64) -> CampaignSpec {
                 Some(1 + next(64) as usize)
             },
             sim_workers: next(3) as usize,
+            sampling: if next(2) == 0 {
+                None
+            } else {
+                Some(dspatch_harness::SamplingPlan {
+                    warmup_accesses: 1 + next(5_000),
+                    interval_accesses: 1 + next(2_000),
+                    intervals: 1 + next(8) as u32,
+                    seed: next(1 << 30),
+                })
+            },
         }),
     };
     CampaignSpec {

@@ -15,6 +15,7 @@ fn tiny_scale() -> RunScale {
         mixes: 1,
         threads: 4,
         sim_workers: 0,
+        sampling: None,
     }
 }
 

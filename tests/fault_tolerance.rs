@@ -23,6 +23,7 @@ fn tiny() -> RunScale {
         mixes: 1,
         threads: 2,
         sim_workers: 0,
+        sampling: None,
     }
 }
 
