@@ -10,6 +10,15 @@
 pub use dspatch_harness::runner::{PrefetcherKind, RunScale};
 pub use dspatch_harness::{experiments, figures, runner, Table};
 
+// Bench targets that post-process snapshot documents go through the same
+// unified result layer as the rest of the workspace: `throughput_rows`
+// flattens a `BENCH_sim_throughput.json` document, `host_cpus` is the
+// per-host stamp every snapshot records, and the analytics engine turns
+// either into queryable columns (see `perf::regression_gate` for the
+// committed-vs-measured trend the CI gate runs).
+pub use dspatch_harness::analytics::{self, ColumnarView, Query};
+pub use dspatch_harness::perf::{host_cpus, throughput_rows};
+
 /// The scale used by the benchmark targets: one workload per category and
 /// short traces, so the full set of figures regenerates in minutes. Worker
 /// threads follow the machine (`available_parallelism`).

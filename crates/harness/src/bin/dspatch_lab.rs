@@ -54,10 +54,11 @@
 // forbidden outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use dspatch_harness::analytics::{self, ColumnarView, Query, QueryFormat};
 use dspatch_harness::campaign::{run_campaign_with, ExecOptions};
 use dspatch_harness::figures::FigureId;
 use dspatch_harness::runner::{PrefetcherKind, RunScale};
-use dspatch_harness::{CampaignSpec, HarnessError, Table};
+use dspatch_harness::{CampaignSpec, HarnessError, ResultStore, Table};
 use dspatch_sim::{SimulationBuilder, SystemConfig};
 use dspatch_trace::io::open_trace_source;
 use dspatch_trace::suite;
@@ -74,7 +75,11 @@ fn usage() -> ! {
          \x20                [--scale smoke|quick|full] [--format table|json|csv]\n\
          \x20                [--threads N] [--parallel-cores N] [--prefetchers KIND[,KIND...]] [--out PATH]\n\
          \x20                [--journal FILE | --resume FILE] [--retries N] [--store DIR]\n\
-         \x20                [--sample warmup=N,interval=N,n=K[,seed=S]] [--checkpoint-dir DIR]"
+         \x20                [--sample warmup=N,interval=N,n=K[,seed=S]] [--checkpoint-dir DIR]\n\
+         \x20      dspatch-lab query --store DIR [--where FIELD<OP>VALUE]... [--FIELD VALUE]...\n\
+         \x20                [--group-by FIELDS] [--agg FN:METRIC | --trend METRIC] [--all-versions]\n\
+         \x20                [--format table|json|csv] [--out PATH]\n\
+         \x20      dspatch-lab store gc --store DIR [--keep-versions N]"
     );
     std::process::exit(2);
 }
@@ -94,6 +99,14 @@ fn fail_typed(error: &HarnessError) -> ! {
 }
 
 fn main() {
+    // Leading positional word = subcommand; everything else is the classic
+    // flag-driven run interface.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("query") => return run_query(&argv[1..]),
+        Some("store") => return run_store(&argv[1..]),
+        _ => {}
+    }
     let mut figure: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut trace_file: Option<String> = None;
@@ -489,6 +502,105 @@ fn replay_trace_file(path: &str, prefetchers: Option<&str>) -> Table {
         add_row(kind.label(), &run(kind));
     }
     table
+}
+
+/// `dspatch-lab query`: a typed analytics query against a result store.
+///
+/// Every shaping flag funnels into the same `(key, value)` parameter
+/// grammar `GET /query` decodes, so the CLI and the service render
+/// **byte-identical** documents for the same query. Misuse (unknown
+/// field/metric/operator, missing `--store`) exits 2 like every other
+/// usage error.
+fn run_query(args: &[String]) {
+    let mut store_dir: Option<String> = None;
+    let mut format = QueryFormat::Table;
+    let mut out: Option<String> = None;
+    let mut params: Vec<(String, String)> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--store" => store_dir = Some(value("--store")),
+            "--out" => out = Some(value("--out")),
+            "--format" => {
+                let name = value("--format");
+                format = QueryFormat::parse(&name)
+                    .unwrap_or_else(|| fail(&format!("unknown format '{name}' (table/json/csv)")));
+            }
+            "--where" => params.push(("where".to_owned(), value("--where"))),
+            "--group-by" => params.push(("group_by".to_owned(), value("--group-by"))),
+            "--agg" => params.push(("agg".to_owned(), value("--agg"))),
+            "--trend" => params.push(("trend".to_owned(), value("--trend"))),
+            "--all-versions" => params.push(("all_versions".to_owned(), "1".to_owned())),
+            "--figure" | "--workload" | "--prefetcher" | "--config" | "--scale" | "--sampling"
+            | "--code-version" | "--fingerprint" => {
+                let key = arg.trim_start_matches("--").replace('-', "_");
+                let filter = value(arg.as_str());
+                params.push((key, filter));
+            }
+            other => fail(&format!("query: unknown argument '{other}'")),
+        }
+    }
+    let dir = store_dir.unwrap_or_else(|| fail("query needs --store DIR"));
+    // Grammar errors are usage errors: exit 2, not the spec-class 3.
+    let query = Query::from_params(&params).unwrap_or_else(|error| fail(&error.to_string()));
+    let store = ResultStore::open(std::path::Path::new(&dir)).unwrap_or_else(|e| fail_typed(&e));
+    let output = ColumnarView::from_store(&store)
+        .run(&query)
+        .unwrap_or_else(|error| fail(&error.to_string()));
+    let report = analytics::render(&output, format);
+    match out {
+        None => print!("{report}"),
+        Some(path) => {
+            std::fs::write(&path, report)
+                .unwrap_or_else(|e| fail_typed(&HarnessError::io(path.as_str(), "write", &e)));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// `dspatch-lab store gc`: compacts a result store, keeping the newest
+/// `--keep-versions` distinct code versions per cell identity. The rewrite
+/// is crash-safe (temp file + rename) and byte-deterministic.
+fn run_store(args: &[String]) {
+    let rest = match args.split_first() {
+        Some((word, rest)) if word == "gc" => rest,
+        _ => fail("store: unknown subcommand (want: store gc --store DIR [--keep-versions N])"),
+    };
+    let mut store_dir: Option<String> = None;
+    let mut keep_versions: usize = 1;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--store" => store_dir = Some(value("--store")),
+            "--keep-versions" => {
+                keep_versions = value("--keep-versions")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--keep-versions must be an integer"));
+                if keep_versions == 0 {
+                    fail("--keep-versions must be at least 1 (gc never drops every version)");
+                }
+            }
+            other => fail(&format!("store gc: unknown argument '{other}'")),
+        }
+    }
+    let dir = store_dir.unwrap_or_else(|| fail("store gc needs --store DIR"));
+    let mut store =
+        ResultStore::open(std::path::Path::new(&dir)).unwrap_or_else(|e| fail_typed(&e));
+    let stats = store.gc(keep_versions).unwrap_or_else(|e| fail_typed(&e));
+    eprintln!(
+        "store gc: kept {} row(s), dropped {} superseded row(s) (keep-versions {keep_versions})",
+        stats.kept, stats.dropped
+    );
 }
 
 /// `--scale` wins, then a spec file's embedded scale, then smoke.

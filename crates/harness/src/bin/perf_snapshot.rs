@@ -23,14 +23,18 @@
 //! machine model", which is exactly the regression this repository's
 //! trajectory tracks. Any row whose normalized throughput drops more than
 //! `--tolerance` (default 0.30) below the committed document fails the run
-//! with exit code 1.
+//! with exit code 1. The verdict itself is computed by
+//! [`dspatch_harness::perf::regression_gate`], which evaluates the two
+//! documents as a committed→measured trend through the analytics engine.
+//! A `host_cpus` difference between the documents **warns** but never
+//! fails — it flags that the absolute numbers come from different hosts.
 
 // Failures on harness paths carry typed context; panicking helpers are
 // forbidden outside tests.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use dspatch_harness::json::Json;
-use dspatch_harness::perf::run_snapshot;
+use dspatch_harness::perf::{regression_gate, run_snapshot};
 
 const DEFAULT_ACCESSES: usize = 240_000;
 const DEFAULT_REPEATS: usize = 3;
@@ -39,69 +43,6 @@ const DEFAULT_REPEATS: usize = 3;
 fn die(message: &str) -> ! {
     eprintln!("perf_snapshot: {message}");
     std::process::exit(2);
-}
-
-/// Flattens a snapshot JSON document into `(row name, accesses_per_sec)`.
-fn rows(doc: &Json) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let mut push = |name: String, row: &Json| {
-        if let Some(rate) = row.get("accesses_per_sec").and_then(Json::as_f64) {
-            out.push((name, rate));
-        }
-    };
-    for name in [
-        "baseline_single_thread",
-        "dspatch_spp_single_thread",
-        "streaming_single_thread",
-        "sampled_single_thread",
-        "four_core",
-    ] {
-        if let Some(row) = doc.get(name) {
-            push(name.to_owned(), row);
-        }
-    }
-    if let Some(Json::Obj(entries)) = doc.get("multi_core_parallel") {
-        for (name, row) in entries {
-            push(format!("multi_core_parallel.{name}"), row);
-        }
-    }
-    if let Some(Json::Obj(entries)) = doc.get("per_prefetcher") {
-        for (name, row) in entries {
-            push(format!("per_prefetcher.{name}"), row);
-        }
-    }
-    out
-}
-
-/// Compares measured against committed rows; returns the regressions as
-/// `(row, measured normalized, committed normalized)`.
-fn regressions(measured: &Json, committed: &Json, tolerance: f64) -> Vec<(String, f64, f64)> {
-    let baseline_of = |doc: &Json| {
-        doc.get("baseline_single_thread")
-            .and_then(|b| b.get("accesses_per_sec"))
-            .and_then(Json::as_f64)
-            .filter(|&b| b > 0.0)
-    };
-    let (Some(measured_base), Some(committed_base)) =
-        (baseline_of(measured), baseline_of(committed))
-    else {
-        eprintln!("--compare: missing baseline_single_thread row; skipping gate");
-        return Vec::new();
-    };
-    let committed_rows: std::collections::BTreeMap<String, f64> =
-        rows(committed).into_iter().collect();
-    let mut failures = Vec::new();
-    for (name, rate) in rows(measured) {
-        let Some(&committed_rate) = committed_rows.get(&name) else {
-            continue;
-        };
-        let measured_norm = rate / measured_base;
-        let committed_norm = committed_rate / committed_base;
-        if measured_norm < committed_norm * (1.0 - tolerance) {
-            failures.push((name, measured_norm, committed_norm));
-        }
-    }
-    failures
 }
 
 fn main() {
@@ -177,21 +118,39 @@ fn main() {
         });
         let measured = Json::parse(&json)
             .unwrap_or_else(|e| unreachable!("the emitter renders valid JSON: {e}"));
-        let failures = regressions(&measured, &committed, tolerance);
-        if failures.is_empty() {
-            println!(
+        // Different host shape = numbers from different machines: say so
+        // loudly, but normalization keeps the verdict meaningful, so this
+        // warns rather than fails.
+        let cpus_of = |doc: &Json| doc.get("host_cpus").and_then(Json::as_u64);
+        match (cpus_of(&measured), cpus_of(&committed)) {
+            (Some(here), Some(there)) if here != there => eprintln!(
+                "perf gate WARN: host_cpus differ ({here} measuring vs {there} committed); \
+                 absolute rows are cross-host, only normalized ratios gate"
+            ),
+            (_, None) => {
+                eprintln!("perf gate WARN: committed snapshot {path} predates host_cpus recording")
+            }
+            _ => {}
+        }
+        match regression_gate(&measured, &committed, tolerance) {
+            None => eprintln!("--compare: missing baseline_single_thread row; skipping gate"),
+            Some(failures) if failures.is_empty() => println!(
                 "perf gate: no row regressed more than {:.0}% (baseline-normalized) vs {path}",
                 tolerance * 100.0
-            );
-        } else {
-            for (name, measured_norm, committed_norm) in &failures {
-                eprintln!(
-                    "perf gate FAIL: {name}: {measured_norm:.4}x baseline, committed \
-                     {committed_norm:.4}x baseline ({:.1}% regression)",
-                    (1.0 - measured_norm / committed_norm) * 100.0
-                );
+            ),
+            Some(failures) => {
+                for failure in &failures {
+                    eprintln!(
+                        "perf gate FAIL: {}: {:.4}x baseline, committed {:.4}x baseline \
+                         ({:.1}% regression)",
+                        failure.row,
+                        failure.measured,
+                        failure.committed,
+                        (1.0 - failure.measured / failure.committed) * 100.0
+                    );
+                }
+                std::process::exit(1);
             }
-            std::process::exit(1);
         }
     }
 }

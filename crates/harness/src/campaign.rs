@@ -39,6 +39,7 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::journal::{campaign_fingerprint, read_journal, JournalMeta, JournalWriter};
 use crate::json::Json;
 use crate::report::{percent, Table};
+use crate::results::ResultRow;
 use crate::runner::{default_threads, PrefetcherKind, RunScale};
 use crate::sampling::SamplingPlan;
 use dspatch_prefetchers::{SmsConfig, SmsPrefetcher};
@@ -1089,12 +1090,7 @@ impl CampaignResult {
     /// Mean per-core IPC of a row's candidate simulation (the single IPC
     /// aggregation both report renderers use).
     pub fn row_ipc(&self, row: &CampaignRow) -> f64 {
-        let sim = self.sim_of(row);
-        sim.cores
-            .iter()
-            .map(dspatch_sim::CoreResult::ipc)
-            .sum::<f64>()
-            / sim.cores.len().max(1) as f64
+        crate::results::mean_ipc(self.sim_of(row))
     }
 
     /// Renders every row as an aligned ASCII table.
@@ -1840,6 +1836,27 @@ fn execute_cells(
         }
     }
 
+    // Every persisted record — journal line, store row — carries the cell's
+    // identity spelled out as one canonical ResultRow, so the analytics
+    // layer can filter and group without re-deriving anything.
+    let sampling_suffix = scale
+        .sampling
+        .as_ref()
+        .map(crate::sampling::SamplingPlan::fingerprint_suffix)
+        .unwrap_or_default();
+    let row_of = |job: &Job, sim: &SimResult| {
+        ResultRow::new(
+            job.fingerprint.clone(),
+            name.to_owned(),
+            job.target.name().to_owned(),
+            job.sel.label(),
+            job.config_label.clone(),
+            scale.accesses_per_workload as u64,
+            sampling_suffix.clone(),
+            sim.clone(),
+        )
+    };
+
     // Journal replay: completed cells load from the verified journal and
     // never re-execute. A missing (or not-yet-written) journal starts fresh
     // so `resume: true` is safe on the first run too.
@@ -1886,13 +1903,13 @@ fn execute_cells(
         let mut store = lock_unpoisoned(shared);
         for (index, job) in jobs.iter().enumerate() {
             if let Some(sim) = &replayed[index] {
-                store.insert(&job.fingerprint, sim)?;
+                store.insert(&row_of(job, sim))?;
                 continue;
             }
             let hit = store.get(&job.fingerprint).cloned();
             if let Some(sim) = hit {
                 if let Some(writer) = writer.as_mut() {
-                    writer.append_sim(&job.key, &sim, false)?;
+                    writer.append_sim(&job.key, &row_of(job, &sim), false)?;
                 }
                 replayed[index] = Some(sim);
                 cached_outcome[index] = Some(CellOutcome::Store);
@@ -2036,6 +2053,7 @@ fn execute_cells(
             let completed = &completed;
             let journal_sink = &journal_sink;
             let write_error = &write_error;
+            let row_of = &row_of;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
@@ -2064,7 +2082,7 @@ fn execute_cells(
                                 let corrupt = opts.faults.as_ref().is_some_and(|plan| {
                                     plan.corrupts_journal(job.target.name(), &job.sel.label())
                                 });
-                                writer.append_sim(&job.key, sim, corrupt)
+                                writer.append_sim(&job.key, &row_of(job, sim), corrupt)
                             }
                             Err(failure) => {
                                 writer.append_failure(&job.key, &failure.error, failure.attempts)
@@ -2082,7 +2100,7 @@ fn execute_cells(
                     // fatal for the campaign.
                     let stored = match (&opts.store, &outcome) {
                         (Some(shared), Ok(sim)) => lock_unpoisoned(shared)
-                            .insert(&job.fingerprint, sim)
+                            .insert(&row_of(job, sim))
                             .map(|_| ()),
                         _ => Ok(()),
                     };

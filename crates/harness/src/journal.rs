@@ -22,23 +22,33 @@
 //! use), and `f64` fields rely on the emitter's shortest-round-trip
 //! rendering — a resumed campaign's merged output is bit-identical to an
 //! uninterrupted run (`tests/fault_tolerance.rs` asserts it).
+//!
+//! Since format version 2 a sim record carries a full canonical
+//! [`ResultRow`] (`{"sim": {"key", "row"}}`) instead of a bare result, so
+//! the journal shares one schema with the store and the analytics layer.
+//! Version-1 records (`{"sim": {"key", "result"}}`) still parse — the
+//! upgrade path is exercised by the committed fixtures in
+//! `tests/fixtures/`.
 
 use crate::error::HarnessError;
 use crate::json::Json;
+use crate::results::{json_u64, ResultRow};
 use crate::runner::RunScale;
-use dspatch_sim::stats::{IntervalEstimate, SamplingStats};
-use dspatch_sim::{
-    CacheGeometry, CacheStats, CoreResult, DramStats, PollutionBreakdown, PrefetchAccounting,
-    SimResult,
-};
+use dspatch_sim::SimResult;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+// The exact `SimResult` serializers historically lived here; they are now
+// the schema module's, re-exported so existing callers keep compiling.
+pub use crate::results::{sim_result_from_json, sim_result_to_json};
+
 /// Magic value of the meta line's `journal` field.
 const JOURNAL_MAGIC: &str = "dspatch-campaign-journal";
-/// Journal format version.
-const JOURNAL_VERSION: u64 = 1;
+/// Journal format version (sim records carry [`ResultRow`]s).
+const JOURNAL_VERSION: u64 = 2;
+/// Oldest journal version still readable (bare-result sim records).
+const JOURNAL_MIN_VERSION: u64 = 1;
 
 /// FNV-1a 64-bit over a byte stream — stable, dependency-free fingerprint.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -70,266 +80,6 @@ pub fn campaign_fingerprint(spec_json: &Json, scale: &RunScale) -> String {
         identity.push_str(&plan.fingerprint_suffix());
     }
     format!("{:016x}", fnv1a(identity.as_bytes()))
-}
-
-fn json_u64(value: u64) -> Json {
-    // Exact round-trip: JSON numbers are f64, so values at or above 2^53
-    // travel as decimal strings (the parser accepts both forms).
-    if value < (1u64 << 53) {
-        Json::num(value as f64)
-    } else {
-        Json::str(value.to_string())
-    }
-}
-
-fn get<'a>(obj: &'a Json, key: &str, context: &str) -> Result<&'a Json, String> {
-    obj.get(key)
-        .ok_or_else(|| format!("{context}: missing '{key}'"))
-}
-
-fn get_u64(obj: &Json, key: &str, context: &str) -> Result<u64, String> {
-    let value = get(obj, key, context)?;
-    if let Some(text) = value.as_str() {
-        return text
-            .parse::<u64>()
-            .map_err(|_| format!("{context}: '{key}' string is not a u64: '{text}'"));
-    }
-    value
-        .as_u64()
-        .ok_or_else(|| format!("{context}: '{key}' must be a non-negative integer"))
-}
-
-fn get_f64(obj: &Json, key: &str, context: &str) -> Result<f64, String> {
-    get(obj, key, context)?
-        .as_f64()
-        .ok_or_else(|| format!("{context}: '{key}' must be a number"))
-}
-
-fn get_str<'a>(obj: &'a Json, key: &str, context: &str) -> Result<&'a str, String> {
-    get(obj, key, context)?
-        .as_str()
-        .ok_or_else(|| format!("{context}: '{key}' must be a string"))
-}
-
-fn cache_stats_to_json(stats: &CacheStats) -> Json {
-    Json::obj([
-        ("demand_hits", json_u64(stats.demand_hits)),
-        ("demand_misses", json_u64(stats.demand_misses)),
-        ("demand_fills", json_u64(stats.demand_fills)),
-        ("prefetch_fills", json_u64(stats.prefetch_fills)),
-        ("prefetch_first_uses", json_u64(stats.prefetch_first_uses)),
-        (
-            "prefetch_unused_evictions",
-            json_u64(stats.prefetch_unused_evictions),
-        ),
-    ])
-}
-
-fn cache_stats_from_json(json: &Json, context: &str) -> Result<CacheStats, String> {
-    Ok(CacheStats {
-        demand_hits: get_u64(json, "demand_hits", context)?,
-        demand_misses: get_u64(json, "demand_misses", context)?,
-        demand_fills: get_u64(json, "demand_fills", context)?,
-        prefetch_fills: get_u64(json, "prefetch_fills", context)?,
-        prefetch_first_uses: get_u64(json, "prefetch_first_uses", context)?,
-        prefetch_unused_evictions: get_u64(json, "prefetch_unused_evictions", context)?,
-    })
-}
-
-fn accounting_to_json(accounting: &PrefetchAccounting) -> Json {
-    Json::obj([
-        (
-            "l2_demand_accesses",
-            json_u64(accounting.l2_demand_accesses),
-        ),
-        ("covered", json_u64(accounting.covered)),
-        ("uncovered", json_u64(accounting.uncovered)),
-        ("prefetches_issued", json_u64(accounting.prefetches_issued)),
-        ("prefetches_used", json_u64(accounting.prefetches_used)),
-        ("prefetches_unused", json_u64(accounting.prefetches_unused)),
-    ])
-}
-
-fn accounting_from_json(json: &Json, context: &str) -> Result<PrefetchAccounting, String> {
-    Ok(PrefetchAccounting {
-        l2_demand_accesses: get_u64(json, "l2_demand_accesses", context)?,
-        covered: get_u64(json, "covered", context)?,
-        uncovered: get_u64(json, "uncovered", context)?,
-        prefetches_issued: get_u64(json, "prefetches_issued", context)?,
-        prefetches_used: get_u64(json, "prefetches_used", context)?,
-        prefetches_unused: get_u64(json, "prefetches_unused", context)?,
-    })
-}
-
-/// Serializes a full [`SimResult`] for the journal, exactly.
-pub fn sim_result_to_json(sim: &SimResult) -> Json {
-    let cores = sim.cores.iter().map(|core| {
-        Json::obj([
-            ("workload", Json::str(&core.workload)),
-            ("prefetcher", Json::str(&core.prefetcher)),
-            ("instructions", json_u64(core.instructions)),
-            ("finish_cycle", json_u64(core.finish_cycle)),
-            ("l1", cache_stats_to_json(&core.l1)),
-            ("l2", cache_stats_to_json(&core.l2)),
-            ("accounting", accounting_to_json(&core.accounting)),
-        ])
-    });
-    let geometry = sim.cache_geometry.iter().map(|geom| {
-        Json::obj([
-            ("name", Json::str(&geom.name)),
-            ("requested_bytes", json_u64(geom.requested_bytes as u64)),
-            ("ways", json_u64(geom.ways as u64)),
-            ("sets", json_u64(geom.sets as u64)),
-            ("effective_bytes", json_u64(geom.effective_bytes as u64)),
-            ("rounded", Json::Bool(geom.rounded)),
-        ])
-    });
-    let mut json = Json::obj([
-        ("cores", Json::Arr(cores.collect())),
-        ("llc", cache_stats_to_json(&sim.llc)),
-        (
-            "dram",
-            Json::obj([
-                ("cas_commands", json_u64(sim.dram.cas_commands)),
-                ("row_hits", json_u64(sim.dram.row_hits)),
-                ("row_misses", json_u64(sim.dram.row_misses)),
-                ("prefetch_accesses", json_u64(sim.dram.prefetch_accesses)),
-                // f64: the emitter's shortest-round-trip rendering is exact.
-                ("utilization_sum", Json::num(sim.dram.utilization_sum)),
-                ("windows", json_u64(sim.dram.windows)),
-            ]),
-        ),
-        (
-            "pollution",
-            Json::obj([
-                ("no_reuse", json_u64(sim.pollution.no_reuse)),
-                (
-                    "prefetched_before_use",
-                    json_u64(sim.pollution.prefetched_before_use),
-                ),
-                ("bad_pollution", json_u64(sim.pollution.bad_pollution)),
-            ]),
-        ),
-        ("cycles", json_u64(sim.cycles)),
-        ("cache_geometry", Json::Arr(geometry.collect())),
-    ]);
-    // Exact runs keep their historical byte layout: the key only appears
-    // for sampled results.
-    if let Some(stats) = &sim.sampling {
-        if let Json::Obj(entries) = &mut json {
-            entries.push(("sampling".to_owned(), sampling_stats_to_json(stats)));
-        }
-    }
-    json
-}
-
-fn estimate_to_json(estimate: &IntervalEstimate) -> Json {
-    Json::obj([
-        ("mean", Json::num(estimate.mean)),
-        ("ci95", Json::num(estimate.ci95)),
-    ])
-}
-
-fn estimate_from_json(json: &Json, context: &str) -> Result<IntervalEstimate, String> {
-    Ok(IntervalEstimate {
-        mean: get_f64(json, "mean", context)?,
-        ci95: get_f64(json, "ci95", context)?,
-    })
-}
-
-fn sampling_stats_to_json(stats: &SamplingStats) -> Json {
-    Json::obj([
-        ("warmup_accesses", json_u64(stats.warmup_accesses)),
-        ("interval_accesses", json_u64(stats.interval_accesses)),
-        ("intervals", json_u64(u64::from(stats.intervals))),
-        ("seed", json_u64(stats.seed)),
-        ("ipc", estimate_to_json(&stats.ipc)),
-        ("coverage", estimate_to_json(&stats.coverage)),
-        ("accuracy", estimate_to_json(&stats.accuracy)),
-    ])
-}
-
-fn sampling_stats_from_json(json: &Json) -> Result<SamplingStats, String> {
-    Ok(SamplingStats {
-        warmup_accesses: get_u64(json, "warmup_accesses", "sampling")?,
-        interval_accesses: get_u64(json, "interval_accesses", "sampling")?,
-        intervals: u32::try_from(get_u64(json, "intervals", "sampling")?)
-            .map_err(|_| "sampling: 'intervals' is too large")?,
-        seed: get_u64(json, "seed", "sampling")?,
-        ipc: estimate_from_json(get(json, "ipc", "sampling")?, "sampling ipc")?,
-        coverage: estimate_from_json(get(json, "coverage", "sampling")?, "sampling coverage")?,
-        accuracy: estimate_from_json(get(json, "accuracy", "sampling")?, "sampling accuracy")?,
-    })
-}
-
-/// Parses a journaled [`SimResult`], the exact inverse of
-/// [`sim_result_to_json`].
-///
-/// # Errors
-///
-/// Returns a message naming the first missing or mistyped field.
-pub fn sim_result_from_json(json: &Json) -> Result<SimResult, String> {
-    let cores = get(json, "cores", "sim result")?
-        .as_arr()
-        .ok_or("sim result: 'cores' must be an array")?
-        .iter()
-        .map(|core| {
-            Ok(CoreResult {
-                workload: get_str(core, "workload", "core")?.to_owned(),
-                prefetcher: get_str(core, "prefetcher", "core")?.to_owned(),
-                instructions: get_u64(core, "instructions", "core")?,
-                finish_cycle: get_u64(core, "finish_cycle", "core")?,
-                l1: cache_stats_from_json(get(core, "l1", "core")?, "core l1")?,
-                l2: cache_stats_from_json(get(core, "l2", "core")?, "core l2")?,
-                accounting: accounting_from_json(
-                    get(core, "accounting", "core")?,
-                    "core accounting",
-                )?,
-            })
-        })
-        .collect::<Result<Vec<_>, String>>()?;
-    let dram = get(json, "dram", "sim result")?;
-    let pollution = get(json, "pollution", "sim result")?;
-    let geometry = get(json, "cache_geometry", "sim result")?
-        .as_arr()
-        .ok_or("sim result: 'cache_geometry' must be an array")?
-        .iter()
-        .map(|geom| {
-            Ok(CacheGeometry {
-                name: get_str(geom, "name", "geometry")?.to_owned(),
-                requested_bytes: get_u64(geom, "requested_bytes", "geometry")? as usize,
-                ways: get_u64(geom, "ways", "geometry")? as usize,
-                sets: get_u64(geom, "sets", "geometry")? as usize,
-                effective_bytes: get_u64(geom, "effective_bytes", "geometry")? as usize,
-                rounded: get(geom, "rounded", "geometry")?
-                    .as_bool()
-                    .ok_or("geometry: 'rounded' must be a boolean")?,
-            })
-        })
-        .collect::<Result<Vec<_>, String>>()?;
-    Ok(SimResult {
-        cores,
-        llc: cache_stats_from_json(get(json, "llc", "sim result")?, "llc")?,
-        dram: DramStats {
-            cas_commands: get_u64(dram, "cas_commands", "dram")?,
-            row_hits: get_u64(dram, "row_hits", "dram")?,
-            row_misses: get_u64(dram, "row_misses", "dram")?,
-            prefetch_accesses: get_u64(dram, "prefetch_accesses", "dram")?,
-            utilization_sum: get_f64(dram, "utilization_sum", "dram")?,
-            windows: get_u64(dram, "windows", "dram")?,
-        },
-        pollution: PollutionBreakdown {
-            no_reuse: get_u64(pollution, "no_reuse", "pollution")?,
-            prefetched_before_use: get_u64(pollution, "prefetched_before_use", "pollution")?,
-            bad_pollution: get_u64(pollution, "bad_pollution", "pollution")?,
-        },
-        cycles: get_u64(json, "cycles", "sim result")?,
-        cache_geometry: geometry,
-        sampling: match json.get("sampling") {
-            None | Some(Json::Null) => None,
-            Some(stats) => Some(sampling_stats_from_json(stats)?),
-        },
-    })
 }
 
 /// The identity a journal is bound to, checked on resume.
@@ -466,7 +216,7 @@ fn parse_journal_line(
             )));
         }
         let version = json.get("version").and_then(Json::as_u64).unwrap_or(0);
-        if version != JOURNAL_VERSION {
+        if !(JOURNAL_MIN_VERSION..=JOURNAL_VERSION).contains(&version) {
             return Err(HarnessError::Mismatch {
                 path: display.to_owned(),
                 field: "version",
@@ -500,10 +250,17 @@ fn parse_journal_line(
             .and_then(Json::as_str)
             .ok_or_else(|| corrupt("sim record missing string 'key'".to_owned()))?
             .to_owned();
-        let result = sim
-            .get("result")
-            .ok_or_else(|| corrupt("sim record missing 'result'".to_owned()))
-            .and_then(|result| sim_result_from_json(result).map_err(corrupt))?;
+        // Version 2 records carry a full canonical row; version 1 records a
+        // bare result. Both shapes are accepted regardless of the meta
+        // line's version so mixed files (a v1 journal resumed by v2 code)
+        // stay readable.
+        let result = if let Some(row) = sim.get("row") {
+            ResultRow::from_json(row).map_err(corrupt)?.result
+        } else {
+            sim.get("result")
+                .ok_or_else(|| corrupt("sim record missing 'row' or 'result'".to_owned()))
+                .and_then(|result| sim_result_from_json(result).map_err(corrupt))?
+        };
         return Ok(JournalRecord::Sim {
             key,
             result: Box::new(result),
@@ -573,7 +330,8 @@ impl JournalWriter {
         })
     }
 
-    /// Appends one completed simulation. `corrupt` mangles the record (the
+    /// Appends one completed simulation as a canonical [`ResultRow`].
+    /// `corrupt` mangles the record (the
     /// [`crate::faults::Fault::CorruptJournal`] injection) so recovery tests
     /// can produce mid-file damage deterministically.
     ///
@@ -583,15 +341,12 @@ impl JournalWriter {
     pub fn append_sim(
         &mut self,
         key: &str,
-        result: &SimResult,
+        row: &ResultRow,
         corrupt: bool,
     ) -> Result<(), HarnessError> {
         let record = Json::obj([(
             "sim",
-            Json::obj([
-                ("key", Json::str(key)),
-                ("result", sim_result_to_json(result)),
-            ]),
+            Json::obj([("key", Json::str(key)), ("row", row.to_json())]),
         )]);
         let mut line = record.render_compact();
         if corrupt {
@@ -638,6 +393,23 @@ impl JournalWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dspatch_sim::stats::{IntervalEstimate, SamplingStats};
+    use dspatch_sim::{
+        CacheGeometry, CacheStats, CoreResult, DramStats, PollutionBreakdown, PrefetchAccounting,
+    };
+
+    fn row(sim: &SimResult) -> ResultRow {
+        ResultRow::new(
+            "0000000000000000".to_owned(),
+            "test".to_owned(),
+            "stream_1".to_owned(),
+            "SPP".to_owned(),
+            "1T".to_owned(),
+            1000,
+            String::new(),
+            sim.clone(),
+        )
+    }
 
     fn temp_path(label: &str) -> PathBuf {
         std::env::temp_dir().join(format!(
@@ -796,7 +568,9 @@ mod tests {
         let path = temp_path("cycle");
         let mut writer = JournalWriter::create(&path, &meta()).expect("create");
         let sim = sample_sim();
-        writer.append_sim("job-a", &sim, false).expect("append");
+        writer
+            .append_sim("job-a", &row(&sim), false)
+            .expect("append");
         writer
             .append_failure(
                 "job-b",
@@ -824,8 +598,12 @@ mod tests {
         let path = temp_path("torn");
         let mut writer = JournalWriter::create(&path, &meta()).expect("create");
         let sim = sample_sim();
-        writer.append_sim("job-a", &sim, false).expect("append");
-        writer.append_sim("job-b", &sim, false).expect("append");
+        writer
+            .append_sim("job-a", &row(&sim), false)
+            .expect("append");
+        writer
+            .append_sim("job-b", &row(&sim), false)
+            .expect("append");
         drop(writer);
         // Tear the final line mid-record, like a kill -9 mid-write.
         let bytes = std::fs::read(&path).expect("read");
@@ -837,7 +615,9 @@ mod tests {
         assert!((contents.clean_len as usize) < torn_len);
         // Resuming truncates the tail so appends start on a clean boundary.
         let mut writer = JournalWriter::resume(&path, contents.clean_len).expect("resume");
-        writer.append_sim("job-b", &sim, false).expect("re-append");
+        writer
+            .append_sim("job-b", &row(&sim), false)
+            .expect("re-append");
         drop(writer);
         let contents = read_journal(&path, &meta()).expect("read again");
         assert_eq!(contents.sims.len(), 2);
@@ -850,10 +630,10 @@ mod tests {
         let mut writer = JournalWriter::create(&path, &meta()).expect("create");
         let sim = sample_sim();
         writer
-            .append_sim("job-a", &sim, true)
+            .append_sim("job-a", &row(&sim), true)
             .expect("corrupt record");
         writer
-            .append_sim("job-b", &sim, false)
+            .append_sim("job-b", &row(&sim), false)
             .expect("good record");
         drop(writer);
         let err = read_journal(&path, &meta()).expect_err("must reject");

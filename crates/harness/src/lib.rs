@@ -33,6 +33,7 @@
 // tests are exempt (assertions are their job).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analytics;
 pub mod campaign;
 pub mod error;
 pub mod experiments;
@@ -42,10 +43,12 @@ pub mod journal;
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod results;
 pub mod runner;
 pub mod sampling;
 pub mod store;
 
+pub use analytics::{ColumnarView, Query, QueryOutput};
 pub use campaign::{
     CampaignResult, CampaignSpec, CellFailure, CellOutcome, CellSpec, ExecOptions, ProgressEvent,
     ProgressSink, RetryPolicy, SharedStore,
@@ -56,6 +59,7 @@ pub use figures::FigureId;
 pub use journal::{JournalMeta, JournalWriter};
 pub use json::{Json, JsonError, JsonErrorKind};
 pub use report::Table;
+pub use results::ResultRow;
 pub use runner::{PrefetcherKind, RunScale};
 pub use sampling::SamplingPlan;
 pub use store::ResultStore;

@@ -54,10 +54,21 @@ impl ScenarioThroughput {
     }
 }
 
+/// Host logical CPU count ([`std::thread::available_parallelism`]),
+/// recorded in every snapshot document so cross-host comparisons are
+/// visible instead of silently wrong.
+pub fn host_cpus() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
 /// The result of one snapshot run: the four fixed headline scenarios plus
 /// one single-thread row per registry prefetcher.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotReport {
+    /// Logical CPUs of the measuring host ([`host_cpus`]).
+    pub host_cpus: u64,
     /// One core, baseline configuration (no L2 prefetcher).
     pub baseline_single_thread: ScenarioThroughput,
     /// One core running DSPatch+SPP over a **materialized** trace.
@@ -112,6 +123,7 @@ impl SnapshotReport {
         }
         Json::obj([
             ("benchmark", Json::str("sim_throughput")),
+            ("host_cpus", Json::num(self.host_cpus as f64)),
             (
                 "baseline_single_thread",
                 scenario(&self.baseline_single_thread),
@@ -447,6 +459,7 @@ pub fn run_snapshot(
         })
         .collect();
     SnapshotReport {
+        host_cpus: host_cpus(),
         baseline_single_thread,
         dspatch_spp_single_thread,
         streaming_single_thread: best(&|| run_streaming_snapshot(single_accesses)),
@@ -463,6 +476,129 @@ pub fn run_snapshot(
             .collect(),
         per_prefetcher,
     }
+}
+
+/// Flattens a snapshot JSON document into `(row name, accesses_per_sec)`
+/// pairs — the headline scenarios plus the `multi_core_parallel.*` and
+/// `per_prefetcher.*` sub-rows.
+pub fn throughput_rows(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut push = |name: String, row: &Json| {
+        if let Some(rate) = row.get("accesses_per_sec").and_then(Json::as_f64) {
+            out.push((name, rate));
+        }
+    };
+    for name in [
+        "baseline_single_thread",
+        "dspatch_spp_single_thread",
+        "streaming_single_thread",
+        "sampled_single_thread",
+        "four_core",
+    ] {
+        if let Some(row) = doc.get(name) {
+            push(name.to_owned(), row);
+        }
+    }
+    if let Some(Json::Obj(entries)) = doc.get("multi_core_parallel") {
+        for (name, row) in entries {
+            push(format!("multi_core_parallel.{name}"), row);
+        }
+    }
+    if let Some(Json::Obj(entries)) = doc.get("per_prefetcher") {
+        for (name, row) in entries {
+            push(format!("per_prefetcher.{name}"), row);
+        }
+    }
+    out
+}
+
+/// One regressed row of the perf gate: baseline-normalized throughput in
+/// the committed document vs the fresh measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Flattened row name (e.g. `per_prefetcher.spp`).
+    pub row: String,
+    /// Committed normalized throughput (x baseline).
+    pub committed: f64,
+    /// Measured normalized throughput (x baseline).
+    pub measured: f64,
+}
+
+/// The `perf_snapshot --compare` regression gate, evaluated as a
+/// **two-version trend through the analytics engine**: both documents'
+/// rows are loaded into a [`crate::analytics::ColumnarView`] as a
+/// `normalized_throughput` metric under the pseudo-versions `committed`
+/// and `measured`, and a `trend` query groups them per row name. A row
+/// regresses when its measured normalized throughput falls more than
+/// `tolerance` below the committed value. Rows present in only one
+/// document never gate.
+///
+/// Normalization divides each row by its own document's
+/// `baseline_single_thread` rate, so the verdict compares machine-relative
+/// cost, not absolute host speed. Returns `None` (gate skipped) when
+/// either document lacks that baseline row.
+pub fn regression_gate(measured: &Json, committed: &Json, tolerance: f64) -> Option<Vec<GateRow>> {
+    use crate::analytics::{Agg, ColumnarView, Field, Query};
+
+    let baseline_of = |doc: &Json| {
+        doc.get("baseline_single_thread")
+            .and_then(|b| b.get("accesses_per_sec"))
+            .and_then(Json::as_f64)
+            .filter(|&b| b > 0.0)
+    };
+    let measured_base = baseline_of(measured)?;
+    let committed_base = baseline_of(committed)?;
+
+    let mut entries: Vec<(String, String, f64)> = Vec::new();
+    for (name, rate) in throughput_rows(committed) {
+        entries.push((name, "committed".to_owned(), rate / committed_base));
+    }
+    for (name, rate) in throughput_rows(measured) {
+        entries.push((name, "measured".to_owned(), rate / measured_base));
+    }
+    let view = ColumnarView::from_named_metric("normalized_throughput", &entries);
+    let query = Query {
+        group_by: vec![Field::Workload],
+        agg: Some(Agg::Mean),
+        metric: Some("normalized_throughput".to_owned()),
+        trend: true,
+        ..Query::default()
+    };
+    // The view carries the metric by construction, so this cannot fail;
+    // degrade to "gate skipped" rather than panic if it ever does.
+    let output = view.run(&query).ok()?;
+
+    let mut by_row: std::collections::BTreeMap<String, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for row in &output.rows {
+        let (Some(name), Some(version), Some(value)) = (
+            row.first().and_then(Json::as_str),
+            row.get(1).and_then(Json::as_str),
+            row.get(2).and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let slot = by_row.entry(name.to_owned()).or_default();
+        match version {
+            "committed" => slot.0 = Some(value),
+            _ => slot.1 = Some(value),
+        }
+    }
+    Some(
+        by_row
+            .into_iter()
+            .filter_map(|(row, slots)| match slots {
+                (Some(committed), Some(measured)) if measured < committed * (1.0 - tolerance) => {
+                    Some(GateRow {
+                        row,
+                        committed,
+                        measured,
+                    })
+                }
+                _ => None,
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -531,6 +667,7 @@ mod tests {
         );
         let json = report.to_json();
         assert!(json.contains("\"accesses_per_sec\""));
+        assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("\"baseline_single_thread\""));
         assert!(json.contains("\"streaming_single_thread\""));
         assert!(json.contains("\"sampled_single_thread\""));
@@ -546,5 +683,70 @@ mod tests {
             Some(400)
         );
         assert!(!report.summary().is_empty());
+        assert_eq!(report.host_cpus, host_cpus());
+    }
+
+    fn doc(baseline: f64, spp: f64) -> Json {
+        let scenario = |rate: f64| {
+            Json::obj([
+                ("accesses", Json::num(1000.0)),
+                ("accesses_per_sec", Json::num(rate)),
+            ])
+        };
+        Json::obj([
+            ("benchmark", Json::str("sim_throughput")),
+            ("baseline_single_thread", scenario(baseline)),
+            ("per_prefetcher", Json::obj([("spp", scenario(spp))])),
+        ])
+    }
+
+    #[test]
+    fn gate_passes_on_proportional_slowdown_and_fails_on_relative_one() {
+        // Half the absolute speed, same ratio: a different machine, not a
+        // regression — normalization must absorb it.
+        let committed = doc(1000.0, 800.0);
+        let slower_host = doc(500.0, 400.0);
+        let verdict = regression_gate(&slower_host, &committed, 0.30).expect("gate runs");
+        assert!(verdict.is_empty(), "{verdict:?}");
+
+        // Same machine speed, SPP path 2x more expensive relative to
+        // baseline: that is the regression the gate exists for.
+        let regressed = doc(1000.0, 400.0);
+        let verdict = regression_gate(&regressed, &committed, 0.30).expect("gate runs");
+        assert_eq!(verdict.len(), 1);
+        assert_eq!(verdict[0].row, "per_prefetcher.spp");
+        assert_eq!(verdict[0].committed, 0.8);
+        assert_eq!(verdict[0].measured, 0.4);
+
+        // Within tolerance: no verdict.
+        let mild = doc(1000.0, 700.0);
+        assert!(regression_gate(&mild, &committed, 0.30)
+            .expect("gate runs")
+            .is_empty());
+    }
+
+    #[test]
+    fn gate_skips_without_a_baseline_row_and_ignores_unshared_rows() {
+        let committed = doc(1000.0, 800.0);
+        let no_baseline = Json::obj([("benchmark", Json::str("sim_throughput"))]);
+        assert!(regression_gate(&no_baseline, &committed, 0.30).is_none());
+
+        // A row only the measured document has never gates.
+        let measured = Json::obj([
+            (
+                "baseline_single_thread",
+                doc(1000.0, 1.0)
+                    .get("baseline_single_thread")
+                    .cloned()
+                    .unwrap(),
+            ),
+            (
+                "per_prefetcher",
+                Json::obj([("bop", Json::obj([("accesses_per_sec", Json::num(1.0))]))]),
+            ),
+        ]);
+        assert!(regression_gate(&measured, &committed, 0.30)
+            .expect("gate runs")
+            .is_empty());
     }
 }

@@ -11,17 +11,25 @@
 //! discipline: one flushed JSON line per record, a torn final line silently
 //! truncated on open, mid-file damage a typed [`HarnessError::Corrupt`].
 //!
+//! Since format version 2 each record is a canonical
+//! [`ResultRow`] (`{"row": {...}}`) carrying the fingerprint identity
+//! spelled out as typed fields — which is what the [`crate::analytics`]
+//! layer queries. Version-1 records (`{"cell": {"fingerprint", "result"}}`)
+//! still parse, upgrading into legacy-tagged rows with empty identity.
+//!
 //! The fingerprint deliberately excludes the parallelism knobs
 //! (`parallel_cores` / `parallel_workers` / `parallel_epoch_cycles`): the
 //! epoch engine is bit-identical for every worker count by construction, so a
 //! result simulated with 4 intra-sim workers answers a single-threaded
 //! request for the same cell. It deliberately *includes* the crate version:
 //! a simulator change invalidates old results by changing the key, never by
-//! rewriting the file.
+//! rewriting the file — [`ResultStore::gc`] is how superseded versions are
+//! eventually reclaimed.
 
 use crate::error::HarnessError;
-use crate::journal::{fnv1a, sim_result_from_json, sim_result_to_json};
+use crate::journal::fnv1a;
 use crate::json::Json;
+use crate::results::{sim_result_from_json, ResultRow};
 use dspatch_sim::{SimResult, SystemConfig};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
@@ -29,8 +37,10 @@ use std::path::{Path, PathBuf};
 
 /// Magic value of the meta line's `store` field.
 const STORE_MAGIC: &str = "dspatch-result-store";
-/// Store format version.
-const STORE_VERSION: u64 = 1;
+/// Store format version (records are canonical [`ResultRow`]s).
+const STORE_VERSION: u64 = 2;
+/// Oldest store version still readable (bare `cell` records).
+const STORE_MIN_VERSION: u64 = 1;
 /// File name inside the store directory.
 pub const STORE_FILE: &str = "results.jsonl";
 
@@ -38,6 +48,30 @@ pub const STORE_FILE: &str = "results.jsonl";
 /// simulated by older code are never served for newer code (or vice versa).
 pub fn code_version() -> &'static str {
     env!("CARGO_PKG_VERSION")
+}
+
+/// Orders version strings by their dotted numeric segments (`0.10.0` after
+/// `0.9.1`), falling back to byte order for non-numeric segments. The empty
+/// string — a legacy row's unknown version — sorts before everything.
+pub fn compare_versions(a: &str, b: &str) -> std::cmp::Ordering {
+    let mut left = a.split('.');
+    let mut right = b.split('.');
+    loop {
+        match (left.next(), right.next()) {
+            (None, None) => return std::cmp::Ordering::Equal,
+            (None, Some(_)) => return std::cmp::Ordering::Less,
+            (Some(_), None) => return std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => {
+                let ordering = match (x.parse::<u64>(), y.parse::<u64>()) {
+                    (Ok(xn), Ok(yn)) => xn.cmp(&yn),
+                    _ => x.cmp(y),
+                };
+                if ordering != std::cmp::Ordering::Equal {
+                    return ordering;
+                }
+            }
+        }
+    }
 }
 
 /// Content address of one simulation cell, rendered as 16 hex digits.
@@ -82,6 +116,15 @@ pub fn cell_fingerprint_sampled(
     format!("{:016x}", fnv1a(identity.as_bytes()))
 }
 
+/// What one [`ResultStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Rows kept (and rewritten).
+    pub kept: usize,
+    /// Rows dropped (superseded code versions).
+    pub dropped: usize,
+}
+
 /// The append-only on-disk memo table: an in-memory index over
 /// `<dir>/results.jsonl`, with one flushed line per inserted result.
 ///
@@ -91,7 +134,7 @@ pub fn cell_fingerprint_sampled(
 pub struct ResultStore {
     path: PathBuf,
     file: std::fs::File,
-    results: HashMap<String, SimResult>,
+    results: HashMap<String, ResultRow>,
 }
 
 impl ResultStore {
@@ -150,7 +193,7 @@ impl ResultStore {
     fn replay(
         path: &Path,
         display: &str,
-    ) -> Result<(HashMap<String, SimResult>, u64), HarnessError> {
+    ) -> Result<(HashMap<String, ResultRow>, u64), HarnessError> {
         let file = std::fs::File::open(path)
             .map_err(|e| HarnessError::io(display.to_owned(), "open", &e))?;
         let mut reader = BufReader::new(file);
@@ -178,8 +221,8 @@ impl ResultStore {
             };
             match parsed {
                 Ok(StoreRecord::Meta) => offset += bytes as u64,
-                Ok(StoreRecord::Result { cell, result }) => {
-                    results.insert(cell, *result);
+                Ok(StoreRecord::Row(row)) => {
+                    results.insert(row.fingerprint.clone(), *row);
                     offset += bytes as u64;
                 }
                 Err(error) => {
@@ -202,31 +245,30 @@ impl ResultStore {
         Ok((results, offset))
     }
 
-    /// Looks up a cell by fingerprint.
+    /// Looks up a cell's statistics by fingerprint.
     pub fn get(&self, fingerprint: &str) -> Option<&SimResult> {
+        self.results.get(fingerprint).map(|row| &row.result)
+    }
+
+    /// Looks up a cell's full row by fingerprint.
+    pub fn get_row(&self, fingerprint: &str) -> Option<&ResultRow> {
         self.results.get(fingerprint)
     }
 
-    /// Inserts one result, appending a flushed record; a fingerprint already
+    /// Inserts one row, appending a flushed record; a fingerprint already
     /// present is a no-op (returns `false`, writes nothing), so replaying
     /// overlapping campaigns into one store stays idempotent.
     ///
     /// # Errors
     ///
     /// Returns [`HarnessError::Io`] on write failure.
-    pub fn insert(&mut self, fingerprint: &str, result: &SimResult) -> Result<bool, HarnessError> {
-        if self.results.contains_key(fingerprint) {
+    pub fn insert(&mut self, row: &ResultRow) -> Result<bool, HarnessError> {
+        if self.results.contains_key(&row.fingerprint) {
             return Ok(false);
         }
-        let record = Json::obj([(
-            "cell",
-            Json::obj([
-                ("fingerprint", Json::str(fingerprint)),
-                ("result", sim_result_to_json(result)),
-            ]),
-        )]);
+        let record = Json::obj([("row", row.to_json())]);
         self.write_line(&record.render_compact())?;
-        self.results.insert(fingerprint.to_owned(), result.clone());
+        self.results.insert(row.fingerprint.clone(), row.clone());
         Ok(true)
     }
 
@@ -248,7 +290,99 @@ impl ResultStore {
     /// Iterates over `(fingerprint, result)` pairs in index order
     /// (unspecified, not insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &SimResult)> {
-        self.results.iter().map(|(k, v)| (k.as_str(), v))
+        self.results
+            .iter()
+            .map(|(k, row)| (k.as_str(), &row.result))
+    }
+
+    /// Iterates over the stored rows in index order (unspecified, not
+    /// insertion order). The analytics layer sorts canonically on load.
+    pub fn rows(&self) -> impl Iterator<Item = &ResultRow> {
+        self.results.values()
+    }
+
+    /// Compacts the store: rewrites `results.jsonl` keeping, for each cell
+    /// identity (workload, prefetcher, config, scale, sampling), only the
+    /// rows belonging to the newest `keep_versions` distinct code versions.
+    /// Legacy rows (schema 1, identity unknown) are grouped by fingerprint
+    /// alone, so any positive `keep_versions` keeps them — gc never throws
+    /// away data it cannot attribute.
+    ///
+    /// The rewrite is crash-safe: rows are written to `results.jsonl.tmp`
+    /// (meta line first, rows in canonical identity order) and the file is
+    /// atomically renamed over the store — a crash mid-gc leaves the
+    /// original store untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Spec`] for `keep_versions == 0` and
+    /// [`HarnessError::Io`] on write/rename failure.
+    pub fn gc(&mut self, keep_versions: usize) -> Result<GcStats, HarnessError> {
+        if keep_versions == 0 {
+            return Err(HarnessError::spec(
+                "store gc: keep_versions must be at least 1 (0 would drop every row)",
+            ));
+        }
+        // Newest-N code versions per identity group.
+        let mut versions_by_group: HashMap<String, Vec<&str>> = HashMap::new();
+        for row in self.results.values() {
+            let versions = versions_by_group.entry(gc_group_key(row)).or_default();
+            if !versions.contains(&row.code_version.as_str()) {
+                versions.push(&row.code_version);
+            }
+        }
+        for versions in versions_by_group.values_mut() {
+            versions.sort_by(|a, b| compare_versions(b, a));
+            versions.truncate(keep_versions);
+        }
+        let mut kept: Vec<&ResultRow> = self
+            .results
+            .values()
+            .filter(|row| {
+                versions_by_group[&gc_group_key(row)].contains(&row.code_version.as_str())
+            })
+            .collect();
+        kept.sort_by_key(|row| row_identity(row));
+        let stats = GcStats {
+            kept: kept.len(),
+            dropped: self.results.len() - kept.len(),
+        };
+
+        // Write-temp-then-rename: the live file is replaced atomically.
+        let tmp_path = self.path.with_extension("jsonl.tmp");
+        let tmp_display = tmp_path.display().to_string();
+        {
+            let mut tmp = std::fs::File::create(&tmp_path)
+                .map_err(|e| HarnessError::io(tmp_display.clone(), "create", &e))?;
+            let mut write = |line: &str| {
+                tmp.write_all(line.as_bytes())
+                    .and_then(|()| tmp.write_all(b"\n"))
+                    .map_err(|e| HarnessError::io(tmp_display.clone(), "write", &e))
+            };
+            write(&meta_json().render_compact())?;
+            for row in &kept {
+                write(&Json::obj([("row", row.to_json())]).render_compact())?;
+            }
+            tmp.sync_all()
+                .map_err(|e| HarnessError::io(tmp_display.clone(), "sync", &e))?;
+        }
+        let display = self.path.display().to_string();
+        std::fs::rename(&tmp_path, &self.path)
+            .map_err(|e| HarnessError::io(display.clone(), "rename", &e))?;
+
+        // Reopen the append handle on the new file and rebuild the index.
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| HarnessError::io(display.clone(), "open", &e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| HarnessError::io(display, "seek", &e))?;
+        self.file = file;
+        self.results = kept
+            .into_iter()
+            .map(|row| (row.fingerprint.clone(), row.clone()))
+            .collect();
+        Ok(stats)
     }
 
     fn write_line(&mut self, line: &str) -> Result<(), HarnessError> {
@@ -261,6 +395,23 @@ impl ResultStore {
     }
 }
 
+/// The identity group a row competes in during [`ResultStore::gc`].
+fn gc_group_key(row: &ResultRow) -> String {
+    if row.is_legacy() {
+        format!("legacy|{}", row.fingerprint)
+    } else {
+        format!(
+            "{}|{}|{}|{}|{}",
+            row.workload, row.prefetcher, row.config, row.scale, row.sampling
+        )
+    }
+}
+
+/// Canonical sort key for the gc rewrite (and deterministic re-query).
+fn row_identity(row: &ResultRow) -> (String, u64, String) {
+    (gc_group_key(row), row.scale, row.fingerprint.clone())
+}
+
 fn meta_json() -> Json {
     Json::obj([
         ("store", Json::str(STORE_MAGIC)),
@@ -270,10 +421,7 @@ fn meta_json() -> Json {
 
 enum StoreRecord {
     Meta,
-    Result {
-        cell: String,
-        result: Box<SimResult>,
-    },
+    Row(Box<ResultRow>),
 }
 
 fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreRecord, HarnessError> {
@@ -294,7 +442,7 @@ fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreReco
             });
         }
         let version = json.get("version").and_then(Json::as_u64).unwrap_or(0);
-        if version != STORE_VERSION {
+        if !(STORE_MIN_VERSION..=STORE_VERSION).contains(&version) {
             return Err(HarnessError::Mismatch {
                 path: display.to_owned(),
                 field: "version",
@@ -304,6 +452,13 @@ fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreReco
         }
         return Ok(StoreRecord::Meta);
     }
+    // Version 2: a canonical row. Accepted regardless of the meta line's
+    // version so a v1 store appended to by v2 code stays readable.
+    if let Some(row) = json.get("row") {
+        let row = ResultRow::from_json(row).map_err(corrupt)?;
+        return Ok(StoreRecord::Row(Box::new(row)));
+    }
+    // Version 1: fingerprint + bare result, upgraded to a legacy row.
     let cell = json
         .get("cell")
         .ok_or_else(|| corrupt(format!("unknown record shape: {text}")))?;
@@ -316,10 +471,10 @@ fn parse_store_line(text: &str, line_no: u64, display: &str) -> Result<StoreReco
         .get("result")
         .ok_or_else(|| corrupt("cell record missing 'result'".to_owned()))
         .and_then(|result| sim_result_from_json(result).map_err(corrupt))?;
-    Ok(StoreRecord::Result {
-        cell: fingerprint,
-        result: Box::new(result),
-    })
+    Ok(StoreRecord::Row(Box::new(ResultRow::legacy(
+        fingerprint,
+        result,
+    ))))
 }
 
 #[cfg(test)]
@@ -334,6 +489,21 @@ mod tests {
         SimulationBuilder::new(SystemConfig::single_thread())
             .with_core(Trace::new("store-test", records), NullPrefetcher::new())
             .run()
+    }
+
+    fn row_for(fingerprint: &str, workload: &str, prefetcher: &str, version: &str) -> ResultRow {
+        let mut row = ResultRow::new(
+            fingerprint.to_owned(),
+            "store-test".to_owned(),
+            workload.to_owned(),
+            prefetcher.to_owned(),
+            "1T".to_owned(),
+            32,
+            String::new(),
+            tiny_sim(),
+        );
+        row.code_version = version.to_owned();
+        row
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -352,30 +522,46 @@ mod tests {
             &SystemConfig::single_thread(),
             32,
         );
+        let row = ResultRow::new(
+            fp.clone(),
+            "store-test".to_owned(),
+            "test".to_owned(),
+            "Baseline".to_owned(),
+            "1T".to_owned(),
+            32,
+            String::new(),
+            sim.clone(),
+        );
         {
             let mut store = ResultStore::open(&dir).expect("open fresh");
             assert!(store.is_empty());
-            assert!(store.insert(&fp, &sim).expect("insert"));
+            assert!(store.insert(&row).expect("insert"));
             // Idempotent: a second insert writes nothing.
-            assert!(!store.insert(&fp, &sim).expect("reinsert"));
+            assert!(!store.insert(&row).expect("reinsert"));
             assert_eq!(store.len(), 1);
         }
         let store = ResultStore::open(&dir).expect("reopen");
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(&fp), Some(&sim));
+        let stored = store.get_row(&fp).expect("full row");
+        assert_eq!(stored, &row);
+        assert_eq!(stored.code_version, code_version());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn torn_tail_is_truncated_but_midfile_damage_is_typed() {
         let dir = temp_dir("torn");
-        let sim = tiny_sim();
         let fp_a = cell_fingerprint("w:a", "Kind(Spp)", &SystemConfig::single_thread(), 32);
         let fp_b = cell_fingerprint("w:b", "Kind(Spp)", &SystemConfig::single_thread(), 32);
         {
             let mut store = ResultStore::open(&dir).expect("open");
-            store.insert(&fp_a, &sim).expect("insert a");
-            store.insert(&fp_b, &sim).expect("insert b");
+            store
+                .insert(&row_for(&fp_a, "a", "SPP", "0.1.0"))
+                .expect("insert a");
+            store
+                .insert(&row_for(&fp_b, "b", "SPP", "0.1.0"))
+                .expect("insert b");
         }
         let path = dir.join(STORE_FILE);
         let text = std::fs::read_to_string(&path).expect("read");
@@ -433,5 +619,115 @@ mod tests {
         assert_ne!(fp, cell_fingerprint("w:y", "Kind(Dspatch)", &base, 1000));
         assert_ne!(fp, cell_fingerprint("w:x", "Kind(Spp)", &base, 1000));
         assert_ne!(fp, cell_fingerprint("w:x", "Kind(Dspatch)", &base, 2000));
+    }
+
+    #[test]
+    fn version_ordering_is_numeric_per_segment() {
+        use std::cmp::Ordering;
+        assert_eq!(compare_versions("0.10.0", "0.9.1"), Ordering::Greater);
+        assert_eq!(compare_versions("0.9.1", "0.9.1"), Ordering::Equal);
+        assert_eq!(compare_versions("1.0.0", "0.99.99"), Ordering::Greater);
+        assert_eq!(compare_versions("", "0.1.0"), Ordering::Less);
+        assert_eq!(compare_versions("0.1", "0.1.0"), Ordering::Less);
+    }
+
+    #[test]
+    fn gc_keeps_newest_versions_and_is_idempotent() {
+        let dir = temp_dir("gc");
+        {
+            let mut store = ResultStore::open(&dir).expect("open");
+            // Same identity under three code versions, plus a second cell
+            // with one version and a legacy row.
+            store
+                .insert(&row_for("fp-old", "a", "SPP", "0.0.8"))
+                .expect("a old");
+            store
+                .insert(&row_for("fp-mid", "a", "SPP", "0.0.9"))
+                .expect("a mid");
+            store
+                .insert(&row_for("fp-new", "a", "SPP", "0.1.0"))
+                .expect("a new");
+            store
+                .insert(&row_for("fp-b", "b", "SPP", "0.1.0"))
+                .expect("b");
+            store
+                .insert(&ResultRow::legacy("fp-legacy".to_owned(), tiny_sim()))
+                .expect("legacy");
+            assert_eq!(store.len(), 5);
+
+            let stats = store.gc(2).expect("gc");
+            assert_eq!(
+                stats,
+                GcStats {
+                    kept: 4,
+                    dropped: 1
+                }
+            );
+            assert_eq!(store.len(), 4);
+            assert!(store.get("fp-old").is_none(), "0.0.8 is superseded");
+            assert!(store.get("fp-mid").is_some());
+            assert!(store.get("fp-new").is_some());
+            assert!(store.get("fp-b").is_some());
+            assert!(store.get("fp-legacy").is_some(), "legacy rows survive gc");
+
+            // Idempotent: a second pass with the same policy drops nothing.
+            let stats = store.gc(2).expect("gc again");
+            assert_eq!(
+                stats,
+                GcStats {
+                    kept: 4,
+                    dropped: 0
+                }
+            );
+
+            // The store stays appendable after the rewrite.
+            store
+                .insert(&row_for("fp-c", "c", "SPP", "0.1.0"))
+                .expect("append after gc");
+        }
+        let store = ResultStore::open(&dir).expect("reopen");
+        assert_eq!(store.len(), 5);
+        assert!(store.get("fp-c").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_rewrite_is_byte_deterministic() {
+        let dir_x = temp_dir("gc_det_x");
+        let dir_y = temp_dir("gc_det_y");
+        // Same rows, different insertion orders.
+        let rows = [
+            row_for("fp-1", "a", "SPP", "0.1.0"),
+            row_for("fp-2", "b", "BOP", "0.1.0"),
+            row_for("fp-3", "a", "BOP", "0.1.0"),
+        ];
+        {
+            let mut store = ResultStore::open(&dir_x).expect("open x");
+            for row in &rows {
+                store.insert(row).expect("insert");
+            }
+            store.gc(1).expect("gc x");
+        }
+        {
+            let mut store = ResultStore::open(&dir_y).expect("open y");
+            for row in rows.iter().rev() {
+                store.insert(row).expect("insert");
+            }
+            store.gc(1).expect("gc y");
+        }
+        let x = std::fs::read(dir_x.join(STORE_FILE)).expect("read x");
+        let y = std::fs::read(dir_y.join(STORE_FILE)).expect("read y");
+        assert_eq!(x, y, "gc output must not depend on insertion order");
+        std::fs::remove_dir_all(&dir_x).ok();
+        std::fs::remove_dir_all(&dir_y).ok();
+    }
+
+    #[test]
+    fn gc_of_zero_versions_is_a_spec_error() {
+        let dir = temp_dir("gc_zero");
+        let mut store = ResultStore::open(&dir).expect("open");
+        let err = store.gc(0).expect_err("must reject");
+        assert!(matches!(err, HarnessError::Spec { .. }), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -244,6 +244,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response (table/CSV query renderings).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
     /// Adds a header.
     #[must_use]
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {

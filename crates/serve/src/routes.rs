@@ -7,8 +7,9 @@
 //! path is the server's problem (500).
 
 use crate::http::{Request, Response};
-use crate::queue::{Campaign, Phase, ServeState, SubmitError, Submitted};
+use crate::queue::{lock_unpoisoned, Campaign, Phase, ServeState, SubmitError, Submitted};
 use crate::rate_limit::RateLimiter;
+use dspatch_harness::analytics::{self, ColumnarView, Query, QueryFormat, QueryOutput};
 use dspatch_harness::campaign::CampaignSpec;
 use dspatch_harness::{ErrorClass, HarnessError, Json};
 use std::sync::Arc;
@@ -106,6 +107,10 @@ pub fn route(
         },
         ["results"] => match method {
             "GET" => Reply::Full(query_results(state, request)),
+            _ => Reply::Full(method_not_allowed("GET")),
+        },
+        ["query"] => match method {
+            "GET" => Reply::Full(run_query(state, request)),
             _ => Reply::Full(method_not_allowed("GET")),
         },
         ["admin", "shutdown"] => match method {
@@ -209,53 +214,94 @@ fn results_of(state: &Arc<ServeState>, id: &str) -> Response {
     }
 }
 
-/// `GET /results?figure=&workload=&prefetcher=&config=`: a flat query over
-/// every completed campaign's rows. All filters are exact-match and
-/// optional; `figure` matches the campaign name.
-fn query_results(state: &Arc<ServeState>, request: &Request) -> Response {
-    let figure = request.query_param("figure");
-    let workload = request.query_param("workload");
-    let prefetcher = request.query_param("prefetcher");
-    let config = request.query_param("config");
-    let mut rows = Vec::new();
-    for campaign in state.campaigns() {
-        let Some(result) = campaign.result() else {
-            continue;
-        };
-        if figure.is_some_and(|want| want != result.name) {
-            continue;
-        }
-        let rendered = result.to_json();
-        let Some(Json::Arr(result_rows)) = rendered.get("rows").cloned() else {
-            continue;
-        };
-        for row in result_rows {
-            let field = |key: &str| -> Option<String> {
-                row.get(key).and_then(|v| match v {
-                    Json::Str(s) => Some(s.clone()),
-                    _ => None,
-                })
-            };
-            if workload.is_some_and(|want| field("target").as_deref() != Some(want)) {
-                continue;
+/// Loads the analytics view from the shared result store. The lock is held
+/// only for the copy into columns; queries then run lock-free.
+fn load_view(state: &Arc<ServeState>) -> ColumnarView {
+    let store = lock_unpoisoned(state.store());
+    ColumnarView::from_store(&store)
+}
+
+/// `GET /query?...`: the full analytics engine over the result store.
+///
+/// Parameters are the exact grammar `dspatch-lab query` speaks
+/// ([`Query::from_params`]): `where=FIELD<OP>VALUE`, bare `FIELD=VALUE`
+/// filters, `group_by=`, `agg=FN:METRIC`, `trend=METRIC`,
+/// `all_versions=1`, plus `format=table|json|csv` (default `json`). The
+/// body is byte-identical to the CLI's output for the same query — both
+/// call [`analytics::render`] on the same engine.
+fn run_query(state: &Arc<ServeState>, request: &Request) -> Response {
+    let mut format = QueryFormat::Json;
+    let mut params: Vec<(String, String)> = Vec::new();
+    for (key, value) in &request.query {
+        if key == "format" {
+            match QueryFormat::parse(value) {
+                Some(parsed) => format = parsed,
+                None => {
+                    return error_body(400, &format!("unknown format '{value}' (table/json/csv)"))
+                }
             }
-            if prefetcher.is_some_and(|want| field("prefetcher").as_deref() != Some(want)) {
-                continue;
-            }
-            if config.is_some_and(|want| field("config").as_deref() != Some(want)) {
-                continue;
-            }
-            let Json::Obj(mut entries) = row else {
-                continue;
-            };
-            entries.insert(0, ("campaign".to_owned(), Json::str(&campaign.id)));
-            entries.insert(1, ("figure".to_owned(), Json::str(&result.name)));
-            rows.push(Json::Obj(entries));
+        } else {
+            params.push((key.clone(), value.clone()));
         }
     }
+    let query = match Query::from_params(&params) {
+        Ok(query) => query,
+        Err(error) => return harness_error_body(&error),
+    };
+    let output = match load_view(state).run(&query) {
+        Ok(output) => output,
+        Err(error) => return harness_error_body(&error),
+    };
+    let body = analytics::render(&output, format);
+    match format {
+        QueryFormat::Json => Response::json(200, body),
+        QueryFormat::Table | QueryFormat::Csv => Response::text(200, body),
+    }
+}
+
+/// `GET /results?figure=&target=&workload=&prefetcher=&config=`: the
+/// legacy flat row listing, now a compat shim over the same analytics
+/// engine as `/query`. All filters are exact-match and optional; `figure`
+/// matches the campaign name and `target` is an alias for `workload`.
+/// Superseded duplicates are hidden — when the store holds the same cell
+/// simulated by several code versions, only the **newest** `code_version`
+/// rows count, unless `all_versions=1` asks for the full history.
+fn query_results(state: &Arc<ServeState>, request: &Request) -> Response {
+    let mut params: Vec<(String, String)> = Vec::new();
+    for (key, value) in &request.query {
+        let key = match key.as_str() {
+            // The pre-analytics listing named the workload column "target".
+            "target" => "workload",
+            key @ ("figure" | "workload" | "prefetcher" | "config" | "all_versions") => key,
+            other => {
+                return error_body(
+                    400,
+                    &format!(
+                        "unknown /results parameter '{other}' \
+                         (figure/target/workload/prefetcher/config/all_versions; \
+                         /query speaks the full grammar)"
+                    ),
+                )
+            }
+        };
+        params.push((key.to_owned(), value.clone()));
+    }
+    let query = match Query::from_params(&params) {
+        Ok(query) => query,
+        Err(error) => return harness_error_body(&error),
+    };
+    let output = match load_view(state).run(&query) {
+        Ok(output) => output,
+        Err(error) => return harness_error_body(&error),
+    };
+    let QueryOutput { columns, rows } = output;
+    let results: Vec<Json> = rows
+        .into_iter()
+        .map(|row| Json::Obj(columns.iter().cloned().zip(row).collect()))
+        .collect();
     let body = Json::obj([
-        ("matched", Json::num(rows.len() as f64)),
-        ("results", Json::Arr(rows)),
+        ("matched", Json::num(results.len() as f64)),
+        ("results", Json::Arr(results)),
     ]);
     Response::json(200, body.render())
 }

@@ -1,0 +1,175 @@
+//! `GET /query` and the `/results` compat shim over a **preloaded** store:
+//! duplicate-row semantics ("newest code_version wins unless
+//! `all_versions=1`"), the shared parameter grammar, and byte parity
+//! between the served body and the analytics engine the CLI calls.
+//!
+//! The store is written directly with two code versions of the same cell —
+//! something a live server can never produce in one process — before the
+//! server boots on the directory.
+
+use dspatch_harness::analytics::{self, ColumnarView, Query, QueryFormat};
+use dspatch_harness::{Json, ResultRow, ResultStore};
+use dspatch_serve::{http_request, Server, ServerConfig};
+use dspatch_sim::{
+    CacheStats, CoreResult, DramStats, PollutionBreakdown, PrefetchAccounting, SimResult,
+};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+fn sim(ipc_milli: u64) -> SimResult {
+    SimResult {
+        cores: vec![CoreResult {
+            workload: "w".to_owned(),
+            prefetcher: "p".to_owned(),
+            instructions: ipc_milli,
+            finish_cycle: 1000,
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            accounting: PrefetchAccounting {
+                l2_demand_accesses: 100,
+                covered: 40,
+                uncovered: 60,
+                prefetches_issued: 50,
+                prefetches_used: 40,
+                prefetches_unused: 10,
+            },
+        }],
+        llc: CacheStats::default(),
+        dram: DramStats::default(),
+        pollution: PollutionBreakdown::default(),
+        cycles: 1000,
+        cache_geometry: Vec::new(),
+        sampling: None,
+    }
+}
+
+fn row(workload: &str, prefetcher: &str, version: &str, ipc_milli: u64) -> ResultRow {
+    let mut row = ResultRow::new(
+        format!("fp|{workload}|{prefetcher}|{version}"),
+        "query smoke".to_owned(),
+        workload.to_owned(),
+        prefetcher.to_owned(),
+        "1T".to_owned(),
+        1000,
+        String::new(),
+        sim(ipc_milli),
+    );
+    row.code_version = version.to_owned();
+    row
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dspatch-serve-{tag}-{}", std::process::id()));
+    drop(std::fs::remove_dir_all(&dir));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = http_request(addr, "GET", path, None).expect("request");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn get_json(addr: SocketAddr, path: &str) -> (u16, Json) {
+    let (status, text) = get(addr, path);
+    let json = Json::parse(&text).unwrap_or_else(|e| panic!("bad JSON from {path}: {e}\n{text}"));
+    (status, json)
+}
+
+#[test]
+fn query_engine_and_results_shim_share_version_semantics() {
+    let store_dir = temp_dir("query");
+    {
+        let mut store = ResultStore::open(&store_dir).expect("store opens");
+        // The same SPP cell simulated by two releases, plus its baseline.
+        for row in [
+            row("alpha", "Baseline", "0.1.0", 1000),
+            row("alpha", "SPP", "0.0.9", 1200),
+            row("alpha", "SPP", "0.1.0", 1500),
+        ] {
+            assert!(store.insert(&row).expect("insert"));
+        }
+    }
+    let server = Server::start(&ServerConfig {
+        store_dir: store_dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let matched = |path: &str| {
+        let (status, json) = get_json(addr, path);
+        assert_eq!(status, 200, "query {path}");
+        json.get("matched").and_then(Json::as_u64).expect("matched") as usize
+    };
+
+    // Newest code_version wins by default; history on request.
+    assert_eq!(matched("/results"), 2, "superseded 0.0.9 row hidden");
+    assert_eq!(matched("/results?all_versions=1"), 3);
+    assert_eq!(matched("/results?prefetcher=SPP"), 1);
+    assert_eq!(matched("/results?prefetcher=SPP&all_versions=1"), 2);
+
+    // The surviving SPP row must be the 0.1.0 one.
+    let (_, json) = get_json(addr, "/results?prefetcher=SPP");
+    let survivor = match json.get("results") {
+        Some(Json::Arr(rows)) => rows.first().cloned().expect("one row"),
+        _ => panic!("results array"),
+    };
+    assert_eq!(
+        survivor.get("code_version").and_then(Json::as_str),
+        Some("0.1.0")
+    );
+
+    // Unknown /results parameters are a 400, not silently ignored.
+    let (status, _) = get(addr, "/results?bogus=1");
+    assert_eq!(status, 400);
+
+    // /query speaks the full grammar (where=, trend=), applying the same
+    // version semantics: a trend keeps every version by construction.
+    assert_eq!(matched("/query?where=prefetcher%3DSPP&all_versions=1"), 2);
+    let (status, json) = get_json(addr, "/query?group_by=prefetcher&trend=ipc");
+    assert_eq!(status, 200);
+    let rows = match json.get("rows") {
+        Some(Json::Arr(rows)) => rows.clone(),
+        _ => panic!("rows array"),
+    };
+    // Baseline@0.1.0, SPP@0.0.9, SPP@0.1.0 — versions ascending per group.
+    assert_eq!(rows.len(), 3);
+    assert_eq!(
+        rows[1].get("code_version").and_then(Json::as_str),
+        Some("0.0.9")
+    );
+    assert_eq!(rows[1].get("mean_ipc").and_then(Json::as_f64), Some(1.2));
+    assert_eq!(
+        rows[2].get("code_version").and_then(Json::as_str),
+        Some("0.1.0")
+    );
+
+    // Bad grammar is the client's fault: 400 with the spec error class.
+    let (status, json) = get_json(addr, "/query?agg=median:ipc");
+    assert_eq!(status, 400);
+    assert_eq!(json.get("class").and_then(Json::as_str), Some("spec"));
+
+    // Byte parity with the engine the CLI drives: the served body equals
+    // a local ColumnarView::run + render of the same store and query.
+    let params = vec![
+        ("group_by".to_owned(), "prefetcher".to_owned()),
+        ("agg".to_owned(), "mean:ipc".to_owned()),
+        ("all_versions".to_owned(), "1".to_owned()),
+    ];
+    let query = Query::from_params(&params).expect("query parses");
+    let store = ResultStore::open(&store_dir).expect("store reopens");
+    let local = analytics::render(
+        &ColumnarView::from_store(&store).run(&query).expect("runs"),
+        QueryFormat::Json,
+    );
+    let (status, served) = get(
+        addr,
+        "/query?group_by=prefetcher&agg=mean%3Aipc&all_versions=1&format=json",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(served, local, "served bytes == engine bytes");
+
+    server.begin_drain();
+    server.wait();
+}

@@ -178,19 +178,22 @@ fn round_trip_parity_and_zero_resimulation() {
         "resubmission must not simulate"
     );
 
-    // The flat query endpoint sees the rows.
+    // The flat query endpoint is a shim over the store-backed analytics
+    // engine, so it lists one row per *stored simulation* — campaign rows
+    // plus the memoized baselines (`stats.sims_run` of a fresh run).
     let expected_json = Json::parse(&expected).expect("expected parses");
-    let row_count = match expected_json.get("rows") {
-        Some(Json::Arr(rows)) => rows.len(),
-        _ => panic!("expected document has rows"),
-    };
+    let stored_rows = expected_json
+        .get("stats")
+        .and_then(|stats| stats.get("sims_run"))
+        .and_then(Json::as_u64)
+        .expect("stats.sims_run") as usize;
     let matched = |path: &str| {
         let (status, json) = get_json(addr, path);
         assert_eq!(status, 200, "query {path}");
         json.get("matched").and_then(Json::as_u64).expect("matched") as usize
     };
-    assert_eq!(matched("/results"), row_count);
-    assert_eq!(matched("/results?figure=serve+smoke"), row_count);
+    assert_eq!(matched("/results"), stored_rows);
+    assert_eq!(matched("/results?figure=serve+smoke"), stored_rows);
     assert_eq!(matched("/results?figure=some+other+figure"), 0);
     let first_prefetcher = expected_json
         .get("rows")
@@ -202,12 +205,38 @@ fn round_trip_parity_and_zero_resimulation() {
         .and_then(Json::as_str)
         .expect("row prefetcher")
         .to_owned();
+    let prefetcher_rows = match expected_json.get("rows") {
+        Some(Json::Arr(rows)) => rows
+            .iter()
+            .filter(|row| {
+                row.get("prefetcher").and_then(Json::as_str) == Some(first_prefetcher.as_str())
+            })
+            .count(),
+        _ => 0,
+    };
     assert_eq!(
         matched(&format!(
             "/results?prefetcher={}",
             percent_encode(&first_prefetcher)
         )),
-        1
+        prefetcher_rows
+    );
+    // `target` stays accepted as the legacy alias for `workload`.
+    let first_target = expected_json
+        .get("rows")
+        .and_then(|rows| match rows {
+            Json::Arr(rows) => rows.first(),
+            _ => None,
+        })
+        .and_then(|row| row.get("target"))
+        .and_then(Json::as_str)
+        .expect("row target")
+        .to_owned();
+    assert!(
+        matched(&format!(
+            "/results?target={}",
+            percent_encode(&first_target)
+        )) > 0
     );
 
     // Graceful drain: /admin/shutdown flips the flag, wait() returns.
